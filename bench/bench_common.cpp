@@ -1,0 +1,86 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+
+namespace somrm::bench {
+
+void print_header(const std::string& artifact, const std::string& summary) {
+  std::printf("# %s\n# %s\n", artifact.c_str(), summary.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    std::printf("%s%s", i ? "," : "", cells[i].c_str());
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+namespace {
+const char* find_arg(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (name == argv[i]) return argv[i + 1];
+  return nullptr;
+}
+}  // namespace
+
+double arg_double(int argc, char** argv, const std::string& name,
+                  double fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
+std::size_t arg_size(int argc, char** argv, const std::string& name,
+                     std::size_t fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+           : fallback;
+}
+
+namespace {
+
+linalg::Vec centered_moments_of(const core::SecondOrderMrm& model, double t,
+                                std::size_t num_moments, double epsilon,
+                                double& mean_out, std::size_t& g_out) {
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions mean_opts;
+  mean_opts.max_moment = 1;
+  mean_opts.epsilon = std::min(epsilon, 1e-10);
+  mean_out = solver.solve(t, mean_opts).weighted[1];
+
+  core::MomentSolverOptions opts;
+  opts.max_moment = num_moments;
+  opts.epsilon = epsilon;
+  opts.center = mean_out / t;
+  auto res = solver.solve(t, opts);
+  g_out = res.truncation_point;
+  return std::move(res.weighted);
+}
+
+}  // namespace
+
+CenteredBoundPipeline::CenteredBoundPipeline(const core::SecondOrderMrm& model,
+                                             double t,
+                                             std::size_t num_moments,
+                                             double epsilon)
+    : t_(t),
+      centered_moments_(centered_moments_of(model, t, num_moments, epsilon,
+                                            mean_, truncation_point_)),
+      bounder_(centered_moments_) {}
+
+double CenteredBoundPipeline::stddev() const {
+  return std::sqrt(core::variance_from_raw(centered_moments_));
+}
+
+}  // namespace somrm::bench

@@ -1,0 +1,76 @@
+// Shared helpers for the figure/table reproduction harnesses: consistent
+// table printing, wall-clock timing, simple CLI flag parsing, and the
+// centered-moment + bound pipeline used by Figures 5-7.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bounds/moment_bounds.hpp"
+#include "core/model.hpp"
+#include "core/randomization.hpp"
+
+namespace somrm::bench {
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+void print_header(const std::string& artifact, const std::string& summary);
+
+/// Prints a row of columns separated by commas (CSV-ish, pasteable into
+/// any plotting tool).
+void print_row(const std::vector<std::string>& cells);
+
+/// Formats a double with enough digits for plotting.
+std::string fmt(double v, int precision = 8);
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Looks up "--name value" in argv; returns fallback when absent.
+double arg_double(int argc, char** argv, const std::string& name,
+                  double fallback);
+std::size_t arg_size(int argc, char** argv, const std::string& name,
+                     std::size_t fallback);
+
+/// The Figures 5-7 pipeline: mean solve, centered high-order solve, and a
+/// MomentBounder over the centered moments. bounds_at() takes x in original
+/// reward units.
+class CenteredBoundPipeline {
+ public:
+  /// @param num_moments highest moment order fed to the bounder (the paper
+  /// used 23); epsilon is the Theorem-4 budget for the centered solve.
+  CenteredBoundPipeline(const core::SecondOrderMrm& model, double t,
+                        std::size_t num_moments, double epsilon);
+
+  double mean() const { return mean_; }
+  double stddev() const;
+  std::size_t rule_size() const { return bounder_.rule_size(); }
+  std::size_t truncation_point() const { return truncation_point_; }
+
+  bounds::CdfBounds bounds_at(double x) const {
+    return bounder_.bounds_at(x - mean_);
+  }
+
+ private:
+  double mean_ = 0.0;
+  double t_ = 0.0;
+  std::size_t truncation_point_ = 0;
+  linalg::Vec centered_moments_;
+  bounds::MomentBounder bounder_;
+};
+
+}  // namespace somrm::bench

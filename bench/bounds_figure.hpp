@@ -1,0 +1,10 @@
+// Shared driver for Figures 5, 6 and 7: moment-based bounds on the CDF of
+// the accumulated reward B(0.5) of the Table-1 model, computed from 23
+// moments as in the paper, printed over a grid spanning mean +- 4 sd, with
+// a 50k-replication empirical CDF as ground-truth reference.
+
+#pragma once
+
+/// Runs the figure for one sigma^2 value; returns the process exit code.
+int run_bounds_figure(const char* artifact, double sigma2, int argc,
+                      char** argv);

@@ -1,0 +1,8 @@
+// Figure 5 — bounds for the distribution of the accumulated reward of
+// the Table-1 model at t = 0.5 with sigma^2 = 0, from 23 moments.
+
+#include "bounds_figure.hpp"
+
+int main(int argc, char** argv) {
+  return run_bounds_figure("Figure 5", 0.0, argc, argv);
+}

@@ -1,0 +1,130 @@
+// Kernel microbenchmarks (google-benchmark) substantiating the section-6
+// complexity claims:
+//  * the iteration step costs (m+2) vector-vector products per moment
+//    (m = mean non-zeros per generator row) => linear in the state count,
+//  * second-order analysis costs practically the same as first-order,
+//  * G grows like qt (plus an O(sqrt(qt)) spread),
+//  * a multi-time solve shares one sweep instead of paying per time point.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/first_order.hpp"
+#include "core/randomization.hpp"
+#include "models/birth_death.hpp"
+
+namespace {
+
+using namespace somrm;
+
+core::SecondOrderMrm make_chain(std::size_t states, double sigma2) {
+  return models::make_birth_death_mrm(
+      states, [](std::size_t) { return 3.0; }, [](std::size_t) { return 4.0; },
+      [states](std::size_t i) {
+        return static_cast<double>(states - i);
+      },
+      [sigma2](std::size_t i) {
+        return sigma2 * static_cast<double>(i);
+      });
+}
+
+// Solve time vs state count at fixed qt: should scale linearly.
+void BM_SolveVsStates(benchmark::State& state) {
+  const auto states = static_cast<std::size_t>(state.range(0));
+  const core::RandomizationMomentSolver solver(make_chain(states, 1.0));
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  for (auto _ : state) {
+    auto res = solver.solve(1.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_SolveVsStates)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Second-order vs first-order cost on the same chain (the paper's headline
+// cost claim). Both compute 3 moments at the same epsilon.
+void BM_SecondOrder(benchmark::State& state) {
+  const core::RandomizationMomentSolver solver(make_chain(4096, 1.0));
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  for (auto _ : state) {
+    auto res = solver.solve(1.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+}
+BENCHMARK(BM_SecondOrder);
+
+void BM_FirstOrder(benchmark::State& state) {
+  const auto chain = make_chain(4096, 0.0);
+  const core::FirstOrderMrm fo(chain.generator(), chain.drifts(),
+                               chain.initial());
+  const core::FirstOrderMomentSolver solver(fo);
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  for (auto _ : state) {
+    auto res = solver.solve(1.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+}
+BENCHMARK(BM_FirstOrder);
+
+// Moment-order sweep: cost is linear in the number of moment vectors.
+void BM_SolveVsMomentOrder(benchmark::State& state) {
+  const core::RandomizationMomentSolver solver(make_chain(4096, 1.0));
+  core::MomentSolverOptions opts;
+  opts.max_moment = static_cast<std::size_t>(state.range(0));
+  opts.epsilon = 1e-9;
+  for (auto _ : state) {
+    auto res = solver.solve(1.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+}
+BENCHMARK(BM_SolveVsMomentOrder)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
+
+// One multi-time sweep vs five independent solves.
+void BM_MultiTimeSharedSweep(benchmark::State& state) {
+  const core::RandomizationMomentSolver solver(make_chain(2048, 1.0));
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  const std::vector<double> times{0.2, 0.4, 0.6, 0.8, 1.0};
+  for (auto _ : state) {
+    auto res = solver.solve_multi(times, opts);
+    benchmark::DoNotOptimize(res.data());
+  }
+}
+BENCHMARK(BM_MultiTimeSharedSweep);
+
+void BM_MultiTimeSeparateSolves(benchmark::State& state) {
+  const core::RandomizationMomentSolver solver(make_chain(2048, 1.0));
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  const std::vector<double> times{0.2, 0.4, 0.6, 0.8, 1.0};
+  for (auto _ : state) {
+    for (double t : times) {
+      auto res = solver.solve(t, opts);
+      benchmark::DoNotOptimize(res.weighted.data());
+    }
+  }
+}
+BENCHMARK(BM_MultiTimeSeparateSolves);
+
+// G growth vs qt: not a timing — report G as a counter (iterations are a
+// single truncation-point computation, which is itself worth timing since
+// it runs a Poisson tail search).
+void BM_TruncationPoint(benchmark::State& state) {
+  const double qt = static_cast<double>(state.range(0));
+  std::size_t g = 0;
+  for (auto _ : state) {
+    g = core::RandomizationMomentSolver::truncation_point(qt, 3, 0.5, 1e-9);
+    benchmark::DoNotOptimize(g);
+  }
+  state.counters["G"] = static_cast<double>(g);
+  state.counters["G_over_qt"] = static_cast<double>(g) / qt;
+}
+BENCHMARK(BM_TruncationPoint)->Arg(100)->Arg(1000)->Arg(10000)->Arg(40000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

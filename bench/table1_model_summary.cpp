@@ -1,0 +1,60 @@
+// Table 1 / Figure 2 — the small ON-OFF multiplexer model: parameters,
+// derived structure (birth-death rates, per-state rewards), and the
+// section-6 scaling constants (q, d, G) for each sigma^2 the paper uses.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/scaling.hpp"
+#include "ctmc/stationary.hpp"
+#include "models/onoff.hpp"
+
+int main(int argc, char** argv) {
+  using namespace somrm;
+
+  bench::print_header("Table 1 / Figure 2",
+                      "ON-OFF multiplexer: C=32, N=32, alpha=4, beta=3, r=1");
+
+  const double t = bench::arg_double(argc, argv, "--time", 0.5);
+  const double eps = bench::arg_double(argc, argv, "--epsilon", 1e-9);
+
+  bench::print_row({"sigma2", "states", "q", "d_safe", "d_paper",
+                    "S'_substochastic_paper", "G(n=3)", "mean_row_nnz"});
+  for (double sigma2 : {0.0, 1.0, 10.0}) {
+    const auto model =
+        models::make_onoff_multiplexer(models::table1_params(sigma2));
+    const auto safe = core::scale_model(model);
+    const auto paper =
+        core::scale_model(model, core::DriftScalePolicy::kPaper);
+    const std::size_t g = core::RandomizationMomentSolver::truncation_point(
+        safe.q * t, 3, safe.d, eps);
+    bench::print_row(
+        {bench::fmt(sigma2, 3), std::to_string(model.num_states()),
+         bench::fmt(safe.q, 6), bench::fmt(safe.d, 6),
+         bench::fmt(paper.d, 6),
+         core::is_reward_scaling_substochastic(paper) ? "yes" : "NO",
+         std::to_string(g),
+         bench::fmt(model.generator().matrix().mean_row_nnz(), 4)});
+  }
+
+  // Figure 2 annotations: the per-state rates/rewards of the birth-death
+  // chain (first and last few states).
+  const auto model =
+      models::make_onoff_multiplexer(models::table1_params(10.0));
+  std::printf("# per-state structure (i, birth=(N-i)b, death=i*a, r_i, "
+              "sigma_i^2):\n");
+  bench::print_row({"state", "birth_rate", "death_rate", "r", "sigma2"});
+  for (std::size_t i : {0ul, 1ul, 2ul, 16ul, 30ul, 31ul, 32ul}) {
+    const auto& q = model.generator().matrix();
+    const double birth = i + 1 < model.num_states() ? q.at(i, i + 1) : 0.0;
+    const double death = i > 0 ? q.at(i, i - 1) : 0.0;
+    bench::print_row({std::to_string(i), bench::fmt(birth, 4),
+                      bench::fmt(death, 4), bench::fmt(model.drifts()[i], 4),
+                      bench::fmt(model.variances()[i], 4)});
+  }
+
+  const auto pi = ctmc::stationary_distribution_gth(model.generator());
+  std::printf("# stationary reward rate (fig 3 reference slope): %s\n",
+              bench::fmt(model.stationary_reward_rate(pi), 8).c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Time-varying workload: a day/night traffic profile analyzed with the
+// piecewise-constant MRM solver.
+//
+// The same 16-source ON-OFF multiplexer serves two regimes every 24 h:
+// daytime (sources toggle ON aggressively) and nighttime (mostly OFF).
+// Reward = capacity left for batch (class-2) traffic. Batch jobs run at
+// night, so the interesting quantity is the capacity accumulated across
+// full day/night cycles — an inherently inhomogeneous question the
+// homogeneous solver cannot answer directly.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/moment_utils.hpp"
+#include "core/piecewise.hpp"
+#include "models/onoff.hpp"
+
+int main() {
+  using namespace somrm;
+
+  models::OnOffMultiplexerParams day;
+  day.num_sources = 16;
+  day.capacity = 16.0;
+  day.on_rate = 2.0;   // ON period mean 0.5 h
+  day.off_rate = 6.0;  // OFF period mean ~0.17 h => busy
+  day.peak_rate = 1.0;
+  day.rate_variance = 0.5;
+
+  models::OnOffMultiplexerParams night = day;
+  night.off_rate = 0.5;  // sources mostly idle at night
+  night.on_rate = 4.0;
+
+  const double t_day = 16.0, t_night = 8.0;
+
+  const auto day_model = models::make_onoff_multiplexer(day);
+  const auto night_model = models::make_onoff_multiplexer(night);
+
+  std::printf("16-source multiplexer, %g h day + %g h night cycles\n\n",
+              t_day, t_night);
+
+  // Three full cycles.
+  std::vector<core::Phase> phases;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    phases.push_back({day_model, t_day});
+    phases.push_back({night_model, t_night});
+  }
+  const core::PiecewiseMomentSolver solver(std::move(phases));
+
+  core::MomentSolverOptions opts;
+  opts.max_moment = 3;
+  opts.epsilon = 1e-10;
+  const auto results = solver.solve(opts);
+
+  std::printf("%10s %8s %14s %12s %10s\n", "epoch [h]", "regime",
+              "E[capacity]", "stddev", "skew");
+  const char* regimes[] = {"day", "night"};
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& r = results[k];
+    std::printf("%10.1f %8s %14.3f %12.3f %10.4f\n", r.time,
+                regimes[k % 2], r.weighted[1],
+                std::sqrt(core::variance_from_raw(r.weighted)),
+                core::skewness_from_raw(r.weighted));
+  }
+
+  const auto& final = results.back();
+  const double per_hour = final.weighted[1] / final.time;
+  std::printf("\nover %g h: %.2f capacity-hours for class 2 (%.3f of the "
+              "channel on average)\n",
+              final.time, final.weighted[1], per_hour / day.capacity);
+  std::printf("night phases contribute disproportionately — compare the "
+              "epoch deltas above.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart — build a tiny second-order Markov reward model by hand and
+// compute moments of the accumulated reward.
+//
+// The model: a link that alternates between a GOOD state (drift 10 Mb/s of
+// useful throughput, small jitter) and a DEGRADED state (drift 2 Mb/s,
+// large jitter). How much data will have flowed by t = 1s, 5s, 10s — and
+// how uncertain is that number?
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "core/moment_utils.hpp"
+#include "core/randomization.hpp"
+#include "ctmc/generator.hpp"
+
+int main() {
+  using namespace somrm;
+
+  // 1. Structure process: GOOD <-> DEGRADED with rates 0.2 and 1.0 (mean
+  //    sojourns 5 s and 1 s). Only off-diagonal rates are supplied; the
+  //    diagonal is derived.
+  auto generator = ctmc::Generator::from_rates(
+      2, std::vector<linalg::Triplet>{{0, 1, 0.2},   // GOOD -> DEGRADED
+                                      {1, 0, 1.0}}); // DEGRADED -> GOOD
+
+  // 2. Reward structure: drift (Mb/s) and variance per state, plus the
+  //    initial state distribution (start GOOD).
+  const linalg::Vec drift{10.0, 2.0};
+  const linalg::Vec variance{0.5, 4.0};
+  const linalg::Vec initial{1.0, 0.0};
+  const core::SecondOrderMrm model(std::move(generator), drift, variance,
+                                   initial);
+
+  // 3. Solve: first three moments of the accumulated reward B(t).
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions options;
+  options.max_moment = 3;
+  options.epsilon = 1e-10;  // Theorem-4 truncation budget
+
+  std::printf("%6s %12s %12s %12s %8s\n", "t[s]", "E[B] Mb", "stddev Mb",
+              "skewness", "G");
+  for (double t : {1.0, 5.0, 10.0}) {
+    const auto result = solver.solve(t, options);
+    const double mean = result.weighted[1];
+    const double sd =
+        std::sqrt(core::variance_from_raw(result.weighted));
+    const double skew = core::skewness_from_raw(result.weighted);
+    std::printf("%6.1f %12.4f %12.4f %12.4f %8zu\n", t, mean, sd, skew,
+                result.truncation_point);
+  }
+
+  std::printf("\nPer-initial-state means at t = 5 s:\n");
+  const auto res5 = solver.solve(5.0, options);
+  std::printf("  started GOOD:     %.4f Mb\n", res5.per_state[1][0]);
+  std::printf("  started DEGRADED: %.4f Mb\n", res5.per_state[1][1]);
+  return 0;
+}

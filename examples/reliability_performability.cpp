@@ -1,0 +1,105 @@
+// Performability of a fault-tolerant multiprocessor — the classic MRM
+// application domain, extended with second-order throughput jitter.
+//
+// M processors fail (rate lambda each) and are repaired by c repairmen
+// (rate mu each). With i processors down the system completes work at
+// drift (M - i) * P and variance (M - i) * V. The question performability
+// analysis asks: how much work is completed in a mission of length T, and
+// what does per-processor jitter do to the risk of missing a work quota?
+//
+// The example contrasts the first-order answer (V = 0: randomness only from
+// failures/repairs) with second-order answers at growing jitter, showing
+// the paper's point that second-order models expose risk the first-order
+// model hides.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bounds/moment_bounds.hpp"
+#include "core/moment_utils.hpp"
+#include "core/randomization.hpp"
+#include "ctmc/stationary.hpp"
+#include "models/reliability.hpp"
+#include "sim/completion_time.hpp"
+
+int main() {
+  using namespace somrm;
+
+  models::MachineRepairParams params;
+  params.num_processors = 16;
+  params.failure_rate = 0.05;  // one failure per 20 h per CPU
+  params.repair_rate = 0.5;    // 2 h mean repair
+  params.num_repairmen = 2;
+  params.unit_power = 1.0;     // work units per hour per live CPU
+  const double mission = 24.0; // hours
+  const double quota = 330.0;  // work units the mission must deliver
+
+  std::printf("multiprocessor: M=%zu, lambda=%g/h, mu=%g/h, c=%zu, "
+              "mission %g h, quota %g units\n\n",
+              params.num_processors, params.failure_rate, params.repair_rate,
+              params.num_repairmen, mission, quota);
+
+  std::printf("%10s %12s %12s %12s %22s\n", "jitter V", "E[work]", "stddev",
+              "skewness", "Pr(work < quota)");
+  for (double jitter : {0.0, 0.5, 2.0, 8.0}) {
+    params.unit_power_variance = jitter;
+    const auto model = models::make_machine_repair(params);
+    const core::RandomizationMomentSolver solver(model);
+
+    core::MomentSolverOptions opts;
+    opts.max_moment = 4;
+    opts.epsilon = 1e-11;
+    const auto res = solver.solve(mission, opts);
+    const double mean = res.weighted[1];
+    const double sd = std::sqrt(core::variance_from_raw(res.weighted));
+
+    // Quota-miss probability bounds from 17 centered moments.
+    core::MomentSolverOptions copts;
+    copts.max_moment = 17;
+    copts.epsilon = 1e-13;
+    copts.center = mean / mission;
+    const auto centered = solver.solve(mission, copts);
+    const bounds::MomentBounder bounder(centered.weighted);
+    const auto miss = bounder.bounds_at(quota - mean);
+
+    std::printf("%10.2f %12.3f %12.3f %12.4f       [%8.6f, %8.6f]\n", jitter,
+                mean, sd, core::skewness_from_raw(res.weighted), miss.lower,
+                miss.upper);
+  }
+
+  // Long-run capacity for context.
+  params.unit_power_variance = 0.0;
+  const auto model = models::make_machine_repair(params);
+  const auto pi = ctmc::stationary_distribution_gth(model.generator());
+  std::printf("\nlong-run work rate: %.4f units/h (%.2f%% of nominal %zu)\n",
+              model.stationary_reward_rate(pi),
+              100.0 * model.stationary_reward_rate(pi) /
+                  static_cast<double>(params.num_processors),
+              params.num_processors);
+  std::printf("note how the quota-miss probability band widens with V while "
+              "E[work] stays put:\nfirst-order analysis (V=0) understates "
+              "mission risk.\n");
+
+  // The dual question: WHEN is the quota complete? (completion time,
+  // simulated with exact Brownian-bridge crossing detection).
+  std::printf("\ncompletion time of the %g-unit quota:\n", quota);
+  std::printf("%10s %14s %12s %22s\n", "jitter V", "E[Theta] h", "stddev h",
+              "Pr(done by mission)");
+  for (double jitter : {0.0, 2.0, 8.0}) {
+    params.unit_power_variance = jitter;
+    const sim::CompletionTimeSimulator ct(
+        models::make_machine_repair(params));
+    sim::CompletionTimeOptions copts;
+    copts.num_replications = 20000;
+    copts.horizon = 10.0 * mission;
+    copts.seed = 91;
+    const auto est = ct.estimate(quota, copts);
+
+    sim::CompletionTimeOptions mission_opts = copts;
+    mission_opts.horizon = mission;
+    const auto by_mission = ct.estimate(quota, mission_opts);
+    std::printf("%10.2f %14.3f %12.3f %22.4f\n", jitter, est.mean,
+                est.stddev, by_mission.completion_probability);
+  }
+  return 0;
+}

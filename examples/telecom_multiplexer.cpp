@@ -1,0 +1,91 @@
+// The paper's section-7 scenario as a configurable application: a channel
+// of capacity C serves N ON-OFF sources with priority over best-effort
+// (class 2) traffic. The tool reports, for a given horizon t, how much
+// capacity class 2 receives — mean, spread, skew — and moment-based bounds
+// on the probability that class 2 gets at least a target amount.
+//
+// Usage: telecom_multiplexer [--sources N] [--capacity C] [--alpha a]
+//   [--beta b] [--rate r] [--sigma2 s] [--time t] [--target x]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bounds/moment_bounds.hpp"
+#include "core/moment_utils.hpp"
+#include "core/randomization.hpp"
+#include "ctmc/stationary.hpp"
+#include "models/onoff.hpp"
+
+namespace {
+
+double flag(int argc, char** argv, const std::string& name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (name == argv[i]) return std::strtod(argv[i + 1], nullptr);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace somrm;
+
+  models::OnOffMultiplexerParams params;
+  params.num_sources =
+      static_cast<std::size_t>(flag(argc, argv, "--sources", 32));
+  params.capacity = flag(argc, argv, "--capacity", 32.0);
+  params.on_rate = flag(argc, argv, "--alpha", 4.0);
+  params.off_rate = flag(argc, argv, "--beta", 3.0);
+  params.peak_rate = flag(argc, argv, "--rate", 1.0);
+  params.rate_variance = flag(argc, argv, "--sigma2", 1.0);
+  const double t = flag(argc, argv, "--time", 0.5);
+
+  const auto model = models::make_onoff_multiplexer(params);
+  std::printf("ON-OFF multiplexer: C=%g, N=%zu, alpha=%g, beta=%g, r=%g, "
+              "sigma^2=%g\n",
+              params.capacity, params.num_sources, params.on_rate,
+              params.off_rate, params.peak_rate, params.rate_variance);
+
+  // Long-run capacity share of class 2.
+  const auto pi_ss = ctmc::stationary_distribution_gth(model.generator());
+  const double ss_rate = model.stationary_reward_rate(pi_ss);
+  std::printf("long-run class-2 rate: %.4f (utilization of class 1: %.1f%%)\n",
+              ss_rate, 100.0 * (1.0 - ss_rate / params.capacity));
+
+  // Transient moments of the capacity available in (0, t).
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions opts;
+  opts.max_moment = 4;
+  opts.epsilon = 1e-11;
+  const auto res = solver.solve(t, opts);
+  const double mean = res.weighted[1];
+  const double sd = std::sqrt(core::variance_from_raw(res.weighted));
+  std::printf("\ncapacity for class 2 over (0, %.3g), all sources OFF at 0:\n",
+              t);
+  std::printf("  mean %.4f   stddev %.4f   skew %.4f   excess kurtosis %.4f\n",
+              mean, sd, core::skewness_from_raw(res.weighted),
+              core::excess_kurtosis_from_raw(res.weighted));
+
+  // Moment-based guarantee: bounds on Pr(B(t) <= x) from 19 centered
+  // moments (Markov-Krein sharp bounds; see bounds/moment_bounds.hpp).
+  core::MomentSolverOptions copts;
+  copts.max_moment = 19;
+  copts.epsilon = 1e-13;
+  copts.center = mean / t;
+  const auto centered = solver.solve(t, copts);
+  const bounds::MomentBounder bounder(centered.weighted);
+
+  const double target = flag(argc, argv, "--target", mean - 2.0 * sd);
+  const auto b = bounder.bounds_at(target - mean);
+  std::printf("\nPr(class-2 capacity <= %.4f) is in [%.6f, %.6f]\n", target,
+              b.lower, b.upper);
+  std::printf("=> class 2 receives MORE than %.4f with probability at least "
+              "%.6f\n",
+              target, 1.0 - b.upper);
+  std::printf("(bounds from %zu-point principal representations; "
+              "G = %zu randomization steps)\n",
+              bounder.rule_size(), centered.truncation_point);
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "bounds/density_estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::bounds {
+
+double hermite_polynomial(std::size_t k, double x) {
+  double prev = 1.0;  // He_0
+  if (k == 0) return prev;
+  double cur = x;  // He_1
+  for (std::size_t j = 1; j < k; ++j) {
+    const double next = x * cur - static_cast<double>(j) * prev;
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+GramCharlierDensity::GramCharlierDensity(std::span<const double> raw_moments,
+                                         std::size_t order) {
+  if (raw_moments.size() < 3)
+    throw std::invalid_argument(
+        "GramCharlierDensity: need moments up to order 2");
+
+  std::vector<double> raw(raw_moments.begin(), raw_moments.end());
+  const double mu0 = raw[0];
+  if (!(mu0 > 0.0))
+    throw std::invalid_argument("GramCharlierDensity: mu_0 must be positive");
+  for (double& v : raw) v /= mu0;
+
+  const auto std_m = core::standardize_raw_moments(raw);
+  mean_ = std_m.mean;
+  stddev_ = std_m.stddev;
+
+  const std::size_t max_order =
+      std::min(order, std_m.moments.size() - 1);
+  coefficients_.assign(max_order + 1, 0.0);
+  coefficients_[0] = 1.0;
+  // c_k = (1/k!) E[He_k(Z)]; He_k(x) = sum_m (-1)^m k!/(m! 2^m (k-2m)!)
+  // x^{k-2m}, so E[He_k(Z)] plugs in standardized moments.
+  double k_factorial = 1.0;
+  for (std::size_t k = 1; k <= max_order; ++k) {
+    k_factorial *= static_cast<double>(k);
+    double expectation = 0.0;
+    double term_coeff = 1.0;  // k! / (m! 2^m (k-2m)!) built per m below
+    for (std::size_t m = 0; 2 * m <= k; ++m) {
+      if (m > 0) {
+        // multiply by (k-2m+2)(k-2m+1) / (2m)
+        term_coeff *= static_cast<double>((k - 2 * m + 2) *
+                                          (k - 2 * m + 1)) /
+                      (2.0 * static_cast<double>(m));
+      }
+      const double sign = (m % 2 == 0) ? 1.0 : -1.0;
+      expectation += sign * term_coeff * std_m.moments[k - 2 * m];
+    }
+    coefficients_[k] = expectation / k_factorial;
+  }
+  // Standardization forces the first two corrections to vanish; pin them to
+  // avoid rounding residue.
+  if (max_order >= 1) coefficients_[1] = 0.0;
+  if (max_order >= 2) coefficients_[2] = 0.0;
+}
+
+double GramCharlierDensity::pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  double series = 0.0;
+  for (std::size_t k = 0; k < coefficients_.size(); ++k) {
+    if (coefficients_[k] == 0.0) continue;
+    series += coefficients_[k] * hermite_polynomial(k, z);
+  }
+  return prob::normal_pdf(z, 0.0, 1.0) * series / stddev_;
+}
+
+double GramCharlierDensity::cdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  // int_{-inf}^z phi(u) He_k(u) du = -phi(z) He_{k-1}(z) for k >= 1.
+  double correction = 0.0;
+  for (std::size_t k = 1; k < coefficients_.size(); ++k) {
+    if (coefficients_[k] == 0.0) continue;
+    correction -= coefficients_[k] * hermite_polynomial(k - 1, z);
+  }
+  const double value =
+      prob::normal_cdf(z, 0.0, 1.0) + prob::normal_pdf(z, 0.0, 1.0) *
+                                          correction;
+  return std::clamp(value, 0.0, 1.0);
+}
+
+}  // namespace somrm::bounds

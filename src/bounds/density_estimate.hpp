@@ -1,0 +1,56 @@
+// somrm/bounds/density_estimate.hpp
+//
+// Point estimates of the reward distribution from moments — the companion
+// to the guaranteed bounds of moment_bounds.hpp. Section 7 of the paper
+// notes one "can approximate the distribution based on its moments"; the
+// classical tool is the Gram-Charlier A series: a standard-normal base
+// density corrected by Hermite-polynomial terms whose coefficients come
+// from the standardized moments,
+//
+//   f(z) ~ phi(z) [ 1 + sum_{k>=3} c_k He_k(z) ],
+//   c_k = (1/k!) E[He_k(Z)],
+//
+// evaluated here from raw moments of the target variable. The series is
+// asymptotic, not convergent — accurate near-Gaussian (accumulated rewards
+// at moderate t are close to Gaussian by the CLT of additive functionals),
+// possibly negative in the tails. Callers needing guarantees should use
+// MomentBounder; callers wanting a plottable density use this.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace somrm::bounds {
+
+class GramCharlierDensity {
+ public:
+  /// @param raw_moments mu_0..mu_K of the target distribution (K >= 2);
+  /// @param order highest Hermite correction used (clamped to K).
+  /// Order 0..2 gives the plain moment-matched normal.
+  explicit GramCharlierDensity(std::span<const double> raw_moments,
+                               std::size_t order = 6);
+
+  /// Density estimate at x (may be slightly negative in the far tails).
+  double pdf(double x) const;
+
+  /// CDF estimate at x (integrated series; clamped to [0, 1]).
+  double cdf(double x) const;
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+  std::size_t order() const { return coefficients_.size(); }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  /// c_k for k = 0..order (c_0 = 1, c_1 = c_2 = 0 by standardization).
+  std::vector<double> coefficients_;
+};
+
+/// Probabilists' Hermite polynomial He_k(x) (He_0 = 1, He_1 = x,
+/// He_{k+1} = x He_k - k He_{k-1}). Exposed for tests.
+double hermite_polynomial(std::size_t k, double x);
+
+}  // namespace somrm::bounds

@@ -1,0 +1,106 @@
+#include "bounds/moment_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/moment_utils.hpp"
+
+namespace somrm::bounds {
+
+MomentBounder::MomentBounder(std::span<const double> raw_moments) {
+  if (raw_moments.size() < 3)
+    throw std::invalid_argument("MomentBounder: need moments up to order 2");
+
+  // Normalize mu_0 to 1 (per-state V^(0) from the solver is 1 only up to
+  // the truncation budget) and standardize.
+  std::vector<double> raw(raw_moments.begin(), raw_moments.end());
+  const double mu0 = raw[0];
+  if (!(mu0 > 0.0))
+    throw std::invalid_argument("MomentBounder: mu_0 must be positive");
+  for (double& v : raw) v /= mu0;
+
+  const auto std_moments = core::standardize_raw_moments(raw);
+  mean_ = std_moments.mean;
+  stddev_ = std_moments.stddev;
+  jacobi_ = jacobi_from_moments(std_moments.moments);
+}
+
+CdfBounds MomentBounder::bounds_at(double x) const {
+  const double z = (x - mean_) / stddev_;
+  // Full-rank moment sequences get the sharp Radau rule anchored at z; a
+  // rank-deficient sequence determines the measure uniquely, so its Gauss
+  // rule (the measure itself) is used directly.
+  const bool has_radau = jacobi_.beta.size() >= jacobi_.alpha.size();
+  const QuadratureRule rule = has_radau
+                                  ? gauss_radau_rule(jacobi_, z, /*mu0=*/1.0)
+                                  : gauss_rule(jacobi_, /*mu0=*/1.0);
+
+  // The rule is guaranteed to carry a node at (numerically) z; weights of
+  // nodes strictly below z sum to the sharp lower bound, adding the mass at
+  // z gives the sharp upper bound.
+  const double tol = 1e-9 * (1.0 + std::abs(z));
+  CdfBounds out;
+  double below = 0.0, at = 0.0;
+  for (std::size_t k = 0; k < rule.nodes.size(); ++k) {
+    if (rule.nodes[k] < z - tol) {
+      below += rule.weights[k];
+    } else if (rule.nodes[k] <= z + tol) {
+      at += rule.weights[k];
+    }
+  }
+  out.lower = std::clamp(below, 0.0, 1.0);
+  out.upper = std::clamp(below + at, 0.0, 1.0);
+  return out;
+}
+
+MomentBounder::QuantileBounds MomentBounder::quantile_bounds(
+    double p, double x_tolerance) const {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument(
+        "MomentBounder::quantile_bounds: p must be in (0,1)");
+  if (!(x_tolerance > 0.0))
+    throw std::invalid_argument(
+        "MomentBounder::quantile_bounds: tolerance must be positive");
+
+  // Bracket: Chebyshev guarantees the quantile within a few stddevs once p
+  // is away from {0,1}; widen until the bound curves straddle p.
+  double lo = mean_ - 4.0 * stddev_;
+  double hi = mean_ + 4.0 * stddev_;
+  for (int i = 0; i < 64 && bounds_at(lo).upper >= p; ++i)
+    lo -= 4.0 * stddev_;
+  for (int i = 0; i < 64 && bounds_at(hi).lower < p; ++i)
+    hi += 4.0 * stddev_;
+
+  const double tol = x_tolerance * stddev_;
+  // Lower bound on q(p): largest x with U(x) < p (any valid F has
+  // F(x) <= U(x) < p there, so its quantile lies right of x).
+  double a = lo, b = hi;
+  while (b - a > tol) {
+    const double mid = 0.5 * (a + b);
+    if (bounds_at(mid).upper < p) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  QuantileBounds out;
+  out.lower = a;
+
+  // Upper bound on q(p): smallest x with L(x) >= p.
+  a = out.lower;
+  b = hi;
+  while (b - a > tol) {
+    const double mid = 0.5 * (a + b);
+    if (bounds_at(mid).lower >= p) {
+      b = mid;
+    } else {
+      a = mid;
+    }
+  }
+  out.upper = b;
+  return out;
+}
+
+}  // namespace somrm::bounds

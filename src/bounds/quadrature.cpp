@@ -1,0 +1,169 @@
+#include "bounds/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/tridiag.hpp"
+
+namespace somrm::bounds {
+
+namespace {
+
+/// Long-double Thomas solve of a symmetric tridiagonal shifted system
+/// (J - c I) x = e_last. Returns false on a vanishing pivot.
+bool solve_shifted_tridiag(std::span<const long double> diag,
+                           std::span<const long double> offdiag,
+                           long double c, std::vector<long double>& x) {
+  const std::size_t n = diag.size();
+  std::vector<long double> cp(n, 0.0L), dp(n, 0.0L);
+  const long double d0 = diag[0] - c;
+  if (d0 == 0.0L) return false;
+  cp[0] = (n > 1 ? offdiag[0] : 0.0L) / d0;
+  dp[0] = 0.0L;  // rhs e_last has zero here (unless n == 1)
+  if (n == 1) {
+    x.assign(1, 1.0L / d0);
+    return true;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const long double denom = (diag[i] - c) - offdiag[i - 1] * cp[i - 1];
+    if (denom == 0.0L) return false;
+    if (i + 1 < n) cp[i] = offdiag[i] / denom;
+    const long double rhs = (i + 1 == n ? 1.0L : 0.0L);
+    dp[i] = (rhs - offdiag[i - 1] * dp[i - 1]) / denom;
+  }
+  x.assign(n, 0.0L);
+  x[n - 1] = dp[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+  return true;
+}
+
+QuadratureRule rule_from_tridiag(std::vector<long double> diag,
+                                 std::vector<long double> offdiag,
+                                 double mu0) {
+  const auto eig = linalg::symmetric_tridiagonal_eigen<long double>(
+      std::move(diag), std::move(offdiag));
+  QuadratureRule rule;
+  rule.nodes.reserve(eig.eigenvalues.size());
+  rule.weights.reserve(eig.eigenvalues.size());
+  for (std::size_t k = 0; k < eig.eigenvalues.size(); ++k) {
+    rule.nodes.push_back(static_cast<double>(eig.eigenvalues[k]));
+    const long double fc = eig.first_components[k];
+    rule.weights.push_back(static_cast<double>(mu0 * fc * fc));
+  }
+  return rule;
+}
+
+}  // namespace
+
+JacobiCoefficients jacobi_from_moments(std::span<const double> raw_moments) {
+  if (raw_moments.size() < 3)
+    throw std::invalid_argument(
+        "jacobi_from_moments: need at least mu_0..mu_2");
+  if (!(raw_moments[0] > 0.0))
+    throw std::invalid_argument("jacobi_from_moments: mu_0 must be positive");
+
+  const std::size_t k_max = raw_moments.size() - 1;
+  const std::size_t size = k_max / 2 + 1;  // Hankel dimension (m_try + 1)
+
+  // Hankel matrix H_ij = mu_{i+j} in long double.
+  std::vector<std::vector<long double>> h(size,
+                                          std::vector<long double>(size));
+  for (std::size_t i = 0; i < size; ++i)
+    for (std::size_t j = 0; j < size; ++j)
+      h[i][j] = static_cast<long double>(raw_moments[i + j]);
+
+  // Partial Cholesky H = R^T R (R upper triangular); stop at the first
+  // numerically non-positive pivot. p = number of valid rows.
+  std::vector<std::vector<long double>> r(size,
+                                          std::vector<long double>(size, 0.0L));
+  std::size_t p = 0;
+  for (std::size_t j = 0; j < size; ++j) {
+    long double pivot = h[j][j];
+    for (std::size_t k = 0; k < j; ++k) pivot -= r[k][j] * r[k][j];
+    const long double scale =
+        std::abs(h[j][j]) > 1.0L ? std::abs(h[j][j]) : 1.0L;
+    if (!(pivot > scale * 1e-26L) || !std::isfinite(static_cast<double>(pivot)))
+      break;
+    r[j][j] = std::sqrt(pivot);
+    for (std::size_t l = j + 1; l < size; ++l) {
+      long double acc = h[j][l];
+      for (std::size_t k = 0; k < j; ++k) acc -= r[k][j] * r[k][l];
+      r[j][l] = acc / r[j][j];
+    }
+    p = j + 1;
+  }
+  if (p < 2)
+    throw std::runtime_error(
+        "jacobi_from_moments: moment sequence is numerically degenerate "
+        "(Hankel matrix not positive definite beyond order 1)");
+
+  // Recurrence coefficients from the Cholesky factor (Golub & Meurant):
+  //   beta_k  = r_{k+1,k+1} / r_{k,k},
+  //   alpha_k = r_{k,k+1}/r_{k,k} - r_{k-1,k}/r_{k-1,k-1}.
+  //
+  // With p valid Cholesky rows, alpha_k is available for k <= p-1 as long
+  // as column k+1 exists (k+1 < size), and beta_k for k <= p-2. Full rank
+  // (p == size) therefore yields m = p-1 alphas and m betas (enough for a
+  // Gauss-Radau extension); a rank-deficient Hankel (the measure has
+  // exactly p atoms) yields m = p alphas and m-1 betas — the m-point Gauss
+  // rule then reproduces the measure itself and no Radau row exists.
+  const std::size_t m = p < size ? p : p - 1;
+  JacobiCoefficients jc;
+  jc.alpha.resize(m);
+  jc.beta.resize(p - 1);
+  for (std::size_t k = 0; k < m; ++k) {
+    long double a = r[k][k + 1] / r[k][k];
+    if (k > 0) a -= r[k - 1][k] / r[k - 1][k - 1];
+    jc.alpha[k] = a;
+  }
+  for (std::size_t k = 0; k + 1 < p; ++k)
+    jc.beta[k] = r[k + 1][k + 1] / r[k][k];
+  return jc;
+}
+
+QuadratureRule gauss_rule(const JacobiCoefficients& jc, double mu0) {
+  const std::size_t m = jc.alpha.size();
+  if (m == 0) throw std::invalid_argument("gauss_rule: empty coefficients");
+  std::vector<long double> diag(jc.alpha.begin(), jc.alpha.end());
+  std::vector<long double> off(jc.beta.begin(),
+                               jc.beta.begin() + static_cast<long>(m - 1));
+  return rule_from_tridiag(std::move(diag), std::move(off), mu0);
+}
+
+QuadratureRule gauss_radau_rule(const JacobiCoefficients& jc, double c,
+                                double mu0) {
+  const std::size_t m = jc.alpha.size();
+  if (m == 0)
+    throw std::invalid_argument("gauss_radau_rule: empty coefficients");
+  if (jc.beta.size() < m)
+    throw std::invalid_argument("gauss_radau_rule: need beta up to order m");
+
+  std::vector<long double> diag(jc.alpha.begin(), jc.alpha.end());
+  std::vector<long double> off(jc.beta.begin(),
+                               jc.beta.begin() + static_cast<long>(m - 1));
+
+  // Golub's modification: solve (J_m - c I) delta = e_m, then the appended
+  // diagonal entry is alpha_hat = c + beta_m^2 delta_m.
+  long double cc = static_cast<long double>(c);
+  std::vector<long double> delta;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (solve_shifted_tridiag(diag, off, cc, delta)) break;
+    // c collided with a pivot (e.g. a Gauss node): nudge it.
+    cc += (std::abs(cc) + 1.0L) * 1e-15L * static_cast<long double>(attempt + 1);
+    delta.clear();
+  }
+  if (delta.empty())
+    throw std::runtime_error(
+        "gauss_radau_rule: shifted tridiagonal solve failed");
+
+  const long double beta_m = jc.beta[m - 1];
+  const long double alpha_hat = cc + beta_m * beta_m * delta[m - 1];
+
+  std::vector<long double> diag_ext = diag;
+  diag_ext.push_back(alpha_hat);
+  std::vector<long double> off_ext = off;
+  off_ext.push_back(beta_m);
+  return rule_from_tridiag(std::move(diag_ext), std::move(off_ext), mu0);
+}
+
+}  // namespace somrm::bounds

@@ -1,0 +1,64 @@
+// somrm/bounds/quadrature.hpp
+//
+// Moment-space quadrature machinery for the distribution-bound method of
+// Figures 5-7 (the paper delegates to Racz-Tari-Telek, NSMC'03; this is the
+// underlying classical Markov-Krein / principal-representation theory):
+//
+//  1. raw moments -> three-term recurrence (Jacobi) coefficients of the
+//     orthogonal polynomials of the unknown measure, via Cholesky of the
+//     Hankel moment matrix,
+//  2. Jacobi matrix -> Gauss rule (Golub-Welsch: eigenvalues are nodes,
+//     mu_0 * first-eigenvector-components^2 are weights),
+//  3. Gauss-Radau-type rule with one preassigned node c (Golub 1973): the
+//     last diagonal entry of the Jacobi matrix is modified so c becomes an
+//     eigenvalue.
+//
+// Everything runs in long double: Hankel matrices of 20+ moments are
+// numerically brutal, and the achievable order is detected adaptively by
+// the first non-positive Cholesky pivot.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace somrm::bounds {
+
+/// Three-term recurrence coefficients: p_{k+1}(x) = (x - alpha_k) p_k(x) -
+/// beta_k^2 p_{k-1}(x). beta[k] couples rows k and k+1 of the Jacobi
+/// matrix; with m = alpha.size(), beta[0..m-2] enter the m x m Jacobi
+/// matrix and beta[m-1] — present only when the Hankel matrix had full
+/// numerical rank — is the coupling used to append a Gauss-Radau row. A
+/// rank-deficient moment sequence (measure with exactly m atoms) yields
+/// beta of size m-1: the m-point Gauss rule then IS the measure.
+struct JacobiCoefficients {
+  std::vector<long double> alpha;
+  std::vector<long double> beta;
+};
+
+/// Computes Jacobi coefficients from raw moments mu_0..mu_K. The returned
+/// order m = alpha.size() is the largest for which the Hankel matrix stays
+/// numerically positive definite AND 2m <= K; m can be as low as 1.
+/// Throws std::invalid_argument if fewer than 3 moments are given or
+/// mu_0 <= 0.
+JacobiCoefficients jacobi_from_moments(std::span<const double> raw_moments);
+
+/// A discrete quadrature rule: nodes with positive weights summing to mu_0.
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+
+/// m-point Gauss rule from the first m alpha / m-1 beta coefficients.
+QuadratureRule gauss_rule(const JacobiCoefficients& jc, double mu0 = 1.0);
+
+/// (m+1)-point rule with a preassigned node at c (lower principal
+/// representation anchored at c). Uses all m alphas and m betas. If c
+/// collides with a Gauss node the preassignment is still exact — the solve
+/// is perturbed infinitesimally and the returned rule keeps a node within
+/// ~1e-12 of c.
+QuadratureRule gauss_radau_rule(const JacobiCoefficients& jc, double c,
+                                double mu0 = 1.0);
+
+}  // namespace somrm::bounds

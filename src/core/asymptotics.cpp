@@ -1,0 +1,52 @@
+#include "core/asymptotics.hpp"
+
+#include <stdexcept>
+
+#include "ctmc/stationary.hpp"
+
+namespace somrm::core {
+
+linalg::DenseMatrix deviation_matrix(const ctmc::Generator& gen,
+                                     std::span<const double> stationary) {
+  const std::size_t n = gen.num_states();
+  if (stationary.size() != n)
+    throw std::invalid_argument("deviation_matrix: stationary size mismatch");
+
+  // A = Pi - Q (nonsingular for irreducible chains); D = A^{-1} - Pi.
+  const auto dense_q = gen.matrix().to_dense(/*max_dim=*/4096);
+  linalg::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = stationary[j] - dense_q[i][j];
+
+  linalg::DenseMatrix z = linalg::DenseMatrix::identity(n);
+  a.solve_in_place(z);  // z = (Pi - Q)^{-1}
+
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) z(i, j) -= stationary[j];
+  return z;
+}
+
+AsymptoticRewardStats asymptotic_reward_stats(const SecondOrderMrm& model) {
+  AsymptoticRewardStats out;
+  out.stationary = ctmc::stationary_distribution_gth(model.generator());
+
+  const std::size_t n = model.num_states();
+  const auto& r = model.drifts();
+  const auto& s = model.variances();
+
+  out.rate = linalg::dot(out.stationary, r);
+
+  const linalg::DenseMatrix d = deviation_matrix(model.generator(),
+                                                 out.stationary);
+  const std::vector<double> dr = d.multiply(std::span<const double>(r));
+
+  out.bias = linalg::dot(model.initial(), dr);
+
+  double v = linalg::dot(out.stationary, s);  // within-state Brownian part
+  for (std::size_t i = 0; i < n; ++i) v += 2.0 * out.stationary[i] * r[i] * dr[i];
+  out.variance_rate = v;
+  return out;
+}
+
+}  // namespace somrm::core

@@ -1,0 +1,45 @@
+// somrm/core/asymptotics.hpp
+//
+// Long-run (t -> infinity) behaviour of the accumulated reward. For an
+// irreducible structure chain with stationary vector pi and deviation
+// matrix D = Z - Pi (Z = (Pi - Q)^{-1} the fundamental matrix):
+//
+//   E[B(t)]  =  rho t + bias + o(1),        rho  = pi . r,
+//                                           bias = p(0) D r,
+//   Var[B(t)] =  v t + O(1),                v    = pi . s  +  2 (pi o r) D r,
+//
+// where (pi o r) is the elementwise product. The pi.s term is the
+// within-state Brownian variance (absent in first-order models); the D term
+// is the classical Markov-modulation variance. The central limit theorem
+// for additive functionals then gives B(t) ~ N(rho t + bias, v t) for large
+// t — a cheap approximation the tests validate against the exact
+// randomization solver.
+//
+// Dense computation (one LU solve of order N): intended for chains up to a
+// few thousand states.
+
+#pragma once
+
+#include "core/model.hpp"
+#include "linalg/dense.hpp"
+
+namespace somrm::core {
+
+struct AsymptoticRewardStats {
+  double rate = 0.0;           ///< rho = pi . r
+  double bias = 0.0;           ///< lim ( E[B(t)] - rho t ) for the model's p(0)
+  double variance_rate = 0.0;  ///< v: Var[B(t)] / t -> v
+  linalg::Vec stationary;      ///< pi
+};
+
+/// Computes long-run reward statistics. Requires an irreducible chain
+/// (throws std::runtime_error otherwise, via the GTH solver).
+AsymptoticRewardStats asymptotic_reward_stats(const SecondOrderMrm& model);
+
+/// The deviation matrix D = (Pi - Q)^{-1} - Pi of an irreducible generator,
+/// exposed for tests and for callers needing other additive-functional
+/// statistics. Row i of Pi is pi for every i.
+linalg::DenseMatrix deviation_matrix(const ctmc::Generator& gen,
+                                     std::span<const double> stationary);
+
+}  // namespace somrm::core

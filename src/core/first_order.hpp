@@ -1,0 +1,67 @@
+// somrm/core/first_order.hpp
+//
+// Classical (first-order) Markov reward model moment solver — the baseline
+// the paper compares modeling power and cost against. The accumulated
+// reward is deterministic given the trajectory: while Z(t) = i, reward grows
+// at exactly rate r_i. The randomization recursion is Theorem 3 with the
+// S' term removed:
+//
+//   V^(n)(t) = n! d^n sum_k Pois(k; qt) U^(n)(k),
+//   U^(n)(k+1) = R' U^(n-1)(k) + Q' U^(n)(k).
+//
+// This is an independent implementation (not a sigma = 0 call into the
+// second-order solver); the test suite cross-checks the two, which guards
+// both code paths, and the kernel benchmark uses it to substantiate the
+// paper's claim that second-order analysis costs practically the same.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/randomization.hpp"  // MomentSolverOptions, MomentResult
+#include "ctmc/generator.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::core {
+
+class FirstOrderMrm {
+ public:
+  /// First-order MRM: CTMC plus per-state reward rates (any sign) and an
+  /// initial distribution. Validation mirrors SecondOrderMrm.
+  FirstOrderMrm(ctmc::Generator generator, linalg::Vec rates,
+                linalg::Vec initial);
+
+  std::size_t num_states() const { return generator_.num_states(); }
+  const ctmc::Generator& generator() const { return generator_; }
+  const linalg::Vec& rates() const { return rates_; }
+  const linalg::Vec& initial() const { return initial_; }
+
+  /// The equivalent second-order model with all variances zero.
+  SecondOrderMrm as_second_order() const;
+
+ private:
+  ctmc::Generator generator_;
+  linalg::Vec rates_;
+  linalg::Vec initial_;
+};
+
+class FirstOrderMomentSolver {
+ public:
+  explicit FirstOrderMomentSolver(FirstOrderMrm model);
+
+  /// Moments of the accumulated reward at time t; same result contract as
+  /// RandomizationMomentSolver (scale_policy is ignored — first-order
+  /// scaling has a single natural d = max r_i / q).
+  MomentResult solve(double t, const MomentSolverOptions& options = {}) const;
+
+  std::vector<MomentResult> solve_multi(
+      std::span<const double> times,
+      const MomentSolverOptions& options = {}) const;
+
+ private:
+  FirstOrderMrm model_;
+};
+
+}  // namespace somrm::core

@@ -1,0 +1,99 @@
+#include "core/impulse_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::core {
+
+namespace {
+
+void check_sparsity(const SecondOrderMrm& base, const linalg::CsrMatrix& m,
+                    const char* what, bool require_nonnegative) {
+  const std::size_t n = base.num_states();
+  if (m.rows() != n || m.cols() != n)
+    throw std::invalid_argument(std::string("SecondOrderImpulseMrm: ") +
+                                what + " must be " + std::to_string(n) +
+                                " x " + std::to_string(n));
+  const auto& q = base.generator().matrix();
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  const auto& values = m.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = values[k];
+      if (v == 0.0) continue;
+      if (!std::isfinite(v))
+        throw std::invalid_argument(std::string("SecondOrderImpulseMrm: ") +
+                                    what + " has a non-finite entry");
+      if (require_nonnegative && v < 0.0)
+        throw std::invalid_argument(std::string("SecondOrderImpulseMrm: ") +
+                                    what + " must be non-negative");
+      const std::size_t c = col_idx[k];
+      if (c == r)
+        throw std::invalid_argument(
+            std::string("SecondOrderImpulseMrm: ") + what +
+            " has a diagonal entry (impulses attach to transitions)");
+      if (q.at(r, c) <= 0.0)
+        throw std::invalid_argument(
+            std::string("SecondOrderImpulseMrm: ") + what + " entry (" +
+            std::to_string(r) + "," + std::to_string(c) +
+            ") has no matching transition rate");
+    }
+  }
+}
+
+}  // namespace
+
+SecondOrderImpulseMrm::SecondOrderImpulseMrm(SecondOrderMrm base,
+                                             linalg::CsrMatrix impulse_mean,
+                                             linalg::CsrMatrix impulse_var)
+    : base_(std::move(base)),
+      impulse_mean_(std::move(impulse_mean)),
+      impulse_var_(std::move(impulse_var)) {
+  check_sparsity(base_, impulse_mean_, "impulse_mean",
+                 /*require_nonnegative=*/false);
+  check_sparsity(base_, impulse_var_, "impulse_var",
+                 /*require_nonnegative=*/true);
+}
+
+SecondOrderImpulseMrm SecondOrderImpulseMrm::uniform_impulse(
+    SecondOrderMrm base, double mean, double variance) {
+  const std::size_t n = base.num_states();
+  const auto& q = base.generator().matrix();
+  linalg::CsrBuilder mb(n, n), wb(n, n);
+  const auto& row_ptr = q.row_ptr();
+  const auto& col_idx = q.col_idx();
+  const auto& values = q.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r || values[k] <= 0.0) continue;
+      if (mean != 0.0) mb.add(r, col_idx[k], mean);
+      if (variance != 0.0) wb.add(r, col_idx[k], variance);
+    }
+  }
+  return SecondOrderImpulseMrm(std::move(base), std::move(mb).build(),
+                               std::move(wb).build());
+}
+
+bool SecondOrderImpulseMrm::has_no_impulses() const {
+  const auto zero = [](const linalg::CsrMatrix& m) {
+    for (double v : m.values())
+      if (v != 0.0) return false;
+    return true;
+  };
+  return zero(impulse_mean_) && zero(impulse_var_);
+}
+
+double SecondOrderImpulseMrm::max_abs_impulse_mean() const {
+  double best = 0.0;
+  for (double v : impulse_mean_.values()) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double SecondOrderImpulseMrm::max_impulse_variance() const {
+  double best = 0.0;
+  for (double v : impulse_var_.values()) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace somrm::core

@@ -1,0 +1,240 @@
+#include "core/impulse_randomization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+#include "core/scaling.hpp"
+#include "prob/normal.hpp"
+#include "prob/poisson.hpp"
+
+namespace somrm::core {
+
+namespace {
+
+/// Builds the scaled impulse-moment matrices A~_j = A_j / (q d^j j!) for
+/// j = 1..n, where (A_j)_ik = q_ik * mu_j(m_ik, w_ik) on off-diagonal
+/// transitions with a non-zero impulse.
+std::vector<linalg::CsrMatrix> build_impulse_matrices(
+    const SecondOrderImpulseMrm& model, std::size_t n, double q, double d) {
+  const std::size_t ns = model.num_states();
+  const auto& qm = model.base().generator().matrix();
+  const auto& row_ptr = qm.row_ptr();
+  const auto& col_idx = qm.col_idx();
+  const auto& values = qm.values();
+
+  std::vector<linalg::CsrBuilder> builders;
+  builders.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) builders.emplace_back(ns, ns);
+
+  double inv_dj_fact = 1.0;  // 1 / (d^j j!) built incrementally
+  std::vector<double> scale(n + 1, 0.0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    inv_dj_fact /= d * static_cast<double>(j);
+    scale[j] = inv_dj_fact / q;
+  }
+
+  for (std::size_t r = 0; r < ns; ++r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const std::size_t c = col_idx[k];
+      if (c == r || values[k] <= 0.0) continue;
+      const double m = model.impulse_mean().at(r, c);
+      const double w = model.impulse_var().at(r, c);
+      if (m == 0.0 && w == 0.0) continue;
+      const auto mu = prob::normal_raw_moments(m, w, n);
+      for (std::size_t j = 1; j <= n; ++j) {
+        const double v = values[k] * mu[j] * scale[j];
+        if (v != 0.0) builders[j - 1].add(r, c, v);
+      }
+    }
+  }
+
+  std::vector<linalg::CsrMatrix> out;
+  out.reserve(n);
+  for (auto& b : builders) out.push_back(std::move(b).build());
+  return out;
+}
+
+}  // namespace
+
+ImpulseMomentSolver::ImpulseMomentSolver(SecondOrderImpulseMrm model)
+    : model_(std::move(model)) {}
+
+std::size_t ImpulseMomentSolver::truncation_point(double qt, std::size_t n,
+                                                  double d, double epsilon) {
+  if (!(epsilon > 0.0))
+    throw std::invalid_argument("truncation_point: epsilon must be positive");
+  if (qt < 0.0) throw std::invalid_argument("truncation_point: negative qt");
+  if (qt == 0.0) return 0;
+  if (d == 0.0 && n > 0) return 0;
+
+  const double nn = static_cast<double>(n);
+  const double log_prefactor =
+      n == 0 ? std::log(2.0)
+             : nn * (std::log(4.0) + std::log(d) + std::log(qt));
+  const double log_target = std::log(epsilon) - log_prefactor;
+  const std::size_t k = prob::poisson_truncation_point(qt, log_target);
+  // Bound needs G >= 2n (the k^n <= 2^n k!/(k-n)! step).
+  return std::max(k + n, 2 * n);
+}
+
+MomentResult ImpulseMomentSolver::solve(
+    double t, const MomentSolverOptions& options) const {
+  const double times[] = {t};
+  return solve_multi(times, options).front();
+}
+
+std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
+    std::span<const double> times, const MomentSolverOptions& options) const {
+  for (double t : times)
+    if (!(t >= 0.0))
+      throw std::invalid_argument("solve_multi: times must be >= 0");
+  if (!(options.epsilon > 0.0))
+    throw std::invalid_argument("solve_multi: epsilon must be positive");
+
+  const std::size_t n = options.max_moment;
+  const std::size_t num_states = model_.num_states();
+  const SecondOrderMrm& base = model_.base();
+
+  // Base scaling (drift shift / centering exactly as the plain solver),
+  // then enlarge d for the impulse bound: d >= max |m| + sqrt(max w * n).
+  ScaledModel scaled =
+      scale_model(base, options.scale_policy, options.center);
+  if (scaled.q > 0.0) {
+    const double d_impulse =
+        model_.max_abs_impulse_mean() +
+        std::sqrt(model_.max_impulse_variance() * static_cast<double>(
+                                                      std::max<std::size_t>(
+                                                          n, 1)));
+    if (d_impulse > scaled.d) {
+      // Rebuild R'/S' with the larger d (scale_model exposes no d override;
+      // rescale in place: R' ~ 1/d, S' ~ 1/d^2).
+      const double ratio = scaled.d > 0.0 ? scaled.d / d_impulse : 0.0;
+      if (scaled.d > 0.0) {
+        for (double& v : scaled.r_prime) v *= ratio;
+        for (double& v : scaled.s_prime) v *= ratio * ratio;
+      } else {
+        // Base rewards were all zero; populate R'/S' directly.
+        const double qd = scaled.q * d_impulse;
+        const double qd2 = qd * d_impulse;
+        for (std::size_t i = 0; i < num_states; ++i) {
+          scaled.r_prime[i] =
+              (base.drifts()[i] - options.center - scaled.shift) / qd;
+          scaled.s_prime[i] = base.variances()[i] / qd2;
+        }
+      }
+      scaled.d = d_impulse;
+    }
+  }
+
+  std::vector<MomentResult> results(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    results[i].time = times[i];
+    results[i].q = scaled.q;
+    results[i].d = scaled.d;
+    results[i].shift = scaled.shift;
+    results[i].center = options.center;
+  }
+
+  // Degenerate chain: no transitions, hence no impulses either.
+  if (scaled.q == 0.0) {
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      MomentResult& out = results[ti];
+      out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+      for (std::size_t i = 0; i < num_states; ++i) {
+        const auto m = prob::brownian_raw_moments(
+            base.drifts()[i] - options.center, base.variances()[i],
+            times[ti], n);
+        for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = m[j];
+      }
+      out.weighted.resize(n + 1);
+      for (std::size_t j = 0; j <= n; ++j)
+        out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
+    }
+    return results;
+  }
+
+  const auto impulse_mats =
+      n > 0 ? build_impulse_matrices(model_, n, scaled.q, scaled.d)
+            : std::vector<linalg::CsrMatrix>{};
+
+  std::vector<std::size_t> trunc(times.size(), 0);
+  std::size_t g_max = 0;
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    std::size_t g = 0;
+    for (std::size_t j = 0; j <= n; ++j)
+      g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+    trunc[ti] = g;
+    results[ti].truncation_point = g;
+    g_max = std::max(g_max, g);
+  }
+
+  std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
+  u[0] = linalg::ones(num_states);
+  std::vector<std::vector<linalg::Vec>> acc(
+      times.size(), std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
+
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    linalg::axpy(qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0, u[0], acc[ti][0]);
+  }
+
+  linalg::Vec scratch(num_states, 0.0);
+  for (std::size_t k = 1; k <= g_max; ++k) {
+    for (std::size_t j = n; j >= 1; --j) {
+      scaled.q_prime.multiply(u[j], scratch);
+      const linalg::Vec& lower1 = u[j - 1];
+      for (std::size_t i = 0; i < num_states; ++i)
+        scratch[i] += scaled.r_prime[i] * lower1[i];
+      if (j >= 2) {
+        const linalg::Vec& lower2 = u[j - 2];
+        for (std::size_t i = 0; i < num_states; ++i)
+          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+      }
+      // Impulse convolution: + sum_{l=1..j} A~_l U^(j-l).
+      for (std::size_t l = 1; l <= j; ++l) {
+        if (impulse_mats[l - 1].nnz() == 0) continue;
+        impulse_mats[l - 1].multiply_add(1.0, u[j - l], scratch);
+      }
+      std::swap(u[j], scratch);
+    }
+
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      if (k > trunc[ti]) continue;
+      const double qt = scaled.q * times[ti];
+      if (qt == 0.0) continue;
+      const double w = prob::poisson_pmf(k, qt);
+      if (w == 0.0) continue;
+      for (std::size_t j = 0; j <= n; ++j) linalg::axpy(w, u[j], acc[ti][j]);
+    }
+  }
+
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    MomentResult& out = results[ti];
+    double factor = 1.0;
+    for (std::size_t j = 0; j <= n; ++j) {
+      if (j > 0) factor *= static_cast<double>(j) * scaled.d;
+      linalg::scale(factor, acc[ti][j]);
+    }
+    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+    if (scaled.shift == 0.0) {
+      out.per_state = std::move(acc[ti]);
+    } else {
+      const double delta = scaled.shift * times[ti];
+      std::vector<double> raw(n + 1);
+      for (std::size_t i = 0; i < num_states; ++i) {
+        for (std::size_t j = 0; j <= n; ++j) raw[j] = acc[ti][j][i];
+        const auto back = shift_raw_moments(raw, delta);
+        for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = back[j];
+      }
+    }
+    out.weighted.resize(n + 1);
+    for (std::size_t j = 0; j <= n; ++j)
+      out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
+  }
+  return results;
+}
+
+}  // namespace somrm::core

@@ -1,0 +1,72 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::core {
+
+SecondOrderMrm::SecondOrderMrm(ctmc::Generator generator, linalg::Vec drifts,
+                               linalg::Vec variances, linalg::Vec initial)
+    : generator_(std::move(generator)),
+      drifts_(std::move(drifts)),
+      variances_(std::move(variances)),
+      initial_(std::move(initial)) {
+  const std::size_t n = generator_.num_states();
+  if (drifts_.size() != n)
+    throw std::invalid_argument("SecondOrderMrm: drift vector size mismatch");
+  if (variances_.size() != n)
+    throw std::invalid_argument(
+        "SecondOrderMrm: variance vector size mismatch");
+  if (initial_.size() != n)
+    throw std::invalid_argument("SecondOrderMrm: initial vector size mismatch");
+
+  for (double r : drifts_)
+    if (!std::isfinite(r))
+      throw std::invalid_argument("SecondOrderMrm: non-finite drift");
+  for (double s : variances_) {
+    if (!std::isfinite(s) || s < 0.0)
+      throw std::invalid_argument(
+          "SecondOrderMrm: variances must be finite and non-negative");
+  }
+
+  double total = 0.0;
+  for (double p : initial_) {
+    if (p < -1e-12)
+      throw std::invalid_argument(
+          "SecondOrderMrm: negative initial probability");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9)
+    throw std::invalid_argument("SecondOrderMrm: initial must sum to 1");
+}
+
+bool SecondOrderMrm::is_first_order() const {
+  return std::all_of(variances_.begin(), variances_.end(),
+                     [](double s) { return s == 0.0; });
+}
+
+double SecondOrderMrm::min_drift() const { return linalg::min_elem(drifts_); }
+
+double SecondOrderMrm::max_drift() const { return linalg::max_elem(drifts_); }
+
+double SecondOrderMrm::max_variance() const {
+  return linalg::max_elem(variances_);
+}
+
+double SecondOrderMrm::stationary_reward_rate(
+    std::span<const double> stationary) const {
+  return linalg::dot(stationary, drifts_);
+}
+
+SecondOrderMrm SecondOrderMrm::with_shifted_drifts(double delta) const {
+  linalg::Vec shifted = drifts_;
+  for (double& r : shifted) r -= delta;
+  return SecondOrderMrm(generator_, std::move(shifted), variances_, initial_);
+}
+
+SecondOrderMrm SecondOrderMrm::with_initial(linalg::Vec initial) const {
+  return SecondOrderMrm(generator_, drifts_, variances_, std::move(initial));
+}
+
+}  // namespace somrm::core

@@ -1,0 +1,121 @@
+#include "core/moment_utils.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::core {
+
+double binomial_coefficient(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double acc = 1.0;
+  for (std::size_t i = 1; i <= k; ++i)
+    acc = acc * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return acc;
+}
+
+std::vector<double> shift_raw_moments(std::span<const double> raw,
+                                      double delta) {
+  if (raw.empty())
+    throw std::invalid_argument("shift_raw_moments: need at least E[X^0]");
+  const std::size_t n = raw.size() - 1;
+  std::vector<double> out(n + 1, 0.0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    double acc = 0.0;
+    double delta_pow = 1.0;  // delta^{j-k}, built from k = j downwards
+    for (std::size_t k = j + 1; k-- > 0;) {
+      acc += binomial_coefficient(j, k) * delta_pow * raw[k];
+      delta_pow *= delta;
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> central_moments_from_raw(std::span<const double> raw) {
+  if (raw.size() < 2)
+    throw std::invalid_argument(
+        "central_moments_from_raw: need at least order 1");
+  return shift_raw_moments(raw, -raw[1] / raw[0]);
+}
+
+StandardizedMoments standardize_raw_moments(std::span<const double> raw) {
+  if (raw.size() < 3)
+    throw std::invalid_argument(
+        "standardize_raw_moments: need at least order 2");
+  StandardizedMoments out;
+  out.mean = raw[1] / raw[0];
+  const auto central = central_moments_from_raw(raw);
+  const double var = central[2];
+  if (!(var > 0.0))
+    throw std::invalid_argument(
+        "standardize_raw_moments: variance must be positive");
+  out.stddev = std::sqrt(var);
+  out.moments.resize(raw.size());
+  double scale = 1.0;
+  for (std::size_t k = 0; k < central.size(); ++k) {
+    out.moments[k] = central[k] * scale;
+    scale /= out.stddev;
+  }
+  // Fix rounding: by construction E[Z] = 0, E[Z^2] = 1.
+  out.moments[1] = 0.0;
+  out.moments[2] = 1.0;
+  return out;
+}
+
+std::vector<double> moments_from_cumulants(std::span<const double> cumulants) {
+  const std::size_t n = cumulants.size();
+  std::vector<double> m(n + 1, 0.0);
+  m[0] = 1.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    double acc = 0.0;
+    for (std::size_t j = 1; j <= k; ++j)
+      acc += binomial_coefficient(k - 1, j - 1) * cumulants[j - 1] *
+             m[k - j];
+    m[k] = acc;
+  }
+  return m;
+}
+
+std::vector<double> cumulants_from_moments(std::span<const double> raw) {
+  if (raw.empty() || std::abs(raw[0] - 1.0) > 1e-9)
+    throw std::invalid_argument("cumulants_from_moments: m_0 must be 1");
+  const std::size_t n = raw.size() - 1;
+  std::vector<double> kappa(n, 0.0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    double acc = raw[k];
+    for (std::size_t j = 1; j < k; ++j)
+      acc -= binomial_coefficient(k - 1, j - 1) * kappa[j - 1] * raw[k - j];
+    kappa[k - 1] = acc;
+  }
+  return kappa;
+}
+
+double variance_from_raw(std::span<const double> raw) {
+  if (raw.size() < 3)
+    throw std::invalid_argument("variance_from_raw: need order >= 2");
+  const double mean = raw[1] / raw[0];
+  return raw[2] / raw[0] - mean * mean;
+}
+
+double skewness_from_raw(std::span<const double> raw) {
+  if (raw.size() < 4)
+    throw std::invalid_argument("skewness_from_raw: need order >= 3");
+  const auto central = central_moments_from_raw(raw);
+  const double var = central[2];
+  if (!(var > 0.0))
+    throw std::invalid_argument("skewness_from_raw: zero variance");
+  return central[3] / std::pow(var, 1.5);
+}
+
+double excess_kurtosis_from_raw(std::span<const double> raw) {
+  if (raw.size() < 5)
+    throw std::invalid_argument("excess_kurtosis_from_raw: need order >= 4");
+  const auto central = central_moments_from_raw(raw);
+  const double var = central[2];
+  if (!(var > 0.0))
+    throw std::invalid_argument("excess_kurtosis_from_raw: zero variance");
+  return central[4] / (var * var) - 3.0;
+}
+
+}  // namespace somrm::core

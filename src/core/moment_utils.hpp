@@ -1,0 +1,56 @@
+// somrm/core/moment_utils.hpp
+//
+// Raw-moment bookkeeping shared by the solvers, the simulator and the
+// moment-bound module: binomial shifts (used to undo the negative-drift
+// transformation of section 6), central/standardized moments, and the usual
+// summary statistics.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace somrm::core {
+
+/// Binomial coefficient C(n, k) as a double (exact for n <= 60).
+double binomial_coefficient(std::size_t n, std::size_t k);
+
+/// Given raw moments raw[k] = E[X^k] (k = 0..n), returns the raw moments of
+/// X + delta: E[(X+delta)^j] = sum_k C(j,k) delta^{j-k} raw[k].
+std::vector<double> shift_raw_moments(std::span<const double> raw,
+                                      double delta);
+
+/// Central moments mu_j = E[(X - E X)^j] from raw moments; mu_0 = 1,
+/// mu_1 = 0 by construction.
+std::vector<double> central_moments_from_raw(std::span<const double> raw);
+
+/// Raw moments of the standardized variable (X - mean)/stddev. Requires a
+/// strictly positive variance (throws otherwise). Also returns the mean and
+/// stddev used, so callers can map bound locations back.
+struct StandardizedMoments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::vector<double> moments;  ///< E[Z^k], k = 0..n
+};
+StandardizedMoments standardize_raw_moments(std::span<const double> raw);
+
+/// Raw moments m_0..m_n from cumulants kappa_1..kappa_n via the recursion
+/// m_n = sum_{j=1..n} C(n-1, j-1) kappa_j m_{n-j}. Used by the compound-
+/// Poisson closed forms that anchor the impulse-reward solver tests.
+std::vector<double> moments_from_cumulants(std::span<const double> cumulants);
+
+/// Cumulants kappa_1..kappa_n from raw moments m_0..m_n (m_0 must be 1);
+/// inverse of moments_from_cumulants.
+std::vector<double> cumulants_from_moments(std::span<const double> raw);
+
+/// Variance from raw moments (requires order >= 2).
+double variance_from_raw(std::span<const double> raw);
+
+/// Skewness mu_3 / mu_2^{3/2} (requires order >= 3 and positive variance).
+double skewness_from_raw(std::span<const double> raw);
+
+/// Excess kurtosis mu_4 / mu_2^2 - 3 (requires order >= 4, positive var).
+double excess_kurtosis_from_raw(std::span<const double> raw);
+
+}  // namespace somrm::core

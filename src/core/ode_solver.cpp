@@ -1,0 +1,259 @@
+#include "core/ode_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+#include "linalg/bicgstab.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::core {
+
+namespace {
+
+using linalg::Vec;
+
+/// Moment-vector stack V^(0..n) with the Theorem-2 derivative.
+class MomentOde {
+ public:
+  MomentOde(const SecondOrderMrm& model, std::size_t max_moment,
+            const SecondOrderImpulseMrm* impulses = nullptr)
+      : model_(model),
+        n_(max_moment),
+        num_states_(model.num_states()),
+        scratch_(model.num_states(), 0.0) {
+    if (impulses == nullptr) return;
+    // Unscaled impulse-moment matrices (A_j)_ik = q_ik * mu_j(m_ik, w_ik).
+    const auto& qm = model.generator().matrix();
+    const auto& row_ptr = qm.row_ptr();
+    const auto& col_idx = qm.col_idx();
+    const auto& values = qm.values();
+    std::vector<linalg::CsrBuilder> builders;
+    for (std::size_t j = 0; j < n_; ++j)
+      builders.emplace_back(num_states_, num_states_);
+    for (std::size_t r = 0; r < num_states_; ++r) {
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const std::size_t c = col_idx[k];
+        if (c == r || values[k] <= 0.0) continue;
+        const double m = impulses->impulse_mean().at(r, c);
+        const double w = impulses->impulse_var().at(r, c);
+        if (m == 0.0 && w == 0.0) continue;
+        const auto mu = somrm::prob::normal_raw_moments(m, w, n_);
+        for (std::size_t j = 1; j <= n_; ++j)
+          if (mu[j] != 0.0) builders[j - 1].add(r, c, values[k] * mu[j]);
+      }
+    }
+    impulse_mats_.reserve(n_);
+    for (auto& b : builders) impulse_mats_.push_back(std::move(b).build());
+  }
+
+  std::vector<Vec> initial_state() const {
+    std::vector<Vec> v(n_ + 1, linalg::zeros(num_states_));
+    v[0] = linalg::ones(num_states_);
+    return v;
+  }
+
+  /// out[j] = Q v[j] + j R v[j-1] + 1/2 j (j-1) S v[j-2].
+  void derivative(const std::vector<Vec>& v, std::vector<Vec>& out) {
+    const auto& q = model_.generator().matrix();
+    const auto& r = model_.drifts();
+    const auto& s = model_.variances();
+    for (std::size_t j = 0; j <= n_; ++j) {
+      q.multiply(v[j], out[j]);
+      if (j >= 1) {
+        const double jj = static_cast<double>(j);
+        for (std::size_t i = 0; i < num_states_; ++i)
+          out[j][i] += jj * r[i] * v[j - 1][i];
+      }
+      if (j >= 2) {
+        const double c = 0.5 * static_cast<double>(j) *
+                         static_cast<double>(j - 1);
+        for (std::size_t i = 0; i < num_states_; ++i)
+          out[j][i] += c * s[i] * v[j - 2][i];
+      }
+      // Impulse convolution terms sum_{l=1..j} C(j,l) A_l v[j-l].
+      for (std::size_t l = 1; l <= j && l <= impulse_mats_.size(); ++l) {
+        if (impulse_mats_[l - 1].nnz() == 0) continue;
+        impulse_mats_[l - 1].multiply_add(binomial_coefficient(j, l),
+                                          v[j - l], out[j]);
+      }
+    }
+  }
+
+  /// Forcing term only (without Q v[j]): j R v[j-1] + 1/2 j(j-1) S v[j-2].
+  void forcing(const std::vector<Vec>& v, std::size_t j, Vec& out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    const auto& r = model_.drifts();
+    const auto& s = model_.variances();
+    if (j >= 1) {
+      const double jj = static_cast<double>(j);
+      for (std::size_t i = 0; i < num_states_; ++i)
+        out[i] += jj * r[i] * v[j - 1][i];
+    }
+    if (j >= 2) {
+      const double c = 0.5 * static_cast<double>(j) * static_cast<double>(j - 1);
+      for (std::size_t i = 0; i < num_states_; ++i)
+        out[i] += c * s[i] * v[j - 2][i];
+    }
+  }
+
+  std::size_t order() const { return n_; }
+  std::size_t num_states() const { return num_states_; }
+  const SecondOrderMrm& model() const { return model_; }
+
+ private:
+  const SecondOrderMrm& model_;
+  std::size_t n_;
+  std::size_t num_states_;
+  Vec scratch_;
+  std::vector<linalg::CsrMatrix> impulse_mats_;
+};
+
+std::vector<Vec> integrate_rk4(MomentOde& ode, double t, std::size_t steps) {
+  const double h = t / static_cast<double>(steps);
+  const std::size_t n = ode.order();
+  const std::size_t ns = ode.num_states();
+
+  std::vector<Vec> v = ode.initial_state();
+  std::vector<Vec> k1(n + 1, linalg::zeros(ns)), k2 = k1, k3 = k1, k4 = k1;
+  std::vector<Vec> tmp = k1;
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    ode.derivative(v, k1);
+    for (std::size_t j = 0; j <= n; ++j)
+      for (std::size_t i = 0; i < ns; ++i)
+        tmp[j][i] = v[j][i] + 0.5 * h * k1[j][i];
+    ode.derivative(tmp, k2);
+    for (std::size_t j = 0; j <= n; ++j)
+      for (std::size_t i = 0; i < ns; ++i)
+        tmp[j][i] = v[j][i] + 0.5 * h * k2[j][i];
+    ode.derivative(tmp, k3);
+    for (std::size_t j = 0; j <= n; ++j)
+      for (std::size_t i = 0; i < ns; ++i)
+        tmp[j][i] = v[j][i] + h * k3[j][i];
+    ode.derivative(tmp, k4);
+    for (std::size_t j = 0; j <= n; ++j)
+      for (std::size_t i = 0; i < ns; ++i)
+        v[j][i] += h / 6.0 *
+                   (k1[j][i] + 2.0 * k2[j][i] + 2.0 * k3[j][i] + k4[j][i]);
+  }
+  return v;
+}
+
+std::vector<Vec> integrate_trapezoid(MomentOde& ode, double t,
+                                     std::size_t steps, double lin_tol) {
+  const double h = t / static_cast<double>(steps);
+  const std::size_t n = ode.order();
+  const std::size_t ns = ode.num_states();
+  const auto& q = ode.model().generator().matrix();
+
+  // Apply (I - h/2 Q) and its diagonal for preconditioning.
+  const linalg::LinearOperator lhs = [&q, h](std::span<const double> x,
+                                             std::span<double> y) {
+    q.multiply(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] - 0.5 * h * y[i];
+  };
+  Vec lhs_diag = q.diagonal_vector();
+  for (double& d : lhs_diag) d = 1.0 - 0.5 * h * d;
+
+  linalg::BicgstabOptions bopts;
+  bopts.rel_tolerance = lin_tol;
+  bopts.max_iterations = 10000;
+
+  std::vector<Vec> v = ode.initial_state();
+  std::vector<Vec> v_new = v;
+  Vec qv(ns, 0.0), f_old(ns, 0.0), f_new(ns, 0.0), rhs(ns, 0.0);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    // Ascending j: the implicit forcing uses already-updated lower moments.
+    for (std::size_t j = 0; j <= n; ++j) {
+      q.multiply(v[j], qv);
+      ode.forcing(v, j, f_old);
+      ode.forcing(v_new, j, f_new);
+      for (std::size_t i = 0; i < ns; ++i)
+        rhs[i] = v[j][i] + 0.5 * h * (qv[i] + f_old[i] + f_new[i]);
+      auto res = linalg::bicgstab(lhs, rhs, v[j], lhs_diag, bopts);
+      if (!res.converged)
+        throw std::runtime_error(
+            "solve_moments_ode: trapezoid linear solve did not converge");
+      v_new[j] = std::move(res.x);
+    }
+    v = v_new;
+  }
+  return v;
+}
+
+}  // namespace
+
+MomentResult solve_moments_ode(const SecondOrderMrm& model, double t,
+                               OdeMethod method,
+                               const OdeSolverOptions& options) {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("solve_moments_ode: t must be >= 0");
+  if (options.num_steps == 0)
+    throw std::invalid_argument("solve_moments_ode: num_steps must be > 0");
+
+  MomentOde ode(model, options.max_moment);
+
+  std::size_t steps = options.num_steps;
+  if (method == OdeMethod::kRk4 && options.enforce_stability && t > 0.0) {
+    const double q = model.generator().uniformization_rate();
+    const auto stable =
+        static_cast<std::size_t>(std::ceil(3.0 * q * t)) + 1;
+    steps = std::max(steps, stable);
+  }
+
+  MomentResult out;
+  out.time = t;
+  out.q = model.generator().uniformization_rate();
+  out.truncation_point = steps;
+
+  if (t == 0.0) {
+    out.per_state = ode.initial_state();
+  } else {
+    switch (method) {
+      case OdeMethod::kRk4:
+        out.per_state = integrate_rk4(ode, t, steps);
+        break;
+      case OdeMethod::kTrapezoid:
+        out.per_state = integrate_trapezoid(ode, t, steps,
+                                            options.linear_tolerance);
+        break;
+    }
+  }
+
+  out.weighted.resize(options.max_moment + 1);
+  for (std::size_t j = 0; j <= options.max_moment; ++j)
+    out.weighted[j] = linalg::dot(model.initial(), out.per_state[j]);
+  return out;
+}
+
+MomentResult solve_moments_ode(const SecondOrderImpulseMrm& model, double t,
+                               const OdeSolverOptions& options) {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("solve_moments_ode: t must be >= 0");
+  if (options.num_steps == 0)
+    throw std::invalid_argument("solve_moments_ode: num_steps must be > 0");
+
+  MomentOde ode(model.base(), options.max_moment, &model);
+
+  std::size_t steps = options.num_steps;
+  if (options.enforce_stability && t > 0.0) {
+    const double q = model.base().generator().uniformization_rate();
+    steps = std::max(steps,
+                     static_cast<std::size_t>(std::ceil(3.0 * q * t)) + 1);
+  }
+
+  MomentResult out;
+  out.time = t;
+  out.q = model.base().generator().uniformization_rate();
+  out.truncation_point = steps;
+  out.per_state =
+      t == 0.0 ? ode.initial_state() : integrate_rk4(ode, t, steps);
+  out.weighted.resize(options.max_moment + 1);
+  for (std::size_t j = 0; j <= options.max_moment; ++j)
+    out.weighted[j] = linalg::dot(model.base().initial(), out.per_state[j]);
+  return out;
+}
+
+}  // namespace somrm::core

@@ -1,0 +1,99 @@
+#include "core/piecewise.hpp"
+
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+
+namespace somrm::core {
+
+PiecewiseMomentSolver::PiecewiseMomentSolver(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty())
+    throw std::invalid_argument("PiecewiseMomentSolver: need >= 1 phase");
+  num_states_ = phases_.front().model.num_states();
+  for (const Phase& p : phases_) {
+    if (p.model.num_states() != num_states_)
+      throw std::invalid_argument(
+          "PiecewiseMomentSolver: all phases must share the state space");
+    if (!(p.duration > 0.0))
+      throw std::invalid_argument(
+          "PiecewiseMomentSolver: phase durations must be positive");
+  }
+}
+
+std::vector<MomentResult> PiecewiseMomentSolver::solve(
+    const MomentSolverOptions& options) const {
+  if (options.center != 0.0)
+    throw std::invalid_argument(
+        "PiecewiseMomentSolver: centering is not supported for composite "
+        "processes");
+  const std::size_t n = options.max_moment;
+  const std::size_t ns = num_states_;
+
+  // G[a][i][j] = E[B^a ; Z = j | Z(0) = i]; starts as the identity in j
+  // with zero accumulated reward.
+  std::vector<std::vector<linalg::Vec>> g(
+      n + 1, std::vector<linalg::Vec>(ns, linalg::zeros(ns)));
+  for (std::size_t i = 0; i < ns; ++i) g[0][i][i] = 1.0;
+
+  std::vector<MomentResult> results;
+  results.reserve(phases_.size());
+  double cumulative_time = 0.0;
+
+  for (const Phase& phase : phases_) {
+    cumulative_time += phase.duration;
+
+    // Phase-local joint moments W[b][m][j], one terminal-weighted solve
+    // per final state j.
+    const RandomizationMomentSolver solver(phase.model);
+    std::vector<std::vector<linalg::Vec>> w(
+        n + 1, std::vector<linalg::Vec>(ns, linalg::zeros(ns)));
+    for (std::size_t j = 0; j < ns; ++j) {
+      const auto res = solver.solve_terminal_weighted(
+          phase.duration, linalg::unit_vec(ns, j), options);
+      for (std::size_t b = 0; b <= n; ++b)
+        for (std::size_t m = 0; m < ns; ++m)
+          w[b][m][j] = res.per_state[b][m];
+    }
+
+    // Binomial convolution across the switching epoch.
+    std::vector<std::vector<linalg::Vec>> g_next(
+        n + 1, std::vector<linalg::Vec>(ns, linalg::zeros(ns)));
+    for (std::size_t total = 0; total <= n; ++total) {
+      for (std::size_t a = 0; a <= total; ++a) {
+        const double binom = binomial_coefficient(total, a);
+        const std::size_t b = total - a;
+        for (std::size_t i = 0; i < ns; ++i) {
+          for (std::size_t m = 0; m < ns; ++m) {
+            const double gim = g[a][i][m];
+            if (gim == 0.0) continue;
+            const double c = binom * gim;
+            linalg::axpy(c, w[b][m], g_next[total][i]);
+          }
+        }
+      }
+    }
+    g = std::move(g_next);
+
+    // Marginalize the final state for the caller-facing result.
+    MomentResult out;
+    out.time = cumulative_time;
+    out.per_state.assign(n + 1, linalg::zeros(ns));
+    for (std::size_t a = 0; a <= n; ++a)
+      for (std::size_t i = 0; i < ns; ++i)
+        out.per_state[a][i] = linalg::sum(g[a][i]);
+    out.weighted.resize(n + 1);
+    const auto& initial = phases_.front().model.initial();
+    for (std::size_t a = 0; a <= n; ++a)
+      out.weighted[a] = linalg::dot(initial, out.per_state[a]);
+    results.push_back(std::move(out));
+  }
+  return results;
+}
+
+MomentResult PiecewiseMomentSolver::solve_final(
+    const MomentSolverOptions& options) const {
+  return solve(options).back();
+}
+
+}  // namespace somrm::core

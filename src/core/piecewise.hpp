@@ -1,0 +1,68 @@
+// somrm/core/piecewise.hpp
+//
+// Piecewise-constant (time-inhomogeneous) second-order MRMs: the model
+// parameters (Q, R, S) switch at fixed epochs — day/night traffic profiles,
+// staged missions, scheduled degradations. This is the simplest member of
+// the inhomogeneous-MRM family the paper points to via its reference [6]
+// (Telek, Horváth & Horváth, NSMC 2003), and it reduces exactly to
+// machinery this library already has:
+//
+// Let G^(a)[i][j] = E[ B(t_k)^a ; Z(t_k) = j | Z(0) = i ] be the joint
+// accumulated-reward/state moments at the k-th switching epoch. A phase of
+// duration tau with per-phase joint moments
+// W^(b)[m][j] = E[ B_phase^b ; Z(tau) = j | Z(0) = m ] (computed with
+// RandomizationMomentSolver::solve_terminal_weighted seeded by each e_j)
+// advances the chain by the binomial convolution
+//
+//   G'^(n)[i][j] = sum_{a<=n} C(n,a) sum_m G^(a)[i][m] W^(n-a)[m][j],
+//
+// which is exact: rewards of disjoint phases add, and conditional on the
+// switching-state m the phase reward is independent of the past.
+//
+// Cost: one terminal-weighted solve per (final state, phase) — O(N) solves
+// of the usual kind per phase. Intended for moderate state spaces
+// (N up to a few hundred); the homogeneous solver remains the tool for the
+// 10^5-state regime.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/randomization.hpp"
+
+namespace somrm::core {
+
+/// One homogeneous segment of the piecewise model.
+struct Phase {
+  SecondOrderMrm model;  ///< (Q, R, S) during the segment
+  double duration;       ///< segment length (> 0)
+};
+
+class PiecewiseMomentSolver {
+ public:
+  /// @param phases at least one; all phases must share the state-space
+  /// size (states keep their identity across switches). The initial
+  /// distribution of the FIRST phase's model starts the process; initial
+  /// vectors of later phases are ignored (the state carries over).
+  explicit PiecewiseMomentSolver(std::vector<Phase> phases);
+
+  /// Moments of the total accumulated reward at the end of every phase
+  /// (cumulative times). Result k corresponds to time
+  /// sum_{l<=k} duration_l; fields q/d/shift/center are not meaningful for
+  /// the composite process and are left zero.
+  std::vector<MomentResult> solve(const MomentSolverOptions& options = {}) const;
+
+  /// Convenience: moments at the final epoch only.
+  MomentResult solve_final(const MomentSolverOptions& options = {}) const;
+
+  std::size_t num_states() const { return num_states_; }
+  std::size_t num_phases() const { return phases_.size(); }
+
+ private:
+  std::vector<Phase> phases_;
+  std::size_t num_states_ = 0;
+};
+
+}  // namespace somrm::core

@@ -1,0 +1,312 @@
+#include "core/randomization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moment_utils.hpp"
+#include "prob/normal.hpp"
+#include "prob/poisson.hpp"
+
+namespace somrm::core {
+
+namespace {
+
+/// log(2 d^n n! (qt)^n) — the Theorem-4 prefactor in log space.
+double log_theorem4_prefactor(double qt, std::size_t n, double d) {
+  const double nn = static_cast<double>(n);
+  return std::log(2.0) + nn * std::log(d) + std::lgamma(nn + 1.0) +
+         nn * std::log(qt);
+}
+
+/// Finishes a MomentResult from the accumulated scaled sums: applies the
+/// n! d^n factor, undoes the drift shift, and weights by pi.
+void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
+                     double t, std::vector<linalg::Vec> scaled_sums,
+                     MomentResult& out) {
+  const std::size_t n = scaled_sums.size() - 1;
+  const std::size_t num_states = model.num_states();
+
+  // V_check^(j) = j! d^j * scaled_sums[j]  (moments of the shifted model).
+  double factor = 1.0;  // j! d^j
+  for (std::size_t j = 0; j <= n; ++j) {
+    if (j > 0) factor *= static_cast<double>(j) * scaled.d;
+    linalg::scale(factor, scaled_sums[j]);
+  }
+
+  // Undo the drift shift per initial state: B(t) = B_check(t) + shift * t.
+  out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+  if (scaled.shift == 0.0) {
+    out.per_state = std::move(scaled_sums);
+  } else {
+    const double delta = scaled.shift * t;
+    std::vector<double> raw(n + 1);
+    for (std::size_t i = 0; i < num_states; ++i) {
+      for (std::size_t j = 0; j <= n; ++j) raw[j] = scaled_sums[j][i];
+      const auto shifted = shift_raw_moments(raw, delta);
+      for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = shifted[j];
+    }
+  }
+
+  out.weighted.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j)
+    out.weighted[j] = linalg::dot(model.initial(), out.per_state[j]);
+}
+
+}  // namespace
+
+RandomizationMomentSolver::RandomizationMomentSolver(SecondOrderMrm model)
+    : model_(std::move(model)) {}
+
+std::size_t RandomizationMomentSolver::truncation_point(double qt,
+                                                        std::size_t n,
+                                                        double d,
+                                                        double epsilon) {
+  if (!(epsilon > 0.0))
+    throw std::invalid_argument("truncation_point: epsilon must be positive");
+  if (qt < 0.0) throw std::invalid_argument("truncation_point: negative qt");
+  if (qt == 0.0) return 0;
+  if (d == 0.0 && n > 0) return 0;  // all higher moments are exactly zero
+
+  // Lemma 2 gives U^(n)(k) <= 2 k!/(k-n)!, so the truncation error is
+  //   n! d^n sum_{k>G} Pois(k;qt) U^(n)(k)
+  //     <= 2 n! d^n (qt)^n sum_{m >= G+1-n} Pois(m; qt)
+  // (substituting m = k - n; the paper prints the tail from G+n+1, which is
+  // an index-shift slip in the appendix — see DESIGN.md). Condition:
+  // log_tail(G + 1 - n) < log(eps) - log_prefactor; for n == 0 the
+  // prefactor is just log 2.
+  const double log_prefactor =
+      n == 0 ? std::log(2.0) : log_theorem4_prefactor(qt, n, d);
+  const double log_target = std::log(epsilon) - log_prefactor;
+
+  // poisson_truncation_point returns the smallest K with tail(K+1) < bound;
+  // we need the smallest G with tail(G + 1 - n) < bound, i.e. G = K + n.
+  const std::size_t k = prob::poisson_truncation_point(qt, log_target);
+  return k + n;
+}
+
+MomentResult RandomizationMomentSolver::solve(
+    double t, const MomentSolverOptions& options) const {
+  const double times[] = {t};
+  return solve_multi(times, options).front();
+}
+
+MomentResult RandomizationMomentSolver::solve_terminal_weighted(
+    double t, std::span<const double> terminal_weights,
+    const MomentSolverOptions& options) const {
+  const std::size_t num_states = model_.num_states();
+  if (terminal_weights.size() != num_states)
+    throw std::invalid_argument(
+        "solve_terminal_weighted: weight vector size mismatch");
+  if (!linalg::is_nonnegative(terminal_weights))
+    throw std::invalid_argument(
+        "solve_terminal_weighted: weights must be non-negative");
+  const double w_max = linalg::max_elem(terminal_weights);
+  if (!(w_max > 0.0))
+    throw std::invalid_argument(
+        "solve_terminal_weighted: weights must not be all zero");
+  if (!(t >= 0.0))
+    throw std::invalid_argument("solve_terminal_weighted: t must be >= 0");
+  if (!(options.epsilon > 0.0))
+    throw std::invalid_argument(
+        "solve_terminal_weighted: epsilon must be positive");
+
+  const std::size_t n = options.max_moment;
+  const ScaledModel scaled =
+      scale_model(model_, options.scale_policy, options.center);
+
+  MomentResult out;
+  out.time = t;
+  out.q = scaled.q;
+  out.d = scaled.d;
+  out.shift = scaled.shift;
+  out.center = options.center;
+
+  // Degenerate chain: Z(t) = Z(0), so the weight just multiplies the
+  // closed-form Brownian moments.
+  if (scaled.q == 0.0) {
+    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+    for (std::size_t i = 0; i < num_states; ++i) {
+      const auto m = prob::brownian_raw_moments(
+          model_.drifts()[i] - options.center, model_.variances()[i], t, n);
+      for (std::size_t j = 0; j <= n; ++j)
+        out.per_state[j][i] = m[j] * terminal_weights[i];
+    }
+    out.weighted.resize(n + 1);
+    for (std::size_t j = 0; j <= n; ++j)
+      out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
+    return out;
+  }
+
+  const double qt = scaled.q * t;
+  std::size_t g = 0;
+  for (std::size_t j = 0; j <= n; ++j)
+    g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+  out.truncation_point = g;
+
+  // Seed U^(0)(0) with the scaled weights; unlike solve(), U^(0) is not
+  // invariant (Q' w != w in general) so the j = 0 row is iterated too.
+  std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
+  for (std::size_t i = 0; i < num_states; ++i)
+    u[0][i] = terminal_weights[i] / w_max;
+
+  std::vector<linalg::Vec> acc(n + 1, linalg::zeros(num_states));
+  linalg::axpy(qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0, u[0], acc[0]);
+
+  linalg::Vec scratch(num_states, 0.0);
+  for (std::size_t k = 1; k <= g; ++k) {
+    for (std::size_t j = n + 1; j-- > 0;) {
+      scaled.q_prime.multiply(u[j], scratch);
+      if (j >= 1) {
+        const linalg::Vec& lower1 = u[j - 1];
+        for (std::size_t i = 0; i < num_states; ++i)
+          scratch[i] += scaled.r_prime[i] * lower1[i];
+      }
+      if (j >= 2) {
+        const linalg::Vec& lower2 = u[j - 2];
+        for (std::size_t i = 0; i < num_states; ++i)
+          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+      }
+      std::swap(u[j], scratch);
+    }
+    if (qt > 0.0) {
+      const double w = prob::poisson_pmf(k, qt);
+      if (w != 0.0)
+        for (std::size_t j = 0; j <= n; ++j) linalg::axpy(w, u[j], acc[j]);
+    }
+  }
+
+  // Undo the weight normalization along with the usual j! d^j factor.
+  double factor = w_max;
+  for (std::size_t j = 0; j <= n; ++j) {
+    if (j > 0) factor *= static_cast<double>(j) * scaled.d;
+    linalg::scale(factor, acc[j]);
+  }
+
+  out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+  if (scaled.shift == 0.0) {
+    out.per_state = std::move(acc);
+  } else {
+    const double delta = scaled.shift * t;
+    std::vector<double> raw(n + 1);
+    for (std::size_t i = 0; i < num_states; ++i) {
+      for (std::size_t j = 0; j <= n; ++j) raw[j] = acc[j][i];
+      const auto back = shift_raw_moments(raw, delta);
+      for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = back[j];
+    }
+  }
+  out.weighted.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j)
+    out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
+  return out;
+}
+
+std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
+    std::span<const double> times, const MomentSolverOptions& options) const {
+  for (double t : times)
+    if (!(t >= 0.0))
+      throw std::invalid_argument("solve_multi: times must be >= 0");
+  if (!(options.epsilon > 0.0))
+    throw std::invalid_argument("solve_multi: epsilon must be positive");
+
+  const std::size_t n = options.max_moment;
+  const std::size_t num_states = model_.num_states();
+  const ScaledModel scaled =
+      scale_model(model_, options.scale_policy, options.center);
+
+  std::vector<MomentResult> results(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    results[i].time = times[i];
+    results[i].q = scaled.q;
+    results[i].d = scaled.d;
+    results[i].shift = scaled.shift;
+    results[i].center = options.center;
+  }
+
+  // Degenerate chain: no transitions ever happen, so conditioned on
+  // Z(0) = i the reward is exactly a Brownian motion with (r_i, sigma_i^2)
+  // and the moments are the closed-form normal moments.
+  if (scaled.q == 0.0) {
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      MomentResult& out = results[ti];
+      out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+      for (std::size_t i = 0; i < num_states; ++i) {
+        const auto m = prob::brownian_raw_moments(
+            model_.drifts()[i] - options.center, model_.variances()[i],
+            times[ti], n);
+        for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = m[j];
+      }
+      out.weighted.resize(n + 1);
+      for (std::size_t j = 0; j <= n; ++j)
+        out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
+    }
+    return results;
+  }
+
+  // Theorem-4 truncation per time point: honour epsilon for every moment
+  // order 0..n, so take the max of the per-order G values.
+  std::vector<std::size_t> trunc(times.size(), 0);
+  std::size_t g_max = 0;
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    std::size_t g = 0;
+    for (std::size_t j = 0; j <= n; ++j)
+      g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+    trunc[ti] = g;
+    results[ti].truncation_point = g;
+    const double log_bound =
+        (n == 0 ? std::log(2.0)
+                : log_theorem4_prefactor(qt, n, scaled.d)) +
+        prob::log_poisson_tail(qt, g + 1 >= n ? g + 1 - n : 0);
+    results[ti].error_bound = std::exp(log_bound);
+    g_max = std::max(g_max, g);
+  }
+
+  // U^(j)(0): U^(0) = h, higher orders zero. U^(0)(k) stays h for all k
+  // because Q' is stochastic, so the j = 0 row of the recursion is skipped.
+  std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
+  u[0] = linalg::ones(num_states);
+  std::vector<std::vector<linalg::Vec>> acc(
+      times.size(), std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
+
+  // k = 0 contribution.
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    const double w0 = qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0;
+    linalg::axpy(w0, u[0], acc[ti][0]);
+  }
+
+  linalg::Vec scratch(num_states, 0.0);
+  for (std::size_t k = 1; k <= g_max; ++k) {
+    for (std::size_t j = n; j >= 1; --j) {
+      // scratch = Q' U^(j) + R' U^(j-1) + 1/2 S' U^(j-2); descending j means
+      // the lower-order iterates on the right are still from step k-1.
+      scaled.q_prime.multiply(u[j], scratch);
+      const linalg::Vec& lower1 = u[j - 1];
+      for (std::size_t i = 0; i < num_states; ++i)
+        scratch[i] += scaled.r_prime[i] * lower1[i];
+      if (j >= 2) {
+        const linalg::Vec& lower2 = u[j - 2];
+        for (std::size_t i = 0; i < num_states; ++i)
+          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+      }
+      std::swap(u[j], scratch);
+    }
+
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      if (k > trunc[ti]) continue;
+      const double qt = scaled.q * times[ti];
+      if (qt == 0.0) continue;
+      const double w = prob::poisson_pmf(k, qt);
+      if (w == 0.0) continue;
+      linalg::axpy(w, u[0], acc[ti][0]);
+      for (std::size_t j = 1; j <= n; ++j) linalg::axpy(w, u[j], acc[ti][j]);
+    }
+  }
+
+  for (std::size_t ti = 0; ti < times.size(); ++ti)
+    finalize_result(model_, scaled, times[ti], std::move(acc[ti]), results[ti]);
+  return results;
+}
+
+}  // namespace somrm::core

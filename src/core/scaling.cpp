@@ -1,0 +1,72 @@
+#include "core/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace somrm::core {
+
+ScaledModel scale_model(const SecondOrderMrm& model, DriftScalePolicy policy,
+                        double center) {
+  ScaledModel out;
+  const std::size_t n = model.num_states();
+
+  out.q = model.generator().uniformization_rate();
+
+  linalg::Vec shifted_drifts = model.drifts();
+  for (double& r : shifted_drifts) r -= center;
+  if (center == 0.0) {
+    // Paper setup: make drifts non-negative, caller maps moments back.
+    out.shift = std::min(0.0, linalg::min_elem(shifted_drifts));
+    for (double& r : shifted_drifts) r -= out.shift;
+  } else {
+    out.shift = 0.0;  // centered mode keeps mixed signs
+  }
+  double r_max = 0.0;
+  for (double r : shifted_drifts) r_max = std::max(r_max, std::abs(r));
+  double sigma_max = 0.0;
+  for (double s2 : model.variances())
+    sigma_max = std::max(sigma_max, std::sqrt(s2));
+
+  if (out.q == 0.0) {
+    // Single-state-behaviour chain: no uniformization possible (and none
+    // needed — the solver computes Brownian moments in closed form).
+    out.d = 0.0;
+    out.q_prime = linalg::CsrMatrix::identity(n);
+    out.r_prime = linalg::zeros(n);
+    out.s_prime = linalg::zeros(n);
+    return out;
+  }
+
+  switch (policy) {
+    case DriftScalePolicy::kSafe:
+      out.d = std::max(r_max / out.q, sigma_max / std::sqrt(out.q));
+      break;
+    case DriftScalePolicy::kPaper:
+      out.d = std::max(r_max, sigma_max) / out.q;
+      break;
+  }
+
+  out.q_prime = model.generator().uniformized_dtmc();
+
+  out.r_prime = linalg::zeros(n);
+  out.s_prime = linalg::zeros(n);
+  if (out.d > 0.0) {
+    const double qd = out.q * out.d;
+    const double qd2 = out.q * out.d * out.d;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.r_prime[i] = shifted_drifts[i] / qd;
+      out.s_prime[i] = model.variances()[i] / qd2;
+    }
+  }
+  return out;
+}
+
+bool is_reward_scaling_substochastic(const ScaledModel& scaled, double tol) {
+  const auto within_abs = [tol](double v) { return std::abs(v) <= 1.0 + tol; };
+  const auto within = [tol](double v) { return v >= -tol && v <= 1.0 + tol; };
+  return std::all_of(scaled.r_prime.begin(), scaled.r_prime.end(),
+                     within_abs) &&
+         std::all_of(scaled.s_prime.begin(), scaled.s_prime.end(), within);
+}
+
+}  // namespace somrm::core

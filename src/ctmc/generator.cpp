@@ -1,0 +1,90 @@
+#include "ctmc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::ctmc {
+
+Generator::Generator(linalg::CsrMatrix q, double tol) : q_(std::move(q)) {
+  if (q_.rows() != q_.cols())
+    throw std::invalid_argument("Generator: matrix must be square");
+  if (q_.rows() == 0)
+    throw std::invalid_argument("Generator: empty state space");
+
+  const std::size_t n = q_.rows();
+  exit_rates_.assign(n, 0.0);
+
+  const auto& row_ptr = q_.row_ptr();
+  const auto& col_idx = q_.col_idx();
+  const auto& values = q_.values();
+
+  for (std::size_t r = 0; r < n; ++r) {
+    double offdiag_sum = 0.0;
+    double diag = 0.0;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = values[k];
+      if (col_idx[k] == r) {
+        diag += v;
+      } else {
+        if (v < -tol)
+          throw std::invalid_argument(
+              "Generator: negative off-diagonal rate at row " +
+              std::to_string(r));
+        offdiag_sum += v;
+      }
+    }
+    const double scale = std::max(1.0, std::abs(diag));
+    if (std::abs(diag + offdiag_sum) > tol * scale)
+      throw std::invalid_argument("Generator: row " + std::to_string(r) +
+                                  " does not sum to zero");
+    exit_rates_[r] = offdiag_sum;
+    unif_rate_ = std::max(unif_rate_, offdiag_sum);
+  }
+}
+
+Generator Generator::from_rates(std::size_t num_states,
+                                std::span<const linalg::Triplet> rates) {
+  linalg::CsrBuilder b(num_states, num_states);
+  linalg::Vec exit(num_states, 0.0);
+  for (const auto& t : rates) {
+    if (t.row == t.col)
+      throw std::invalid_argument(
+          "Generator::from_rates: diagonal entries are derived, not given");
+    if (t.value < 0.0)
+      throw std::invalid_argument("Generator::from_rates: negative rate");
+    b.add(t.row, t.col, t.value);
+    exit[t.row] += t.value;
+  }
+  for (std::size_t i = 0; i < num_states; ++i)
+    if (exit[i] != 0.0) b.add(i, i, -exit[i]);
+  return Generator(std::move(b).build(/*keep_explicit_zeros=*/true));
+}
+
+linalg::CsrMatrix Generator::uniformized_dtmc(double rate) const {
+  if (rate == 0.0) rate = unif_rate_;
+  if (rate < unif_rate_)
+    throw std::invalid_argument(
+        "Generator::uniformized_dtmc: rate below uniformization rate");
+  if (rate == 0.0) return linalg::CsrMatrix::identity(num_states());
+  return q_.scaled_plus_identity(1.0 / rate, 1.0);
+}
+
+Generator::JumpRow Generator::jump_distribution(std::size_t state) const {
+  if (state >= num_states())
+    throw std::out_of_range("Generator::jump_distribution: bad state");
+  JumpRow row;
+  const double exit = exit_rates_[state];
+  if (exit <= 0.0) return row;  // absorbing
+  const auto& row_ptr = q_.row_ptr();
+  const auto& col_idx = q_.col_idx();
+  const auto& values = q_.values();
+  for (std::size_t k = row_ptr[state]; k < row_ptr[state + 1]; ++k) {
+    if (col_idx[k] == state || values[k] <= 0.0) continue;
+    row.targets.push_back(col_idx[k]);
+    row.probabilities.push_back(values[k] / exit);
+  }
+  return row;
+}
+
+}  // namespace somrm::ctmc

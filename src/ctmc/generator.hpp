@@ -1,0 +1,67 @@
+// somrm/ctmc/generator.hpp
+//
+// Validated continuous-time Markov chain generator. The structure-state
+// process Z(t) of a (second-order) Markov reward model is a finite CTMC with
+// generator Q: non-negative off-diagonals and zero row sums. This wrapper
+// enforces those invariants at construction so every downstream solver can
+// assume a well-formed generator.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/csr.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::ctmc {
+
+class Generator {
+ public:
+  /// Validates and wraps a square CSR matrix as a CTMC generator.
+  ///
+  /// Requirements (checked, std::invalid_argument on violation):
+  ///  * square matrix with at least one state,
+  ///  * off-diagonal entries >= -tol,
+  ///  * each row sums to 0 within tol * max(1, |q_ii|).
+  ///
+  /// Small negative off-diagonals / row-sum residue within tol are
+  /// tolerated but NOT rewritten; the stored matrix is exactly the input.
+  explicit Generator(linalg::CsrMatrix q, double tol = 1e-9);
+
+  /// Builds a generator from the off-diagonal transition rates only; the
+  /// diagonal is filled in as the negated row sum. Triplets on the diagonal
+  /// are rejected.
+  static Generator from_rates(std::size_t num_states,
+                              std::span<const linalg::Triplet> rates);
+
+  std::size_t num_states() const { return q_.rows(); }
+  const linalg::CsrMatrix& matrix() const { return q_; }
+
+  /// max_i |q_ii| — the uniformization rate used by randomization.
+  double uniformization_rate() const { return unif_rate_; }
+
+  /// Total exit rate per state (|q_ii| reconstructed as the off-diagonal
+  /// row sum, which is exact even when the stored diagonal carries rounding).
+  const linalg::Vec& exit_rates() const { return exit_rates_; }
+
+  /// The uniformized DTMC matrix P = I + Q/rate. @p rate must be
+  /// >= uniformization_rate() (otherwise P would have negative diagonal
+  /// entries); pass 0 to use uniformization_rate() itself.
+  linalg::CsrMatrix uniformized_dtmc(double rate = 0.0) const;
+
+  /// Jump-chain transition probabilities out of @p state: parallel arrays of
+  /// target states and probabilities. Empty for absorbing states.
+  struct JumpRow {
+    std::vector<std::size_t> targets;
+    linalg::Vec probabilities;
+  };
+  JumpRow jump_distribution(std::size_t state) const;
+
+ private:
+  linalg::CsrMatrix q_;
+  linalg::Vec exit_rates_;
+  double unif_rate_ = 0.0;
+};
+
+}  // namespace somrm::ctmc

@@ -1,0 +1,88 @@
+#include "ctmc/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prob/poisson.hpp"
+
+namespace somrm::ctmc {
+
+linalg::Vec expected_occupancy(const Generator& gen,
+                               std::span<const double> initial, double t,
+                               const OccupancyOptions& options) {
+  const double times[] = {t};
+  return expected_occupancy_multi(gen, initial, times, options).front();
+}
+
+std::vector<linalg::Vec> expected_occupancy_multi(
+    const Generator& gen, std::span<const double> initial,
+    std::span<const double> times, const OccupancyOptions& options) {
+  if (initial.size() != gen.num_states())
+    throw std::invalid_argument("expected_occupancy: initial size mismatch");
+  if (!(options.epsilon > 0.0))
+    throw std::invalid_argument("expected_occupancy: epsilon must be > 0");
+  for (double t : times)
+    if (!(t >= 0.0))
+      throw std::invalid_argument("expected_occupancy: negative time");
+
+  const std::size_t n = gen.num_states();
+  const double q = gen.uniformization_rate();
+  std::vector<linalg::Vec> results(times.size());
+
+  if (q == 0.0) {
+    // No transitions: the chain sits in its initial state mix for all of t.
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      results[ti].assign(initial.begin(), initial.end());
+      linalg::scale(times[ti], results[ti]);
+    }
+    return results;
+  }
+
+  const linalg::CsrMatrix p_matrix = gen.uniformized_dtmc();
+
+  // Weight of pi P^k is (1/q) Pr(Pois(qt) > k); truncate when the summed
+  // neglected weight is below epsilon * t, i.e. when the CDF complement
+  // integrated tail is small. Using Pr(Pois > k) <= tail(k+1), stop at the
+  // transient solver's truncation point for epsilon (same order).
+  std::vector<std::size_t> trunc(times.size(), 0);
+  std::size_t k_max = 0;
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double lambda = q * times[ti];
+    trunc[ti] = lambda > 0.0
+                    ? somrm::prob::poisson_truncation_point(
+                          lambda, std::log(options.epsilon))
+                    : 0;
+    k_max = std::max(k_max, trunc[ti]);
+    results[ti] = linalg::zeros(n);
+  }
+
+  linalg::Vec v(initial.begin(), initial.end());
+  linalg::Vec v_next(n, 0.0);
+  // Running tail probabilities Pr(Pois(qt_i) > k), updated incrementally.
+  std::vector<double> tail(times.size());
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double lambda = q * times[ti];
+    tail[ti] = lambda > 0.0
+                   ? 1.0 - somrm::prob::poisson_pmf(0, lambda)
+                   : 0.0;
+  }
+
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      if (k > trunc[ti]) continue;
+      if (tail[ti] > 0.0) linalg::axpy(tail[ti] / q, v, results[ti]);
+      const double lambda = q * times[ti];
+      if (lambda > 0.0)
+        tail[ti] = std::max(0.0, tail[ti] -
+                                     somrm::prob::poisson_pmf(k + 1, lambda));
+    }
+    if (k < k_max) {
+      p_matrix.multiply_transposed(v, v_next);
+      std::swap(v, v_next);
+    }
+  }
+  return results;
+}
+
+}  // namespace somrm::ctmc

@@ -1,0 +1,44 @@
+// somrm/ctmc/occupancy.hpp
+//
+// Expected accumulated state occupancy L(t) = int_0^t p(u) du by
+// uniformization:
+//
+//   L(t) = (1/q) sum_{k=0}^inf  Pr(Pois(qt) > k)  pi P^k,
+//
+// which follows from integrating the Poisson weights (int_0^t
+// Pois(k; qu) q du = Pr(Pois(qt) > k)). Subtraction-free like the
+// transient solver.
+//
+// Occupancy integrals are the first-order link between the CTMC substrate
+// and reward analysis: E[B(t)] = sum_i L_i(t) r_i, which the test suite
+// uses to cross-check the randomization solver through an independent
+// numerical route.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::ctmc {
+
+struct OccupancyOptions {
+  /// Truncation budget: the neglected tail contributes at most epsilon * t
+  /// to the total (the weights sum to t, not 1).
+  double epsilon = 1e-12;
+};
+
+/// Expected time spent in each state during (0, t) starting from
+/// @p initial. The result sums to t.
+linalg::Vec expected_occupancy(const Generator& gen,
+                               std::span<const double> initial, double t,
+                               const OccupancyOptions& options = {});
+
+/// Multi-time variant sharing one power sweep (times must be >= 0).
+std::vector<linalg::Vec> expected_occupancy_multi(
+    const Generator& gen, std::span<const double> initial,
+    std::span<const double> times, const OccupancyOptions& options = {});
+
+}  // namespace somrm::ctmc

@@ -1,0 +1,73 @@
+#include "ctmc/stationary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::ctmc {
+
+linalg::Vec stationary_distribution_gth(const Generator& gen) {
+  const std::size_t n = gen.num_states();
+  if (n == 1) return linalg::Vec{1.0};
+
+  // Dense working copy of the off-diagonal rates; the diagonal is never
+  // used by GTH, which is what makes it subtraction-free.
+  std::vector<linalg::Vec> a = gen.matrix().to_dense(/*max_dim=*/4096);
+  for (std::size_t i = 0; i < n; ++i) a[i][i] = 0.0;
+
+  for (std::size_t k = n - 1; k >= 1; --k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < k; ++j) s += a[k][j];
+    if (!(s > 0.0))
+      throw std::runtime_error(
+          "stationary_distribution_gth: chain is not irreducible (state " +
+          std::to_string(k) + " cannot reach lower states)");
+    for (std::size_t i = 0; i < k; ++i) a[i][k] /= s;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double aik = a[i][k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == i) continue;
+        a[i][j] += aik * a[k][j];
+      }
+    }
+  }
+
+  linalg::Vec pi(n, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += pi[i] * a[i][k];
+    pi[k] = acc;
+  }
+  linalg::normalize_probability(pi);
+  return pi;
+}
+
+linalg::Vec stationary_distribution_power(const Generator& gen,
+                                          const PowerIterationOptions& options) {
+  const std::size_t n = gen.num_states();
+  if (n == 1) return linalg::Vec{1.0};
+  const double q = gen.uniformization_rate();
+  if (q == 0.0) {
+    // All states absorbing: any distribution is stationary; return uniform.
+    return linalg::Vec(n, 1.0 / static_cast<double>(n));
+  }
+
+  // Inflate the rate so every state keeps a self-loop => aperiodic chain.
+  const linalg::CsrMatrix p = gen.uniformized_dtmc(1.05 * q);
+
+  linalg::Vec pi(n, 1.0 / static_cast<double>(n));
+  linalg::Vec next(n, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    p.multiply_transposed(pi, next);
+    linalg::normalize_probability(next);
+    const double diff = linalg::max_abs_diff(pi, next);
+    std::swap(pi, next);
+    if (diff <= options.tolerance) return pi;
+  }
+  throw std::runtime_error(
+      "stationary_distribution_power: did not converge; chain may be "
+      "reducible or badly conditioned");
+}
+
+}  // namespace somrm::ctmc

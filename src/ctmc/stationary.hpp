@@ -1,0 +1,33 @@
+// somrm/ctmc/stationary.hpp
+//
+// Stationary distribution solvers:
+//  * GTH elimination — dense, subtraction-free, the gold standard for
+//    irreducible chains up to a few thousand states (used for the paper's
+//    33-state example and the Figure-3 steady-state reference line),
+//  * power iteration on the uniformized DTMC — sparse, for large
+//    birth-death style chains where O(n^3) is unaffordable.
+
+#pragma once
+
+#include "ctmc/generator.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::ctmc {
+
+/// Stationary distribution by Grassmann-Taksar-Heyman elimination.
+/// Requires an irreducible generator (throws std::runtime_error otherwise)
+/// and densifies the matrix: intended for num_states() <= ~2000.
+linalg::Vec stationary_distribution_gth(const Generator& gen);
+
+struct PowerIterationOptions {
+  double tolerance = 1e-13;        ///< stop when ||pi_{k+1} - pi_k||_inf small
+  std::size_t max_iterations = 2000000;
+};
+
+/// Stationary distribution by power iteration on P = I + Q/(1.05 q); the
+/// deflated uniformization rate guarantees aperiodicity. Throws
+/// std::runtime_error if the iteration fails to converge.
+linalg::Vec stationary_distribution_power(
+    const Generator& gen, const PowerIterationOptions& options = {});
+
+}  // namespace somrm::ctmc

@@ -1,0 +1,92 @@
+#include "ctmc/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prob/poisson.hpp"
+
+namespace somrm::ctmc {
+
+namespace {
+
+void check_initial(const Generator& gen, std::span<const double> initial) {
+  if (initial.size() != gen.num_states())
+    throw std::invalid_argument("transient: initial vector size mismatch");
+  double total = 0.0;
+  for (double p : initial) {
+    if (p < -1e-12)
+      throw std::invalid_argument("transient: negative initial probability");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9)
+    throw std::invalid_argument("transient: initial vector must sum to 1");
+}
+
+}  // namespace
+
+linalg::Vec transient_distribution(const Generator& gen,
+                                   std::span<const double> initial, double t,
+                                   const TransientOptions& options) {
+  const double times[] = {t};
+  return transient_distribution_multi(gen, initial, times, options).front();
+}
+
+std::vector<linalg::Vec> transient_distribution_multi(
+    const Generator& gen, std::span<const double> initial,
+    std::span<const double> times, const TransientOptions& options) {
+  check_initial(gen, initial);
+  for (double t : times)
+    if (t < 0.0) throw std::invalid_argument("transient: negative time");
+  if (!(options.epsilon > 0.0))
+    throw std::invalid_argument("transient: epsilon must be positive");
+
+  const std::size_t n = gen.num_states();
+  std::vector<linalg::Vec> results(times.size());
+
+  const double q = gen.uniformization_rate();
+  const double t_max = times.empty()
+                           ? 0.0
+                           : *std::max_element(times.begin(), times.end());
+  if (q == 0.0 || t_max == 0.0) {
+    // No transitions possible (or all t == 0 handled per-time below).
+  }
+
+  const linalg::CsrMatrix p_matrix =
+      q > 0.0 ? gen.uniformized_dtmc() : linalg::CsrMatrix::identity(n);
+
+  // Per-time truncation points; K_max drives the shared power iteration.
+  std::vector<std::size_t> trunc(times.size(), 0);
+  std::size_t k_max = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double lambda = q * times[i];
+    trunc[i] = lambda > 0.0 ? somrm::prob::poisson_truncation_point(
+                                  lambda, std::log(options.epsilon))
+                            : 0;
+    k_max = std::max(k_max, trunc[i]);
+  }
+
+  // Shared iterates: v_k = pi P^k (row vector, carried as a column of P^T).
+  linalg::Vec v(initial.begin(), initial.end());
+  linalg::Vec v_next(n, 0.0);
+  std::vector<linalg::Vec> acc(times.size(), linalg::Vec(n, 0.0));
+
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (k > trunc[i]) continue;
+      const double lambda = q * times[i];
+      const double w = lambda > 0.0 ? somrm::prob::poisson_pmf(k, lambda)
+                                    : (k == 0 ? 1.0 : 0.0);
+      if (w != 0.0) linalg::axpy(w, v, acc[i]);
+    }
+    if (k < k_max) {
+      p_matrix.multiply_transposed(v, v_next);
+      std::swap(v, v_next);
+    }
+  }
+
+  for (std::size_t i = 0; i < times.size(); ++i) results[i] = std::move(acc[i]);
+  return results;
+}
+
+}  // namespace somrm::ctmc

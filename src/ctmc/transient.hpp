@@ -1,0 +1,37 @@
+// somrm/ctmc/transient.hpp
+//
+// Transient state probabilities p(t) = pi exp(Qt) by uniformization
+// (Jensen's randomization): p(t) = sum_k Pois(k; qt) pi P^k with
+// P = I + Q/q. Subtraction-free and numerically stable — the same machinery
+// Theorem 3 of the paper builds on for reward moments.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ctmc/generator.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::ctmc {
+
+struct TransientOptions {
+  /// Truncation error budget for the Poisson sum (1-norm of the neglected
+  /// probability mass).
+  double epsilon = 1e-12;
+};
+
+/// Computes p(t) for a single time point. @p initial must be a probability
+/// vector over the generator's states.
+linalg::Vec transient_distribution(const Generator& gen,
+                                   std::span<const double> initial, double t,
+                                   const TransientOptions& options = {});
+
+/// Computes p(t) for several time points with a single pass over the
+/// Poisson-weighted power sequence (the vector iterates pi P^k are shared;
+/// only the weights differ per time point). Times must be non-negative.
+std::vector<linalg::Vec> transient_distribution_multi(
+    const Generator& gen, std::span<const double> initial,
+    std::span<const double> times, const TransientOptions& options = {});
+
+}  // namespace somrm::ctmc

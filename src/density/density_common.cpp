@@ -1,0 +1,54 @@
+#include "density/density_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::density {
+
+double integrate_trapezoid(std::span<const double> x,
+                           std::span<const double> f) {
+  if (x.size() != f.size() || x.size() < 2)
+    throw std::invalid_argument("integrate_trapezoid: bad input sizes");
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < x.size(); ++j)
+    acc += 0.5 * (f[j] + f[j + 1]) * (x[j + 1] - x[j]);
+  return acc;
+}
+
+double raw_moment_from_density(std::span<const double> x,
+                               std::span<const double> f, std::size_t order) {
+  if (x.size() != f.size() || x.size() < 2)
+    throw std::invalid_argument("raw_moment_from_density: bad input sizes");
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < x.size(); ++j) {
+    const double g0 = std::pow(x[j], static_cast<double>(order)) * f[j];
+    const double g1 =
+        std::pow(x[j + 1], static_cast<double>(order)) * f[j + 1];
+    acc += 0.5 * (g0 + g1) * (x[j + 1] - x[j]);
+  }
+  return acc;
+}
+
+double cdf_from_density(std::span<const double> x, std::span<const double> f,
+                        double c) {
+  if (x.size() != f.size() || x.size() < 2)
+    throw std::invalid_argument("cdf_from_density: bad input sizes");
+  if (c <= x.front()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t j = 0; j + 1 < x.size(); ++j) {
+    if (c >= x[j + 1]) {
+      acc += 0.5 * (f[j] + f[j + 1]) * (x[j + 1] - x[j]);
+      continue;
+    }
+    // c falls inside (x_j, x_{j+1}): integrate the linear interpolant.
+    const double h = x[j + 1] - x[j];
+    const double frac = (c - x[j]) / h;
+    const double fc = f[j] + (f[j + 1] - f[j]) * frac;
+    acc += 0.5 * (f[j] + fc) * (c - x[j]);
+    break;
+  }
+  return acc;
+}
+
+}  // namespace somrm::density

@@ -1,0 +1,55 @@
+// somrm/density/density_common.hpp
+//
+// Shared grid/density types for the two distribution solvers (Corollary-1
+// PDE scheme and Corollary-2 transform inversion), plus quadrature helpers
+// to turn a gridded density into probabilities and moments for
+// cross-validation against the randomization moment solver.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace somrm::density {
+
+/// Uniform reward grid x_j = x_min + j * dx, j = 0..num_points-1.
+struct RewardGrid {
+  double x_min = -10.0;
+  double x_max = 10.0;
+  std::size_t num_points = 1024;
+
+  double dx() const {
+    return (x_max - x_min) / static_cast<double>(num_points - 1);
+  }
+  double point(std::size_t j) const {
+    return x_min + static_cast<double>(j) * dx();
+  }
+};
+
+/// Gridded density of the accumulated reward at one time point.
+struct DensityResult {
+  linalg::Vec x;  ///< grid points
+  /// per_state[i][j] = b_i(t, x_j): density of B(t) conditional on
+  /// Z(0) = i, evaluated at x_j.
+  std::vector<linalg::Vec> per_state;
+  /// pi-weighted mixture density: the unconditional density of B(t).
+  linalg::Vec weighted;
+};
+
+/// Trapezoid integral of f over the grid x (sizes must match, >= 2 points).
+double integrate_trapezoid(std::span<const double> x,
+                           std::span<const double> f);
+
+/// Trapezoid integral of x^order * f(x): raw moment of a gridded density.
+double raw_moment_from_density(std::span<const double> x,
+                               std::span<const double> f, std::size_t order);
+
+/// CDF at c: integral of f from the left grid edge to c (linear
+/// interpolation inside the straddling cell; clamps outside the grid).
+double cdf_from_density(std::span<const double> x, std::span<const double> f,
+                        double c);
+
+}  // namespace somrm::density

@@ -1,0 +1,143 @@
+#include "density/transform_solver.hpp"
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+#include "linalg/fft.hpp"
+
+namespace somrm::density {
+
+namespace {
+
+using Cplx = std::complex<double>;
+using PhiFn = std::function<linalg::Cvec(double omega)>;
+
+/// Dense complex t (Q + i w R - w^2/2 S), with the off-diagonal entries
+/// optionally modulated by per-transition impulse characteristic functions.
+linalg::DenseCMatrix build_argument(const core::SecondOrderMrm& model,
+                                    const core::SecondOrderImpulseMrm* impulses,
+                                    double t, double omega) {
+  const std::size_t n = model.num_states();
+  linalg::DenseCMatrix m(n, n);
+  const auto dense_q = model.generator().matrix().to_dense(/*max_dim=*/4096);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Cplx v(dense_q[i][j], 0.0);
+      if (impulses != nullptr && i != j && dense_q[i][j] != 0.0) {
+        const double im = impulses->impulse_mean().at(i, j);
+        const double iw = impulses->impulse_var().at(i, j);
+        if (im != 0.0 || iw != 0.0)
+          v *= std::exp(Cplx(-0.5 * omega * omega * iw, omega * im));
+      }
+      m(i, j) = v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) += Cplx(0.0, omega * model.drifts()[i]);
+    m(i, i) -= Cplx(0.5 * omega * omega * model.variances()[i], 0.0);
+  }
+  m *= Cplx(t, 0.0);
+  return m;
+}
+
+linalg::Cvec phi_from_argument(const linalg::DenseCMatrix& arg) {
+  const auto e = linalg::expm(arg);
+  linalg::Cvec h(arg.rows(), Cplx(1.0, 0.0));
+  return e.multiply(h);
+}
+
+DensityResult invert_characteristic_function(
+    const core::SecondOrderMrm& model, const PhiFn& phi_fn,
+    const TransformSolverOptions& options) {
+  const std::size_t m = options.grid.num_points;
+  if (!linalg::is_power_of_two(m) || m < 4)
+    throw std::invalid_argument(
+        "density_via_transform: num_points must be a power of two >= 4");
+  if (!(options.grid.x_max > options.grid.x_min))
+    throw std::invalid_argument("density_via_transform: empty grid");
+
+  const std::size_t n = model.num_states();
+  const double dx =
+      (options.grid.x_max - options.grid.x_min) / static_cast<double>(m);
+  const double domega = 2.0 * std::numbers::pi / (static_cast<double>(m) * dx);
+
+  // phi_i(w_k) for k = 0..m/2; negative frequencies by conjugate symmetry
+  // (B(t) is real). w index k maps to signed frequency k <= m/2 ? k : k - m.
+  std::vector<linalg::Cvec> spectrum(n, linalg::Cvec(m));
+  for (std::size_t k = 0; k <= m / 2; ++k) {
+    const double omega = domega * static_cast<double>(k);
+    const auto phi = phi_fn(omega);
+    // Shift reference point to x_min: g_k = phi(w_k) e^{-i w_k x_min}.
+    const Cplx shift = std::exp(Cplx(0.0, -omega * options.grid.x_min));
+    for (std::size_t i = 0; i < n; ++i) {
+      spectrum[i][k] = phi[i] * shift;
+      if (k > 0 && k < m / 2) spectrum[i][m - k] = std::conj(phi[i] * shift);
+    }
+  }
+
+  DensityResult out;
+  out.x.resize(m);
+  for (std::size_t j = 0; j < m; ++j)
+    out.x[j] = options.grid.x_min + static_cast<double>(j) * dx;
+
+  out.per_state.assign(n, linalg::Vec(m, 0.0));
+  const double scale = domega / (2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Cvec g = spectrum[i];
+    linalg::fft(g);  // forward FFT realizes sum_k g_k e^{-2 pi i jk/m}
+    for (std::size_t j = 0; j < m; ++j)
+      out.per_state[i][j] = g[j].real() * scale;
+  }
+
+  out.weighted.assign(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    linalg::axpy(model.initial()[i], out.per_state[i], out.weighted);
+  return out;
+}
+
+}  // namespace
+
+linalg::Cvec characteristic_function(const core::SecondOrderMrm& model,
+                                     double t, double omega) {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("characteristic_function: t must be >= 0");
+  return phi_from_argument(build_argument(model, nullptr, t, omega));
+}
+
+linalg::Cvec characteristic_function(const core::SecondOrderImpulseMrm& model,
+                                     double t, double omega) {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("characteristic_function: t must be >= 0");
+  return phi_from_argument(build_argument(model.base(), &model, t, omega));
+}
+
+DensityResult density_via_transform(const core::SecondOrderMrm& model,
+                                    double t,
+                                    const TransformSolverOptions& options) {
+  if (!(t > 0.0))
+    throw std::invalid_argument("density_via_transform: t must be > 0");
+  return invert_characteristic_function(
+      model,
+      [&model, t](double omega) {
+        return characteristic_function(model, t, omega);
+      },
+      options);
+}
+
+DensityResult density_via_transform(const core::SecondOrderImpulseMrm& model,
+                                    double t,
+                                    const TransformSolverOptions& options) {
+  if (!(t > 0.0))
+    throw std::invalid_argument("density_via_transform: t must be > 0");
+  return invert_characteristic_function(
+      model.base(),
+      [&model, t](double omega) {
+        return characteristic_function(model, t, omega);
+      },
+      options);
+}
+
+}  // namespace somrm::density

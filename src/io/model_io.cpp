@@ -1,0 +1,231 @@
+#include "io/model_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace somrm::io {
+
+namespace {
+
+struct PendingModel {
+  std::size_t states = 0;
+  bool states_seen = false;
+  std::vector<linalg::Triplet> transitions;
+  linalg::Vec drifts;
+  linalg::Vec variances;
+  linalg::Vec initial;
+  std::vector<linalg::Triplet> impulse_means;
+  std::vector<linalg::Triplet> impulse_vars;
+  bool has_impulses = false;
+};
+
+std::size_t parse_state_index(const PendingModel& m, std::istringstream& is,
+                              std::size_t line, const char* what) {
+  long long idx = -1;
+  if (!(is >> idx) || idx < 0)
+    throw ParseError(line, std::string("expected a state index after '") +
+                               what + "'");
+  if (static_cast<std::size_t>(idx) >= m.states)
+    throw ParseError(line, "state index " + std::to_string(idx) +
+                               " out of range (states = " +
+                               std::to_string(m.states) + ")");
+  return static_cast<std::size_t>(idx);
+}
+
+double parse_number(std::istringstream& is, std::size_t line,
+                    const char* what) {
+  double v = 0.0;
+  if (!(is >> v))
+    throw ParseError(line, std::string("expected a number for ") + what);
+  return v;
+}
+
+void expect_end(std::istringstream& is, std::size_t line) {
+  std::string rest;
+  if (is >> rest)
+    throw ParseError(line, "unexpected trailing token '" + rest + "'");
+}
+
+}  // namespace
+
+ModelFile load_model(std::istream& in) {
+  PendingModel m;
+  std::string raw_line;
+  std::size_t line = 0;
+  bool header_seen = false;
+
+  while (std::getline(in, raw_line)) {
+    ++line;
+    const auto hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.erase(hash);
+    std::istringstream is(raw_line);
+    std::string keyword;
+    if (!(is >> keyword)) continue;  // blank / comment-only line
+
+    if (!header_seen) {
+      if (keyword != "somrm-model")
+        throw ParseError(line, "file must start with 'somrm-model v1'");
+      std::string version;
+      if (!(is >> version) || version != "v1")
+        throw ParseError(line, "unsupported model-file version");
+      expect_end(is, line);
+      header_seen = true;
+      continue;
+    }
+
+    if (keyword == "states") {
+      if (m.states_seen) throw ParseError(line, "duplicate 'states'");
+      long long n = 0;
+      if (!(is >> n) || n <= 0)
+        throw ParseError(line, "'states' needs a positive count");
+      expect_end(is, line);
+      m.states = static_cast<std::size_t>(n);
+      m.states_seen = true;
+      m.drifts.assign(m.states, 0.0);
+      m.variances.assign(m.states, 0.0);
+      m.initial.assign(m.states, 0.0);
+      continue;
+    }
+
+    if (!m.states_seen)
+      throw ParseError(line, "'states' must precede '" + keyword + "'");
+
+    if (keyword == "transition") {
+      const std::size_t i = parse_state_index(m, is, line, "transition");
+      const std::size_t j = parse_state_index(m, is, line, "transition");
+      const double rate = parse_number(is, line, "transition rate");
+      expect_end(is, line);
+      if (i == j) throw ParseError(line, "self-transitions are not allowed");
+      if (!(rate > 0.0))
+        throw ParseError(line, "transition rate must be positive");
+      m.transitions.push_back({i, j, rate});
+    } else if (keyword == "drift") {
+      const std::size_t i = parse_state_index(m, is, line, "drift");
+      m.drifts[i] = parse_number(is, line, "drift");
+      expect_end(is, line);
+    } else if (keyword == "variance") {
+      const std::size_t i = parse_state_index(m, is, line, "variance");
+      const double v = parse_number(is, line, "variance");
+      expect_end(is, line);
+      if (v < 0.0) throw ParseError(line, "variance must be >= 0");
+      m.variances[i] = v;
+    } else if (keyword == "initial") {
+      const std::size_t i = parse_state_index(m, is, line, "initial");
+      const double p = parse_number(is, line, "initial probability");
+      expect_end(is, line);
+      if (p < 0.0) throw ParseError(line, "initial probability must be >= 0");
+      m.initial[i] = p;
+    } else if (keyword == "impulse") {
+      const std::size_t i = parse_state_index(m, is, line, "impulse");
+      const std::size_t j = parse_state_index(m, is, line, "impulse");
+      const double mean = parse_number(is, line, "impulse mean");
+      double var = 0.0;
+      if (is >> var) {
+        if (var < 0.0) throw ParseError(line, "impulse variance must be >= 0");
+      } else {
+        var = 0.0;
+      }
+      if (i == j) throw ParseError(line, "impulses attach to transitions");
+      if (mean != 0.0) m.impulse_means.push_back({i, j, mean});
+      if (var != 0.0) m.impulse_vars.push_back({i, j, var});
+      m.has_impulses = true;
+    } else {
+      throw ParseError(line, "unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (!header_seen) throw ParseError(1, "empty model file");
+  if (!m.states_seen) throw ParseError(line, "missing 'states' directive");
+
+  auto generator = ctmc::Generator::from_rates(m.states, m.transitions);
+  core::SecondOrderMrm model(std::move(generator), m.drifts, m.variances,
+                             m.initial);
+
+  ModelFile out{model, std::nullopt};
+  if (m.has_impulses) {
+    out.with_impulses.emplace(
+        std::move(model),
+        linalg::CsrMatrix::from_triplets(m.states, m.states, m.impulse_means),
+        linalg::CsrMatrix::from_triplets(m.states, m.states, m.impulse_vars));
+  }
+  return out;
+}
+
+ModelFile load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  return load_model(in);
+}
+
+namespace {
+
+void save_base(std::ostream& out, const core::SecondOrderMrm& model) {
+  const std::size_t n = model.num_states();
+  out << "somrm-model v1\n";
+  out << "states " << n << "\n";
+  out.precision(17);
+  const auto& q = model.generator().matrix();
+  const auto& row_ptr = q.row_ptr();
+  const auto& col_idx = q.col_idx();
+  const auto& values = q.values();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+      if (col_idx[k] != r && values[k] > 0.0)
+        out << "transition " << r << " " << col_idx[k] << " " << values[k]
+            << "\n";
+  for (std::size_t i = 0; i < n; ++i)
+    if (model.drifts()[i] != 0.0)
+      out << "drift " << i << " " << model.drifts()[i] << "\n";
+  for (std::size_t i = 0; i < n; ++i)
+    if (model.variances()[i] != 0.0)
+      out << "variance " << i << " " << model.variances()[i] << "\n";
+  for (std::size_t i = 0; i < n; ++i)
+    if (model.initial()[i] != 0.0)
+      out << "initial " << i << " " << model.initial()[i] << "\n";
+}
+
+}  // namespace
+
+void save_model(std::ostream& out, const core::SecondOrderMrm& model) {
+  save_base(out, model);
+}
+
+void save_model(std::ostream& out, const core::SecondOrderImpulseMrm& model) {
+  save_base(out, model.base());
+  const std::size_t n = model.num_states();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      const double m = model.impulse_mean().at(r, c);
+      const double w = model.impulse_var().at(r, c);
+      if (m != 0.0 || w != 0.0)
+        out << "impulse " << r << " " << c << " " << m << " " << w << "\n";
+    }
+  }
+}
+
+namespace {
+template <typename Model>
+void save_file_impl(const std::string& path, const Model& model) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  save_model(out, model);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+}  // namespace
+
+void save_model_file(const std::string& path,
+                     const core::SecondOrderMrm& model) {
+  save_file_impl(path, model);
+}
+
+void save_model_file(const std::string& path,
+                     const core::SecondOrderImpulseMrm& model) {
+  save_file_impl(path, model);
+}
+
+}  // namespace somrm::io

@@ -1,0 +1,68 @@
+// somrm/io/model_io.hpp
+//
+// Plain-text model files, so models can be built by external tooling and
+// shipped to the CLI without recompiling. Format (order-insensitive after
+// the header; '#' starts a comment):
+//
+//   somrm-model v1
+//   states <N>                         # required, first directive
+//   transition <i> <j> <rate>          # i != j, rate > 0
+//   drift <i> <r>                      # default 0
+//   variance <i> <sigma2>              # sigma2 >= 0, default 0
+//   initial <i> <p>                    # must sum to 1
+//   impulse <i> <j> <mean> [variance]  # needs a matching transition
+//
+// load_model validates everything the in-memory constructors validate and
+// reports the offending line number on failure.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/impulse_model.hpp"
+#include "core/model.hpp"
+
+namespace somrm::io {
+
+/// Parse failure with 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A parsed model file: the rate-reward model, plus the impulse extension
+/// when the file contained impulse directives.
+struct ModelFile {
+  core::SecondOrderMrm model;
+  std::optional<core::SecondOrderImpulseMrm> with_impulses;
+};
+
+/// Parses a model from a stream. Throws ParseError on malformed input and
+/// std::invalid_argument when the assembled model violates a model
+/// invariant.
+ModelFile load_model(std::istream& in);
+
+/// Parses a model from a file path. Throws std::runtime_error if the file
+/// cannot be opened.
+ModelFile load_model_file(const std::string& path);
+
+/// Writes a model in the v1 format (loadable round trip).
+void save_model(std::ostream& out, const core::SecondOrderMrm& model);
+void save_model(std::ostream& out, const core::SecondOrderImpulseMrm& model);
+
+/// Writes to a file path; throws std::runtime_error on I/O failure.
+void save_model_file(const std::string& path,
+                     const core::SecondOrderMrm& model);
+void save_model_file(const std::string& path,
+                     const core::SecondOrderImpulseMrm& model);
+
+}  // namespace somrm::io

@@ -1,0 +1,114 @@
+#include "linalg/bicgstab.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::linalg {
+
+BicgstabResult bicgstab(const LinearOperator& apply_a, std::span<const double> b,
+                        std::span<const double> x0,
+                        std::span<const double> diag_precond,
+                        const BicgstabOptions& options) {
+  const std::size_t n = b.size();
+  if (!x0.empty() && x0.size() != n)
+    throw std::invalid_argument("bicgstab: x0 size mismatch");
+  if (!diag_precond.empty() && diag_precond.size() != n)
+    throw std::invalid_argument("bicgstab: preconditioner size mismatch");
+
+  Vec inv_diag;
+  if (!diag_precond.empty()) {
+    inv_diag.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (diag_precond[i] == 0.0)
+        throw std::invalid_argument("bicgstab: zero diagonal in preconditioner");
+      inv_diag[i] = 1.0 / diag_precond[i];
+    }
+  }
+  const auto precondition = [&inv_diag](std::span<const double> src,
+                                        std::span<double> dst) {
+    if (inv_diag.empty()) {
+      std::copy(src.begin(), src.end(), dst.begin());
+    } else {
+      for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * inv_diag[i];
+    }
+  };
+
+  BicgstabResult out;
+  out.x = x0.empty() ? zeros(n) : Vec(x0.begin(), x0.end());
+
+  Vec r(n), tmp(n);
+  apply_a(out.x, tmp);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - tmp[i];
+
+  const double b_norm = norm2(b);
+  const double target =
+      std::max(options.abs_tolerance, options.rel_tolerance * b_norm);
+
+  double r_norm = norm2(r);
+  if (r_norm <= target) {
+    out.converged = true;
+    out.residual_norm = r_norm;
+    return out;
+  }
+
+  const Vec r_hat = r;  // shadow residual
+  Vec p(n, 0.0), v(n, 0.0), s(n), t(n), y(n), z(n);
+  double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    const double rho = dot(r_hat, r);
+    if (rho == 0.0) break;  // breakdown; return best iterate
+
+    if (iter == 1) {
+      p = r;
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+
+    precondition(p, y);
+    apply_a(y, v);
+    const double rhat_v = dot(r_hat, v);
+    if (rhat_v == 0.0) break;
+    alpha = rho / rhat_v;
+
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) <= target) {
+      axpy(alpha, y, out.x);
+      apply_a(out.x, tmp);
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - tmp[i];
+      out.converged = true;
+      out.iterations = iter;
+      out.residual_norm = norm2(r);
+      return out;
+    }
+
+    precondition(s, z);
+    apply_a(z, t);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+
+    for (std::size_t i = 0; i < n; ++i)
+      out.x[i] += alpha * y[i] + omega * z[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+
+    r_norm = norm2(r);
+    out.iterations = iter;
+    if (r_norm <= target) {
+      out.converged = true;
+      break;
+    }
+    if (omega == 0.0) break;
+    rho_prev = rho;
+  }
+
+  apply_a(out.x, tmp);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = b[i] - tmp[i];
+  out.residual_norm = norm2(tmp);
+  out.converged = out.converged || out.residual_norm <= target;
+  return out;
+}
+
+}  // namespace somrm::linalg

@@ -1,0 +1,232 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::linalg {
+
+CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void CsrBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("CsrBuilder::add: index out of range");
+  entries_.push_back(Triplet{row, col, value});
+}
+
+CsrMatrix CsrBuilder::build(bool keep_explicit_zeros) && {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    while (i < entries_.size() && entries_[i].row == r) {
+      const std::size_t c = entries_[i].col;
+      double v = 0.0;
+      while (i < entries_.size() && entries_[i].row == r &&
+             entries_[i].col == c) {
+        v += entries_[i].value;
+        ++i;
+      }
+      if (keep_explicit_zeros || v != 0.0) {
+        col_idx.push_back(c);
+        values.push_back(v);
+      }
+    }
+    row_ptr[r + 1] = col_idx.size();
+  }
+  entries_.clear();
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1)
+    throw std::invalid_argument("CsrMatrix: row_ptr size must be rows+1");
+  if (col_idx_.size() != values_.size())
+    throw std::invalid_argument("CsrMatrix: col_idx/values size mismatch");
+  if (row_ptr_.front() != 0 || row_ptr_.back() != values_.size())
+    throw std::invalid_argument("CsrMatrix: bad row_ptr endpoints");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1])
+      throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+  }
+  for (std::size_t c : col_idx_) {
+    if (c >= cols_)
+      throw std::invalid_argument("CsrMatrix: column index out of range");
+  }
+}
+
+CsrMatrix CsrMatrix::identity(std::size_t n) {
+  std::vector<std::size_t> row_ptr(n + 1);
+  std::vector<std::size_t> col_idx(n);
+  std::vector<double> values(n, 1.0);
+  for (std::size_t i = 0; i <= n; ++i) row_ptr[i] = i;
+  for (std::size_t i = 0; i < n; ++i) col_idx[i] = i;
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::diagonal(std::span<const double> diag) {
+  const std::size_t n = diag.size();
+  std::vector<std::size_t> row_ptr(n + 1);
+  std::vector<std::size_t> col_idx(n);
+  std::vector<double> values(diag.begin(), diag.end());
+  for (std::size_t i = 0; i <= n; ++i) row_ptr[i] = i;
+  for (std::size_t i = 0; i < n; ++i) col_idx[i] = i;
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::span<const Triplet> triplets) {
+  CsrBuilder b(rows, cols);
+  for (const Triplet& t : triplets) b.add(t.row, t.col, t.value);
+  return std::move(b).build();
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("CsrMatrix::at: index out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::multiply_add(double alpha, std::span<const double> x,
+                             std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("CsrMatrix::multiply_add: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_idx_[k]];
+    y[r] += alpha * acc;
+  }
+}
+
+void CsrMatrix::multiply_transposed(std::span<const double> x,
+                                    std::span<double> y) const {
+  if (x.size() != rows_ || y.size() != cols_)
+    throw std::invalid_argument("CsrMatrix::multiply_transposed: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += values_[k] * xr;
+  }
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrBuilder b(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      b.add(col_idx_[k], r, values_[k]);
+  return std::move(b).build(/*keep_explicit_zeros=*/true);
+}
+
+CsrMatrix CsrMatrix::scaled_plus_identity(double alpha, double beta) const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("scaled_plus_identity: matrix must be square");
+  CsrBuilder b(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    bool diag_seen = false;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      double v = alpha * values_[k];
+      if (col_idx_[k] == r) {
+        v += beta;
+        diag_seen = true;
+      }
+      b.add(r, col_idx_[k], v);
+    }
+    if (!diag_seen && beta != 0.0) b.add(r, r, beta);
+  }
+  return std::move(b).build(/*keep_explicit_zeros=*/true);
+}
+
+Vec CsrMatrix::diagonal_vector() const {
+  Vec d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) d[r] = at(r, r);
+  return d;
+}
+
+Vec CsrMatrix::row_sums() const {
+  Vec s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s[r] += values_[k];
+  return s;
+}
+
+double CsrMatrix::mean_row_nnz() const {
+  if (rows_ == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(rows_);
+}
+
+double CsrMatrix::max_abs_diagonal() const {
+  double q = 0.0;
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t r = 0; r < n; ++r) q = std::max(q, std::abs(at(r, r)));
+  return q;
+}
+
+bool CsrMatrix::is_nonnegative(double tol) const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [tol](double v) { return v >= -tol; });
+}
+
+bool CsrMatrix::has_zero_row_sums(double tol) const {
+  const Vec s = row_sums();
+  return std::all_of(s.begin(), s.end(),
+                     [tol](double v) { return std::abs(v) <= tol; });
+}
+
+bool CsrMatrix::is_substochastic(double tol) const {
+  if (!is_nonnegative(tol)) return false;
+  const Vec s = row_sums();
+  return std::all_of(s.begin(), s.end(),
+                     [tol](double v) { return v <= 1.0 + tol; });
+}
+
+std::vector<Vec> CsrMatrix::to_dense(std::size_t max_dim) const {
+  if (rows_ > max_dim || cols_ > max_dim)
+    throw std::invalid_argument("CsrMatrix::to_dense: matrix too large");
+  std::vector<Vec> dense(rows_, Vec(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      dense[r][col_idx_[k]] += values_[k];
+  return dense;
+}
+
+}  // namespace somrm::linalg

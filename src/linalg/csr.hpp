@@ -1,0 +1,146 @@
+// somrm/linalg/csr.hpp
+//
+// Compressed-sparse-row matrix and an incremental COO-style builder.
+//
+// The randomization solver spends essentially all of its time in
+// CsrMatrix::multiply, so the representation is the classic three-array CSR
+// with row-major traversal. The builder accepts duplicate entries (they are
+// summed) and unordered input; finalize() sorts and compacts.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace somrm::linalg {
+
+/// One (row, col, value) coordinate entry used while assembling a matrix.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix;
+
+/// Incremental builder for CsrMatrix. Entries may arrive in any order and
+/// duplicates are summed, which makes assembling generators from transition
+/// lists straightforward.
+class CsrBuilder {
+ public:
+  /// Creates a builder for a @p rows x @p cols matrix.
+  CsrBuilder(std::size_t rows, std::size_t cols);
+
+  /// Adds @p value at (row, col). Throws std::out_of_range on bad indices.
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Number of raw (pre-compaction) entries added so far.
+  std::size_t entry_count() const { return entries_.size(); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Sorts, merges duplicates, drops explicit zeros (unless
+  /// @p keep_explicit_zeros) and produces the immutable CSR matrix.
+  CsrMatrix build(bool keep_explicit_zeros = false) &&;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+/// Immutable CSR sparse matrix.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Builds directly from raw CSR arrays; validates the structure
+  /// (monotone row pointers, in-range column indices).
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  /// Identity matrix of order @p n.
+  static CsrMatrix identity(std::size_t n);
+
+  /// Diagonal matrix with the given diagonal.
+  static CsrMatrix diagonal(std::span<const double> diag);
+
+  /// Builds from triplets (duplicates summed).
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::span<const Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Element lookup by binary search within the row. O(log nnz_row).
+  double at(std::size_t row, std::size_t col) const;
+
+  /// y = A * x. Requires x.size() == cols(), y.size() == rows(); x and y
+  /// must not alias.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y += alpha * A * x.
+  void multiply_add(double alpha, std::span<const double> x,
+                    std::span<double> y) const;
+
+  /// y = A^T * x (row-major traversal with scatter).
+  void multiply_transposed(std::span<const double> x,
+                           std::span<double> y) const;
+
+  /// Returns A^T as a new CSR matrix.
+  CsrMatrix transposed() const;
+
+  /// Returns alpha * A + beta * I (square matrices only). Used to form the
+  /// uniformized matrix Q' = Q/q + I without densifying.
+  CsrMatrix scaled_plus_identity(double alpha, double beta) const;
+
+  /// Returns a copy of the main diagonal (length min(rows, cols)); absent
+  /// entries are zero.
+  Vec diagonal_vector() const;
+
+  /// Row sums (length rows()).
+  Vec row_sums() const;
+
+  /// Mean number of stored entries per row; the paper's "m" in the
+  /// complexity discussion of section 6.
+  double mean_row_nnz() const;
+
+  /// Maximum |a_ii| over the diagonal; the uniformization rate q for a
+  /// generator matrix.
+  double max_abs_diagonal() const;
+
+  /// True if every stored entry is >= -tol.
+  bool is_nonnegative(double tol = 0.0) const;
+
+  /// True if every row sum is within tol of zero (generator property).
+  bool has_zero_row_sums(double tol) const;
+
+  /// True if every row sum is <= 1 + tol and entries are non-negative
+  /// (sub-stochastic property relied on by Theorem 4's error bound).
+  bool is_substochastic(double tol) const;
+
+  /// Dense rendering for tests/diagnostics; throws for matrices larger than
+  /// @p max_dim in either dimension.
+  std::vector<Vec> to_dense(std::size_t max_dim = 512) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace somrm::linalg

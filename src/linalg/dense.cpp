@@ -1,0 +1,84 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace somrm::linalg {
+
+namespace {
+
+double abs_of(double v) { return std::abs(v); }
+double abs_of(const std::complex<double>& v) { return std::abs(v); }
+
+}  // namespace
+
+template <typename T>
+double Dense<T>::norm1() const {
+  double best = 0.0;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) col += abs_of((*this)(i, j));
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+template <typename T>
+double Dense<T>::norm_max() const {
+  double best = 0.0;
+  for (const T& v : data_) best = std::max(best, abs_of(v));
+  return best;
+}
+
+template <typename T>
+void Dense<T>::solve_in_place(Dense& b) const {
+  if (rows_ != cols_)
+    throw std::invalid_argument("Dense::solve_in_place: matrix must be square");
+  if (b.rows() != rows_)
+    throw std::invalid_argument("Dense::solve_in_place: rhs shape mismatch");
+
+  Dense a = *this;  // working copy; elimination destroys it
+  const std::size_t n = rows_;
+  const std::size_t m = b.cols();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t piv = k;
+    double best = abs_of(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = abs_of(a(i, k));
+      if (cand > best) {
+        best = cand;
+        piv = i;
+      }
+    }
+    if (best == 0.0)
+      throw std::runtime_error("Dense::solve_in_place: singular matrix");
+    if (piv != k) {
+      for (std::size_t j = k; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      for (std::size_t j = 0; j < m; ++j) std::swap(b(k, j), b(piv, j));
+    }
+    const T inv_pivot = T{1} / a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const T factor = a(i, k) * inv_pivot;
+      if (factor == T{}) continue;
+      a(i, k) = T{};
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= factor * a(k, j);
+      for (std::size_t j = 0; j < m; ++j) b(i, j) -= factor * b(k, j);
+    }
+  }
+  // Back substitution.
+  for (std::size_t kk = n; kk-- > 0;) {
+    const T inv_pivot = T{1} / a(kk, kk);
+    for (std::size_t j = 0; j < m; ++j) {
+      T acc = b(kk, j);
+      for (std::size_t c = kk + 1; c < n; ++c) acc -= a(kk, c) * b(c, j);
+      b(kk, j) = acc * inv_pivot;
+    }
+  }
+}
+
+template class Dense<double>;
+template class Dense<std::complex<double>>;
+
+}  // namespace somrm::linalg

@@ -1,0 +1,149 @@
+// somrm/linalg/dense.hpp
+//
+// Small dense matrix type used by the transform-domain density solver and by
+// the dense stationary solver (GTH). Templated on the scalar so the same code
+// serves real generators and the complex matrices exp(t(Q - iwR - w^2/2 S))
+// needed for characteristic functions.
+//
+// This is deliberately a simple row-major value type: the matrices involved
+// are at most a few hundred rows (the paper notes transform/PDE methods stop
+// being practical beyond ~100 states), so cache-blocking or expression
+// templates would be over-engineering.
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::linalg {
+
+template <typename T>
+class Dense {
+ public:
+  Dense() = default;
+
+  /// rows x cols matrix, zero initialized.
+  Dense(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  static Dense identity(std::size_t n) {
+    Dense m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const T> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Dense& operator+=(const Dense& o) {
+    check_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+
+  Dense& operator-=(const Dense& o) {
+    check_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+
+  Dense& operator*=(T alpha) {
+    for (T& v : data_) v *= alpha;
+    return *this;
+  }
+
+  friend Dense operator+(Dense a, const Dense& b) { return a += b; }
+  friend Dense operator-(Dense a, const Dense& b) { return a -= b; }
+  friend Dense operator*(Dense a, T alpha) { return a *= alpha; }
+  friend Dense operator*(T alpha, Dense a) { return a *= alpha; }
+
+  /// Matrix product this * other.
+  Dense multiply(const Dense& other) const {
+    if (cols_ != other.rows_)
+      throw std::invalid_argument("Dense::multiply: shape mismatch");
+    Dense out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = (*this)(i, k);
+        if (a == T{}) continue;
+        for (std::size_t j = 0; j < other.cols_; ++j)
+          out(i, j) += a * other(k, j);
+      }
+    }
+    return out;
+  }
+
+  /// y = this * x for a dense vector.
+  std::vector<T> multiply(std::span<const T> x) const {
+    if (x.size() != cols_)
+      throw std::invalid_argument("Dense::multiply(vec): size mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T acc{};
+      for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  /// 1-norm (max column sum of absolute values); used by expm scaling.
+  double norm1() const;
+
+  /// max |a_ij|.
+  double norm_max() const;
+
+  /// Solves this * X = B in place of B via Gaussian elimination with partial
+  /// pivoting (this is copied, B overwritten with X). Throws
+  /// std::runtime_error on numerical singularity.
+  void solve_in_place(Dense& b) const;
+
+  /// Convenience: solves this * x = rhs.
+  std::vector<T> solve(std::span<const T> rhs) const {
+    if (rhs.size() != rows_)
+      throw std::invalid_argument("Dense::solve: rhs size mismatch");
+    Dense b(rows_, 1);
+    for (std::size_t i = 0; i < rows_; ++i) b(i, 0) = rhs[i];
+    solve_in_place(b);
+    std::vector<T> x(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) x[i] = b(i, 0);
+    return x;
+  }
+
+  Dense transposed() const {
+    Dense out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+ private:
+  void check_same_shape(const Dense& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+      throw std::invalid_argument("Dense: shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using DenseMatrix = Dense<double>;
+using DenseCMatrix = Dense<std::complex<double>>;
+
+extern template class Dense<double>;
+extern template class Dense<std::complex<double>>;
+
+}  // namespace somrm::linalg

@@ -1,0 +1,78 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::linalg {
+
+namespace {
+
+// Pade(13) numerator coefficients from Higham, "The scaling and squaring
+// method for the matrix exponential revisited", SIAM J. Matrix Anal. 2005.
+constexpr double kPade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+// theta_13: scaling threshold below which Pade(13) meets double precision.
+constexpr double kTheta13 = 5.371920351148152;
+
+}  // namespace
+
+template <typename T>
+Dense<T> expm(const Dense<T>& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("expm: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scale A by 2^-s so that ||A/2^s||_1 <= theta_13.
+  const double norm = a.norm1();
+  int s = 0;
+  if (norm > kTheta13) {
+    s = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
+    if (s < 0) s = 0;
+  }
+  Dense<T> as = a;
+  if (s > 0) as *= static_cast<T>(std::ldexp(1.0, -s));
+
+  // Pade(13): U = A (b13 A6^2 + b11 A6 A4 ... ), V similarly with even coeffs.
+  const Dense<T> ident = Dense<T>::identity(n);
+  const Dense<T> a2 = as.multiply(as);
+  const Dense<T> a4 = a2.multiply(a2);
+  const Dense<T> a6 = a4.multiply(a2);
+
+  Dense<T> w1 = a6 * static_cast<T>(kPade13[13]) +
+                a4 * static_cast<T>(kPade13[11]) +
+                a2 * static_cast<T>(kPade13[9]);
+  Dense<T> w2 = a6 * static_cast<T>(kPade13[7]) +
+                a4 * static_cast<T>(kPade13[5]) +
+                a2 * static_cast<T>(kPade13[3]) +
+                ident * static_cast<T>(kPade13[1]);
+  Dense<T> u = as.multiply(a6.multiply(w1) + w2);
+
+  Dense<T> z1 = a6 * static_cast<T>(kPade13[12]) +
+                a4 * static_cast<T>(kPade13[10]) +
+                a2 * static_cast<T>(kPade13[8]);
+  Dense<T> v = a6.multiply(z1) + a6 * static_cast<T>(kPade13[6]) +
+               a4 * static_cast<T>(kPade13[4]) +
+               a2 * static_cast<T>(kPade13[2]) +
+               ident * static_cast<T>(kPade13[0]);
+
+  // Solve (V - U) F = (V + U).
+  Dense<T> lhs = v - u;
+  Dense<T> rhs = v + u;
+  lhs.solve_in_place(rhs);
+  Dense<T> f = std::move(rhs);
+
+  for (int i = 0; i < s; ++i) f = f.multiply(f);
+  return f;
+}
+
+template Dense<double> expm<double>(const Dense<double>&);
+template Dense<std::complex<double>> expm<std::complex<double>>(
+    const Dense<std::complex<double>>&);
+
+}  // namespace somrm::linalg

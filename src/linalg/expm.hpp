@@ -1,0 +1,26 @@
+// somrm/linalg/expm.hpp
+//
+// Dense matrix exponential via Pade(13) with scaling and squaring
+// (Higham 2005). Used by
+//  * the transform-domain density solver, which needs
+//    exp(t (Q - i w R - w^2/2 S)) for complex arguments, and
+//  * tests that cross-check uniformization against exp(Qt).
+//
+// Intended for the small dense matrices of those use cases (N <= a few
+// hundred); the randomization solver never forms a matrix exponential.
+
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace somrm::linalg {
+
+/// Computes exp(A) for a square dense matrix.
+template <typename T>
+Dense<T> expm(const Dense<T>& a);
+
+extern template Dense<double> expm<double>(const Dense<double>&);
+extern template Dense<std::complex<double>> expm<std::complex<double>>(
+    const Dense<std::complex<double>>&);
+
+}  // namespace somrm::linalg

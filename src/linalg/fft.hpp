@@ -1,0 +1,28 @@
+// somrm/linalg/fft.hpp
+//
+// Minimal iterative radix-2 complex FFT. The transform-domain density solver
+// evaluates the characteristic function of B(t) on a uniform frequency grid
+// and inverts it to a density with one inverse FFT; no external FFT
+// dependency is needed at those sizes (<= 2^16 points).
+
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace somrm::linalg {
+
+using Cvec = std::vector<std::complex<double>>;
+
+/// True when n is a power of two (and positive).
+bool is_power_of_two(std::size_t n);
+
+/// In-place forward DFT: X[k] = sum_j x[j] e^{-2 pi i j k / n}.
+/// Throws std::invalid_argument unless size is a power of two.
+void fft(Cvec& data);
+
+/// In-place inverse DFT including the 1/n normalization.
+void ifft(Cvec& data);
+
+}  // namespace somrm::linalg

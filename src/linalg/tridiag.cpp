@@ -1,0 +1,128 @@
+#include "linalg/tridiag.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace somrm::linalg {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n || upper.size() != n || rhs.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  if (n == 0) return {};
+
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  if (diag[0] == 0.0)
+    throw std::runtime_error("solve_tridiagonal: zero pivot at row 0");
+  c_prime[0] = upper[0] / diag[0];
+  d_prime[0] = rhs[0] / diag[0];
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = diag[i] - lower[i] * c_prime[i - 1];
+    if (denom == 0.0)
+      throw std::runtime_error("solve_tridiagonal: zero pivot");
+    if (i + 1 < n) c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom;
+  }
+
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  return x;
+}
+
+template <typename Real>
+TridiagEigen<Real> symmetric_tridiagonal_eigen(std::vector<Real> diag,
+                                               std::vector<Real> offdiag) {
+  const std::size_t n = diag.size();
+  if (n == 0) return {};
+  if (offdiag.size() + 1 != n)
+    throw std::invalid_argument(
+        "symmetric_tridiagonal_eigen: offdiag must have size n-1");
+
+  // e is padded to length n; z0 tracks the first row of the accumulated
+  // orthogonal transform (starts as e_0^T since Z starts as identity).
+  std::vector<Real> d = std::move(diag);
+  std::vector<Real> e(n, Real{0});
+  std::copy(offdiag.begin(), offdiag.end(), e.begin());
+  std::vector<Real> z0(n, Real{0});
+  z0[0] = Real{1};
+
+  const Real eps = std::numeric_limits<Real>::epsilon();
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const Real dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 50)
+          throw std::runtime_error(
+              "symmetric_tridiagonal_eigen: QL failed to converge");
+        Real g = (d[l + 1] - d[l]) / (Real{2} * e[l]);
+        Real r = std::hypot(g, Real{1});
+        g = d[m] - d[l] + e[l] / (g + (g >= Real{0} ? std::abs(r) : -std::abs(r)));
+        Real s{1}, c{1}, p{0};
+        bool underflow = false;
+        for (std::size_t i = m; i-- > l;) {
+          Real f = s * e[i];
+          const Real b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == Real{0}) {
+            d[i + 1] -= p;
+            e[m] = Real{0};
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + Real{2} * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          // First row of the eigenvector matrix.
+          f = z0[i + 1];
+          z0[i + 1] = s * z0[i] + c * f;
+          z0[i] = c * z0[i] - s * f;
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = Real{0};
+      }
+    } while (m != l);
+  }
+
+  // Sort eigenvalues (and matching first components) ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&d](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagEigen<Real> out;
+  out.eigenvalues.resize(n);
+  out.first_components.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = d[order[k]];
+    out.first_components[k] = z0[order[k]];
+  }
+  return out;
+}
+
+template TridiagEigen<double> symmetric_tridiagonal_eigen<double>(
+    std::vector<double>, std::vector<double>);
+template TridiagEigen<long double> symmetric_tridiagonal_eigen<long double>(
+    std::vector<long double>, std::vector<long double>);
+
+}  // namespace somrm::linalg

@@ -1,0 +1,65 @@
+// somrm/linalg/tridiag.hpp
+//
+// Tridiagonal kernels:
+//  * Thomas algorithm for general tridiagonal systems (the implicit
+//    advection-diffusion step of the PDE density solver), and
+//  * a symmetric tridiagonal eigensolver (implicit-shift QL) used by the
+//    Golub-Welsch quadrature inside the moment-bound module.
+//
+// The eigensolver is templated on the real type because the moment-bound
+// pipeline runs in long double: Hankel matrices of 20+ raw moments are too
+// ill-conditioned for double.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::linalg {
+
+/// Solves a general tridiagonal system A x = rhs with the Thomas algorithm.
+///
+/// @param lower  sub-diagonal, lower[i] multiplies x[i-1] in row i
+///               (lower[0] is ignored); size n
+/// @param diag   main diagonal; size n
+/// @param upper  super-diagonal, upper[i] multiplies x[i+1] in row i
+///               (upper[n-1] is ignored); size n
+/// @param rhs    right-hand side; size n
+/// @returns the solution vector x
+///
+/// Throws std::runtime_error if a pivot vanishes (no pivoting is performed;
+/// callers use diagonally dominant systems where Thomas is stable).
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs);
+
+/// Eigen-decomposition of a symmetric tridiagonal matrix.
+///
+/// diag has size n, offdiag size n-1 (offdiag[i] couples i and i+1).
+/// On return, eigenvalues are sorted ascending; first_components[k] is the
+/// first element of the (normalized) eigenvector belonging to
+/// eigenvalues[k] — exactly what Golub-Welsch quadrature needs.
+template <typename Real>
+struct TridiagEigen {
+  std::vector<Real> eigenvalues;
+  std::vector<Real> first_components;
+};
+
+/// Implicit-shift QL iteration (EISPACK imtql2-style) tracking only the first
+/// row of the accumulated rotations. Throws std::runtime_error if an
+/// eigenvalue fails to converge in 50 iterations.
+template <typename Real>
+TridiagEigen<Real> symmetric_tridiagonal_eigen(std::vector<Real> diag,
+                                               std::vector<Real> offdiag);
+
+extern template TridiagEigen<double> symmetric_tridiagonal_eigen<double>(
+    std::vector<double>, std::vector<double>);
+extern template TridiagEigen<long double>
+symmetric_tridiagonal_eigen<long double>(std::vector<long double>,
+                                         std::vector<long double>);
+
+}  // namespace somrm::linalg

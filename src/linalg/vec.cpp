@@ -1,0 +1,105 @@
+#include "linalg/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace somrm::linalg {
+
+Vec constant_vec(std::size_t n, double value) { return Vec(n, value); }
+
+Vec ones(std::size_t n) { return Vec(n, 1.0); }
+
+Vec zeros(std::size_t n) { return Vec(n, 0.0); }
+
+Vec unit_vec(std::size_t n, std::size_t i) {
+  if (i >= n) throw std::out_of_range("unit_vec: index out of range");
+  Vec e(n, 0.0);
+  e[i] = 1.0;
+  return e;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double norm2(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double norm_inf(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double max_elem(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("max_elem: empty vector");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double min_elem(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("min_elem: empty vector");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    acc = std::max(acc, std::abs(x[i] - y[i]));
+  return acc;
+}
+
+bool all_finite(std::span<const double> x) {
+  return std::all_of(x.begin(), x.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+bool is_nonnegative(std::span<const double> x, double tol) {
+  return std::all_of(x.begin(), x.end(), [tol](double v) { return v >= -tol; });
+}
+
+void normalize_probability(std::span<double> x) {
+  const double s = sum(x);
+  if (!(s > 0.0))
+    throw std::invalid_argument("normalize_probability: non-positive sum");
+  scale(1.0 / s, x);
+}
+
+std::string to_string(std::span<const double> x, std::size_t max_elems) {
+  std::ostringstream os;
+  os << '[';
+  const std::size_t shown = std::min(x.size(), max_elems);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ", ";
+    os << x[i];
+  }
+  if (shown < x.size()) os << ", ... (" << x.size() << " elems)";
+  os << ']';
+  return os.str();
+}
+
+}  // namespace somrm::linalg

@@ -1,0 +1,75 @@
+// somrm/linalg/vec.hpp
+//
+// Dense vector primitives used throughout the library.
+//
+// A vector is a plain std::vector<double>; the functions here are the small
+// set of BLAS-1 style kernels the solvers need. They are free functions (not
+// a wrapper class) so call sites stay interoperable with the standard
+// library and with user code.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace somrm::linalg {
+
+/// Dense vector of doubles. All solver state in the library uses this type.
+using Vec = std::vector<double>;
+
+/// Returns a vector of length @p n with every element equal to @p value.
+Vec constant_vec(std::size_t n, double value);
+
+/// Returns the all-ones vector of length @p n (the paper's column vector h).
+Vec ones(std::size_t n);
+
+/// Returns the all-zeros vector of length @p n.
+Vec zeros(std::size_t n);
+
+/// Returns the unit coordinate vector e_i of length @p n.
+Vec unit_vec(std::size_t n, std::size_t i);
+
+/// Dot product <x, y>. Requires x.size() == y.size().
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x (classic axpy). Requires x.size() == y.size().
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x);
+
+/// Euclidean norm ||x||_2.
+double norm2(std::span<const double> x);
+
+/// Maximum norm ||x||_inf.
+double norm_inf(std::span<const double> x);
+
+/// Sum of elements.
+double sum(std::span<const double> x);
+
+/// Largest element (requires non-empty input).
+double max_elem(std::span<const double> x);
+
+/// Smallest element (requires non-empty input).
+double min_elem(std::span<const double> x);
+
+/// Componentwise |x - y| maximum. Requires equal sizes.
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+/// True when every element is finite (no NaN/Inf).
+bool all_finite(std::span<const double> x);
+
+/// True when every element is >= -tol.
+bool is_nonnegative(std::span<const double> x, double tol = 0.0);
+
+/// Normalizes x so its elements sum to one. Throws std::invalid_argument if
+/// the sum is not positive.
+void normalize_probability(std::span<double> x);
+
+/// Short human-readable rendering "[a, b, ...]" for diagnostics; at most
+/// @p max_elems elements are printed.
+std::string to_string(std::span<const double> x, std::size_t max_elems = 16);
+
+}  // namespace somrm::linalg

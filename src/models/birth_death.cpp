@@ -1,0 +1,51 @@
+#include "models/birth_death.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::models {
+
+ctmc::Generator make_birth_death_generator(std::size_t num_states,
+                                           const RateFn& birth_rate,
+                                           const RateFn& death_rate) {
+  if (num_states == 0)
+    throw std::invalid_argument("make_birth_death_generator: empty chain");
+  std::vector<linalg::Triplet> rates;
+  rates.reserve(2 * num_states);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    if (i + 1 < num_states) {
+      const double b = birth_rate(i);
+      if (b < 0.0)
+        throw std::invalid_argument(
+            "make_birth_death_generator: negative birth rate");
+      if (b > 0.0) rates.push_back({i, i + 1, b});
+    }
+    if (i > 0) {
+      const double d = death_rate(i);
+      if (d < 0.0)
+        throw std::invalid_argument(
+            "make_birth_death_generator: negative death rate");
+      if (d > 0.0) rates.push_back({i, i - 1, d});
+    }
+  }
+  return ctmc::Generator::from_rates(num_states, rates);
+}
+
+core::SecondOrderMrm make_birth_death_mrm(std::size_t num_states,
+                                          const RateFn& birth_rate,
+                                          const RateFn& death_rate,
+                                          const RewardFn& drift,
+                                          const RewardFn& variance,
+                                          std::size_t initial_state) {
+  auto gen = make_birth_death_generator(num_states, birth_rate, death_rate);
+  linalg::Vec drifts(num_states), variances(num_states);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    drifts[i] = drift(i);
+    variances[i] = variance(i);
+  }
+  return core::SecondOrderMrm(std::move(gen), std::move(drifts),
+                              std::move(variances),
+                              linalg::unit_vec(num_states, initial_state));
+}
+
+}  // namespace somrm::models

@@ -1,0 +1,41 @@
+// somrm/models/birth_death.hpp
+//
+// General birth-death CTMC builder. The ON-OFF multiplexer, machine-repair
+// and M/M/c-style structure processes are all birth-death chains; the
+// kernel-scaling benchmark also sweeps synthetic birth-death models of
+// growing size through this builder.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/model.hpp"
+#include "ctmc/generator.hpp"
+
+namespace somrm::models {
+
+/// Rate callback: rate for the transition out of state i. Birth applies for
+/// i = 0..n-2 (to i+1), death for i = 1..n-1 (to i-1). Rates must be
+/// non-negative; a zero rate removes the transition.
+using RateFn = std::function<double(std::size_t i)>;
+
+/// Builds the generator of a birth-death chain on states 0..num_states-1.
+ctmc::Generator make_birth_death_generator(std::size_t num_states,
+                                           const RateFn& birth_rate,
+                                           const RateFn& death_rate);
+
+/// Per-state reward callbacks for assembling a full second-order MRM on a
+/// birth-death structure process.
+using RewardFn = std::function<double(std::size_t i)>;
+
+/// Builds a second-order MRM with birth-death structure. @p initial_state
+/// gets probability one at time zero.
+core::SecondOrderMrm make_birth_death_mrm(std::size_t num_states,
+                                          const RateFn& birth_rate,
+                                          const RateFn& death_rate,
+                                          const RewardFn& drift,
+                                          const RewardFn& variance,
+                                          std::size_t initial_state = 0);
+
+}  // namespace somrm::models

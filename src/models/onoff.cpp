@@ -1,0 +1,64 @@
+#include "models/onoff.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::models {
+
+OnOffMultiplexerParams table1_params(double rate_variance) {
+  OnOffMultiplexerParams p;
+  p.capacity = 32.0;
+  p.num_sources = 32;
+  p.on_rate = 4.0;
+  p.off_rate = 3.0;
+  p.peak_rate = 1.0;
+  p.rate_variance = rate_variance;
+  return p;
+}
+
+OnOffMultiplexerParams table2_params() {
+  OnOffMultiplexerParams p;
+  p.capacity = 200000.0;
+  p.num_sources = 200000;
+  p.on_rate = 4.0;
+  p.off_rate = 3.0;
+  p.peak_rate = 1.0;
+  p.rate_variance = 10.0;
+  return p;
+}
+
+core::SecondOrderMrm make_onoff_multiplexer(const OnOffMultiplexerParams& p) {
+  if (p.num_sources == 0)
+    throw std::invalid_argument("make_onoff_multiplexer: need >= 1 source");
+  if (!(p.on_rate > 0.0) || !(p.off_rate > 0.0))
+    throw std::invalid_argument(
+        "make_onoff_multiplexer: ON/OFF rates must be positive");
+  if (p.rate_variance < 0.0)
+    throw std::invalid_argument(
+        "make_onoff_multiplexer: negative rate variance");
+
+  const std::size_t n = p.num_sources + 1;  // states 0..N active sources
+  std::vector<linalg::Triplet> rates;
+  rates.reserve(2 * p.num_sources);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i);
+    if (i + 1 < n)
+      rates.push_back({i, i + 1,
+                       static_cast<double>(p.num_sources - i) * p.off_rate});
+    if (i > 0) rates.push_back({i, i - 1, di * p.on_rate});
+  }
+  auto gen = ctmc::Generator::from_rates(n, rates);
+
+  linalg::Vec drifts(n), variances(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i);
+    drifts[i] = p.capacity - di * p.peak_rate;
+    variances[i] = di * p.rate_variance;
+  }
+
+  linalg::Vec initial = linalg::unit_vec(n, 0);  // all sources OFF
+  return core::SecondOrderMrm(std::move(gen), std::move(drifts),
+                              std::move(variances), std::move(initial));
+}
+
+}  // namespace somrm::models

@@ -1,0 +1,42 @@
+// somrm/models/onoff.hpp
+//
+// The paper's section-7 example: a channel of capacity C serving N ON-OFF
+// class-1 sources (exponential ON with parameter alpha, OFF with parameter
+// beta). During ON, a source emits at rate r with variance sigma^2. The
+// background CTMC counts active sources (a birth-death chain on 0..N,
+// Figure 2); the reward tracked is the capacity left for class-2 traffic:
+//
+//   state i:  r_i = C - i r,   sigma_i^2 = i sigma^2,
+//   q_{i,i+1} = (N - i) beta,  q_{i,i-1} = i alpha.
+//
+// The paper starts all sources OFF (initial mass on state 0).
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/model.hpp"
+
+namespace somrm::models {
+
+struct OnOffMultiplexerParams {
+  double capacity = 32.0;        ///< C, channel capacity
+  std::size_t num_sources = 32;  ///< N, number of ON-OFF sources
+  double on_rate = 4.0;          ///< alpha, ON -> OFF rate (ON ~ Exp(alpha))
+  double off_rate = 3.0;         ///< beta, OFF -> ON rate
+  double peak_rate = 1.0;        ///< r, per-source transmission rate when ON
+  double rate_variance = 0.0;    ///< sigma^2, per-source variance when ON
+};
+
+/// Parameters of Table 1 (sigma^2 passed per experiment: 0, 1 or 10).
+OnOffMultiplexerParams table1_params(double rate_variance);
+
+/// Parameters of Table 2 (the large model: C = N = 200,000, sigma^2 = 10).
+OnOffMultiplexerParams table2_params();
+
+/// Builds the second-order MRM of Figure 2; N+1 states, all sources OFF at
+/// time zero. Throws std::invalid_argument for non-positive rates or zero
+/// sources.
+core::SecondOrderMrm make_onoff_multiplexer(const OnOffMultiplexerParams& p);
+
+}  // namespace somrm::models

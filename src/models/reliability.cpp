@@ -1,0 +1,42 @@
+#include "models/reliability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/birth_death.hpp"
+
+namespace somrm::models {
+
+core::SecondOrderMrm make_machine_repair(const MachineRepairParams& p) {
+  if (p.num_processors == 0)
+    throw std::invalid_argument("make_machine_repair: need >= 1 processor");
+  if (!(p.failure_rate > 0.0) || !(p.repair_rate > 0.0))
+    throw std::invalid_argument(
+        "make_machine_repair: failure/repair rates must be positive");
+  if (p.num_repairmen == 0)
+    throw std::invalid_argument("make_machine_repair: need >= 1 repairman");
+  if (p.unit_power_variance < 0.0)
+    throw std::invalid_argument("make_machine_repair: negative variance");
+  if (p.initial_failed > p.num_processors)
+    throw std::invalid_argument("make_machine_repair: bad initial state");
+
+  const std::size_t m = p.num_processors;
+  return make_birth_death_mrm(
+      m + 1,
+      [&p, m](std::size_t i) {
+        return static_cast<double>(m - i) * p.failure_rate;
+      },
+      [&p](std::size_t i) {
+        return static_cast<double>(std::min(i, p.num_repairmen)) *
+               p.repair_rate;
+      },
+      [&p, m](std::size_t i) {
+        return static_cast<double>(m - i) * p.unit_power;
+      },
+      [&p, m](std::size_t i) {
+        return static_cast<double>(m - i) * p.unit_power_variance;
+      },
+      p.initial_failed);
+}
+
+}  // namespace somrm::models

@@ -1,0 +1,40 @@
+// somrm/models/reliability.hpp
+//
+// Classic performability scenario (the domain MRMs come from): a
+// multiprocessor with M processors that fail and get repaired. State i
+// counts failed processors; with i failures the system delivers the
+// processing power of M - i processors. The second-order extension models
+// per-processor throughput jitter: while i processors are down, work
+// accumulates with drift (M - i) * unit_power and variance
+// (M - i) * unit_power_variance.
+//
+// Used by the reliability_performability example and by integration tests
+// as a structurally different model family from the ON-OFF multiplexer
+// (repair capacity makes the death rate saturate, unlike the linear
+// ON-OFF chain).
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/model.hpp"
+
+namespace somrm::models {
+
+struct MachineRepairParams {
+  std::size_t num_processors = 8;  ///< M
+  double failure_rate = 0.1;       ///< per-processor failure rate lambda
+  double repair_rate = 1.0;        ///< per-repairman repair rate mu
+  std::size_t num_repairmen = 1;   ///< c, repairs happen c at a time at most
+  double unit_power = 1.0;         ///< work rate contributed per live CPU
+  double unit_power_variance = 0.0;  ///< throughput jitter per live CPU
+  std::size_t initial_failed = 0;  ///< failed processors at time zero
+};
+
+/// Builds the machine-repair second-order MRM. States 0..M (failed count);
+/// birth rate (failures) (M - i) lambda, death rate (repairs)
+/// min(i, c) mu. Throws std::invalid_argument on non-positive rates or
+/// out-of-range initial state.
+core::SecondOrderMrm make_machine_repair(const MachineRepairParams& p);
+
+}  // namespace somrm::models

@@ -1,0 +1,38 @@
+// somrm/prob/normal.hpp
+//
+// Normal-distribution utilities. Second-order MRMs accumulate reward as a
+// Brownian motion, so normal densities/CDFs and the raw moments of
+// N(mu, sigma^2) appear throughout: in the simulator (sojourn increments),
+// in closed-form test anchors (1-state models), and in the q = 0 degenerate
+// path of the randomization solver.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace somrm::prob {
+
+/// Density of N(mean, variance) at x. variance == 0 is rejected
+/// (callers handle the deterministic case explicitly).
+double normal_pdf(double x, double mean, double variance);
+
+/// CDF of N(mean, variance) at x; variance == 0 yields the step function.
+double normal_cdf(double x, double mean, double variance);
+
+/// Inverse CDF (quantile) of the standard normal. p in (0,1); implemented
+/// with the Acklam rational approximation plus one Halley refinement step
+/// (|error| < 1e-15 across the domain).
+double standard_normal_quantile(double p);
+
+/// Raw moments E[X^k], k = 0..order, of X ~ N(mean, variance), via the
+/// recurrence M_k = mean * M_{k-1} + (k-1) * variance * M_{k-2}.
+std::vector<double> normal_raw_moments(double mean, double variance,
+                                       std::size_t order);
+
+/// Raw moments E[B(t)^k] of a single Brownian motion with drift r and
+/// variance parameter sigma2 at time t, i.e. of N(r t, sigma2 t).
+std::vector<double> brownian_raw_moments(double r, double sigma2, double t,
+                                         std::size_t order);
+
+}  // namespace somrm::prob

@@ -1,0 +1,101 @@
+#include "prob/poisson.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace somrm::prob {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double log_poisson_pmf(std::size_t k, double lambda) {
+  if (lambda < 0.0)
+    throw std::invalid_argument("log_poisson_pmf: negative lambda");
+  if (lambda == 0.0) return k == 0 ? 0.0 : kNegInf;
+  return -lambda + static_cast<double>(k) * std::log(lambda) -
+         std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double poisson_pmf(std::size_t k, double lambda) {
+  const double lp = log_poisson_pmf(k, lambda);
+  return lp == kNegInf ? 0.0 : std::exp(lp);
+}
+
+std::vector<double> poisson_weights(double lambda, std::size_t k_max) {
+  std::vector<double> w(k_max + 1);
+  for (std::size_t k = 0; k <= k_max; ++k) w[k] = poisson_pmf(k, lambda);
+  return w;
+}
+
+double log_poisson_tail(double lambda, std::size_t k_min) {
+  if (lambda < 0.0)
+    throw std::invalid_argument("log_poisson_tail: negative lambda");
+  if (k_min == 0) return 0.0;  // the whole distribution
+  if (lambda == 0.0) return kNegInf;
+
+  if (static_cast<double>(k_min) <= lambda + 1.0) {
+    // Tail is a macroscopic probability: compute 1 - left sum directly.
+    double left = 0.0;
+    for (std::size_t k = 0; k < k_min; ++k) left += poisson_pmf(k, lambda);
+    const double tail = 1.0 - left;
+    if (tail <= 0.0) {
+      // Rounding pushed the complement to zero; fall through to the series.
+    } else {
+      return std::log(tail);
+    }
+  }
+
+  // Deep right tail: sum_{k >= k_min} pmf(k) = pmf(k_min) * S with
+  // S = 1 + l/(k+1) + l^2/((k+1)(k+2)) + ...; the ratios are < 1 here so the
+  // series converges geometrically.
+  double acc = 1.0;
+  double term = 1.0;
+  std::size_t k = k_min;
+  for (std::size_t iter = 0; iter < 1000000; ++iter) {
+    term *= lambda / static_cast<double>(k + 1);
+    acc += term;
+    ++k;
+    if (term < acc * 1e-18) break;
+  }
+  return log_poisson_pmf(k_min, lambda) + std::log(acc);
+}
+
+double poisson_tail(double lambda, std::size_t k_min) {
+  const double lt = log_poisson_tail(lambda, k_min);
+  return lt == kNegInf ? 0.0 : std::exp(lt);
+}
+
+std::size_t poisson_truncation_point(double lambda, double log_tail_bound) {
+  if (lambda < 0.0)
+    throw std::invalid_argument("poisson_truncation_point: negative lambda");
+  if (log_tail_bound >= 0.0) return 0;  // any truncation satisfies tail < 1
+  if (lambda == 0.0) return 0;
+
+  const auto tail_ok = [&](std::size_t k) {
+    return log_poisson_tail(lambda, k + 1) < log_tail_bound;
+  };
+
+  // Exponential search for an upper bracket.
+  std::size_t hi = static_cast<std::size_t>(
+      std::ceil(lambda + 10.0 * std::sqrt(lambda + 10.0) + 50.0));
+  while (!tail_ok(hi)) {
+    if (hi > (std::size_t{1} << 40))
+      throw std::runtime_error(
+          "poisson_truncation_point: bracket search failed");
+    hi *= 2;
+  }
+  std::size_t lo = 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (tail_ok(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace somrm::prob

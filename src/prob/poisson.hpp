@@ -1,0 +1,48 @@
+// somrm/prob/poisson.hpp
+//
+// Poisson weights for randomization (uniformization).
+//
+// Both the CTMC transient solver and the Theorem-3 moment solver expand the
+// solution in Poisson probabilities Pois(k; qt). For the paper's large model
+// qt = 40,000, where e^{-qt} underflows by ~17,000 decimal orders, so all
+// weight and tail computations here run in log space (lgamma based). This is
+// the same concern Fox & Glynn (1988) address; log-space evaluation is
+// simpler and the weights themselves are well within double range near the
+// mode (≈ 1/sqrt(2 pi qt)).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace somrm::prob {
+
+/// log Pois(k; lambda) = -lambda + k log lambda - log k!. Exact for
+/// lambda == 0 as well (0 for k == 0, -inf otherwise).
+double log_poisson_pmf(std::size_t k, double lambda);
+
+/// Pois(k; lambda), evaluated via the log form (no underflow cascades).
+double poisson_pmf(std::size_t k, double lambda);
+
+/// Weights Pois(k; lambda) for k = 0..k_max inclusive.
+std::vector<double> poisson_weights(double lambda, std::size_t k_max);
+
+/// log of the right tail sum  log( sum_{k >= k_min} Pois(k; lambda) ).
+///
+/// For k_min <= mode the tail is >= 1/2 and is returned as log of the
+/// directly accumulated complement; deep right tails (the Theorem-4 regime)
+/// are summed from k_min with the geometric-ratio recursion
+/// term_{k+1} = term_k * lambda/(k+1), entirely in scaled space.
+double log_poisson_tail(double lambda, std::size_t k_min);
+
+/// Right tail sum Pr(Pois(lambda) >= k_min); may underflow to 0 for deep
+/// tails — use log_poisson_tail when the magnitude matters.
+double poisson_tail(double lambda, std::size_t k_min);
+
+/// Smallest K such that Pr(Pois(lambda) >= K+1) < tail_bound, i.e. the
+/// truncation point for sum_{k=0..K}. @p log_tail_bound is log(tail_bound),
+/// accepted in log form because Theorem-4 tail targets can be far below
+/// double range. Throws std::invalid_argument for lambda < 0.
+std::size_t poisson_truncation_point(double lambda, double log_tail_bound);
+
+}  // namespace somrm::prob

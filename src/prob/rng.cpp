@@ -1,0 +1,103 @@
+#include "prob/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace somrm::prob {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& lane : state_) lane = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform01_open_left() {
+  return (static_cast<double>(next_u64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_below: n must be > 0");
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::standard_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  const double u1 = uniform01_open_left();
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double variance) {
+  if (variance < 0.0)
+    throw std::invalid_argument("Rng::normal: negative variance");
+  if (variance == 0.0) return mean;
+  return mean + std::sqrt(variance) * standard_normal();
+}
+
+double Rng::exponential(double rate) {
+  if (!(rate > 0.0))
+    throw std::invalid_argument("Rng::exponential: rate must be positive");
+  return -std::log(uniform01_open_left()) / rate;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::discrete: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0))
+    throw std::invalid_argument("Rng::discrete: zero total weight");
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against rounding at the boundary
+}
+
+}  // namespace somrm::prob

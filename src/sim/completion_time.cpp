@@ -1,0 +1,137 @@
+#include "sim/completion_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::sim {
+
+namespace {
+
+/// Pr( max of a Brownian bridge from a0 to a1 with total variance var
+/// exceeds b ). Exactly 1 when either endpoint already reaches b.
+double bridge_cross_probability(double a0, double a1, double b, double var) {
+  if (a0 >= b || a1 >= b) return 1.0;
+  if (var <= 0.0) return 0.0;
+  return std::exp(-2.0 * (b - a0) * (b - a1) / var);
+}
+
+/// First-crossing epoch of the barrier b by a Brownian bridge over
+/// [t0, t0 + dt] from a0 to a1 with variance parameter s2, conditioned on
+/// the bridge crossing. Recursive bisection; each level samples the exact
+/// bridge midpoint and picks the half containing the FIRST crossing with
+/// the exact conditional probability.
+double localize_crossing(double t0, double dt, double a0, double a1, double b,
+                         double s2, double resolution,
+                         somrm::prob::Rng& rng) {
+  while (dt > resolution) {
+    const double half = 0.5 * dt;
+    // Bridge midpoint: mean (a0+a1)/2, variance s2 * dt / 4.
+    const double mid = rng.normal(0.5 * (a0 + a1), 0.25 * s2 * dt);
+    const double p1 = bridge_cross_probability(a0, mid, b, s2 * half);
+    const double p2 = bridge_cross_probability(mid, a1, b, s2 * half);
+    const double p_overall = 1.0 - (1.0 - p1) * (1.0 - p2);
+    const double p_first = p_overall > 0.0 ? p1 / p_overall : 1.0;
+    if (rng.uniform01() < p_first) {
+      a1 = mid;
+    } else {
+      t0 += half;
+      a0 = mid;
+    }
+    dt = half;
+  }
+  return t0 + 0.5 * dt;
+}
+
+}  // namespace
+
+CompletionTimeSimulator::CompletionTimeSimulator(core::SecondOrderMrm model)
+    : model_(std::move(model)) {
+  const std::size_t n = model_.num_states();
+  jump_rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    jump_rows_.push_back(model_.generator().jump_distribution(i));
+}
+
+CompletionTimeSample CompletionTimeSimulator::sample(
+    double work, somrm::prob::Rng& rng, double horizon,
+    double time_resolution) const {
+  if (!(work > 0.0))
+    throw std::invalid_argument("CompletionTimeSimulator: work must be > 0");
+  if (!(horizon > 0.0) || !(time_resolution > 0.0))
+    throw std::invalid_argument(
+        "CompletionTimeSimulator: horizon/resolution must be > 0");
+
+  const auto& exit_rates = model_.generator().exit_rates();
+  std::size_t state = rng.discrete(model_.initial());
+  double clock = 0.0;
+  double level = 0.0;
+
+  while (clock < horizon) {
+    const double exit_rate = exit_rates[state];
+    const double sojourn =
+        exit_rate > 0.0 ? std::min(rng.exponential(exit_rate),
+                                   horizon - clock)
+                        : horizon - clock;
+    const double r = model_.drifts()[state];
+    const double s2 = model_.variances()[state];
+    const double barrier = work - level;
+
+    if (s2 == 0.0) {
+      // Deterministic segment: crosses iff it climbs far enough.
+      if (r > 0.0 && r * sojourn >= barrier)
+        return {clock + barrier / r, true};
+      level += r * sojourn;
+    } else {
+      const double inc = rng.normal(r * sojourn, s2 * sojourn);
+      const double p_cross =
+          bridge_cross_probability(0.0, inc, barrier, s2 * sojourn);
+      if (p_cross >= 1.0 || rng.uniform01() < p_cross) {
+        const double epoch = localize_crossing(
+            clock, sojourn, 0.0, inc, barrier, s2, time_resolution, rng);
+        return {epoch, true};
+      }
+      level += inc;
+    }
+
+    clock += sojourn;
+    if (clock >= horizon) break;
+    const auto& row = jump_rows_[state];
+    state = row.targets[rng.discrete(row.probabilities)];
+  }
+  return {horizon, false};
+}
+
+std::vector<CompletionTimeSample> CompletionTimeSimulator::sample_many(
+    double work, const CompletionTimeOptions& options) const {
+  somrm::prob::Rng rng(options.seed);
+  std::vector<CompletionTimeSample> out;
+  out.reserve(options.num_replications);
+  for (std::size_t i = 0; i < options.num_replications; ++i)
+    out.push_back(
+        sample(work, rng, options.horizon, options.time_resolution));
+  return out;
+}
+
+CompletionTimeSimulator::Estimate CompletionTimeSimulator::estimate(
+    double work, const CompletionTimeOptions& options) const {
+  const auto samples = sample_many(work, options);
+  Estimate est;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& s : samples) {
+    if (!s.completed) continue;
+    ++est.num_completed;
+    sum += s.time;
+    sum_sq += s.time * s.time;
+  }
+  est.completion_probability =
+      static_cast<double>(est.num_completed) /
+      static_cast<double>(samples.size());
+  if (est.num_completed > 0) {
+    const double n = static_cast<double>(est.num_completed);
+    est.mean = sum / n;
+    est.stddev = std::sqrt(std::max(0.0, sum_sq / n - est.mean * est.mean));
+  }
+  return est;
+}
+
+}  // namespace somrm::sim

@@ -1,0 +1,73 @@
+// somrm/sim/completion_time.hpp
+//
+// Completion time Theta(x) = inf{ t : B(t) >= x } — the dual measure of the
+// accumulated reward, central to performability ("when is this much work
+// done?"). For second-order models B(t) is not monotone, so within a
+// sojourn the reward may cross the remaining-work barrier even when the
+// endpoint sample does not. The simulator handles this exactly:
+//
+//  * per sojourn it samples the endpoint increment N(r tau, sigma^2 tau),
+//  * then decides "did the Brownian path cross the barrier inside the
+//    sojourn" with the exact Brownian-bridge crossing probability
+//    Pr(max > b | endpoints a0, a1) = exp(-2 (b - a0)(b - a1) / (sigma^2 tau)),
+//  * and if it crossed, localizes the crossing epoch by recursive bisection
+//    of the bridge (each halving applies the same exact formula), down to a
+//    configurable time resolution.
+//
+// For sigma = 0 and positive rates B is monotone and Theta is related to
+// the reward distribution by Pr(Theta(x) > t) = Pr(B(t) < x), which the
+// test suite uses as an exact anchor.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "prob/rng.hpp"
+#include "sim/simulator.hpp"  // SimulationResult
+
+namespace somrm::sim {
+
+struct CompletionTimeOptions {
+  std::size_t num_replications = 10000;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Give up and censor a replication at this horizon.
+  double horizon = 1e6;
+  /// Bisection stops when the bracketing interval is below this.
+  double time_resolution = 1e-9;
+};
+
+struct CompletionTimeSample {
+  double time = 0.0;      ///< crossing epoch, or the horizon when censored
+  bool completed = false; ///< false => censored at the horizon
+};
+
+class CompletionTimeSimulator {
+ public:
+  explicit CompletionTimeSimulator(core::SecondOrderMrm model);
+
+  /// One completion-time sample for barrier @p work (> 0).
+  CompletionTimeSample sample(double work, somrm::prob::Rng& rng,
+                              double horizon, double time_resolution) const;
+
+  /// Replicated samples; censored replications report the horizon.
+  std::vector<CompletionTimeSample> sample_many(
+      double work, const CompletionTimeOptions& options) const;
+
+  /// Mean/estimates over completed replications plus the completion
+  /// fraction within the horizon.
+  struct Estimate {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double completion_probability = 0.0;  ///< fraction completed by horizon
+    std::size_t num_completed = 0;
+  };
+  Estimate estimate(double work, const CompletionTimeOptions& options) const;
+
+ private:
+  core::SecondOrderMrm model_;
+  std::vector<ctmc::Generator::JumpRow> jump_rows_;
+};
+
+}  // namespace somrm::sim

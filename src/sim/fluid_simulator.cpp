@@ -1,0 +1,73 @@
+#include "sim/fluid_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::sim {
+
+FluidSimulator::FluidSimulator(core::SecondOrderMrm model)
+    : model_(std::move(model)) {
+  const std::size_t n = model_.num_states();
+  jump_rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    jump_rows_.push_back(model_.generator().jump_distribution(i));
+}
+
+double FluidSimulator::sample_level(double t, double initial_level,
+                                    double buffer_size, double max_step,
+                                    somrm::prob::Rng& rng) const {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("FluidSimulator: t must be >= 0");
+  if (!(max_step > 0.0))
+    throw std::invalid_argument("FluidSimulator: max_step must be > 0");
+  if (initial_level < 0.0 || initial_level > buffer_size)
+    throw std::invalid_argument("FluidSimulator: initial level out of range");
+
+  const auto& exit_rates = model_.generator().exit_rates();
+  std::size_t state = rng.discrete(model_.initial());
+  double clock = 0.0;
+  double level = initial_level;
+
+  while (clock < t) {
+    const double exit_rate = exit_rates[state];
+    const double sojourn =
+        exit_rate > 0.0 ? std::min(rng.exponential(exit_rate), t - clock)
+                        : t - clock;
+    const double r = model_.drifts()[state];
+    const double s2 = model_.variances()[state];
+
+    if (s2 == 0.0) {
+      // Piecewise-linear level: clamp once (no oscillation possible).
+      level = std::clamp(level + r * sojourn, 0.0, buffer_size);
+    } else {
+      const auto steps = static_cast<std::size_t>(
+          std::ceil(sojourn / max_step));
+      const double h = sojourn / static_cast<double>(steps);
+      for (std::size_t k = 0; k < steps; ++k) {
+        level += rng.normal(r * h, s2 * h);
+        level = std::clamp(level, 0.0, buffer_size);
+      }
+    }
+
+    clock += sojourn;
+    if (clock >= t) break;
+    const auto& row = jump_rows_[state];
+    state = row.targets[rng.discrete(row.probabilities)];
+  }
+  return level;
+}
+
+std::vector<double> FluidSimulator::sample_levels(
+    double t, const FluidSimulationOptions& options) const {
+  if (options.num_replications == 0)
+    throw std::invalid_argument("FluidSimulator: need >= 1 replication");
+  somrm::prob::Rng rng(options.seed);
+  std::vector<double> out(options.num_replications);
+  for (double& v : out)
+    v = sample_level(t, options.initial_level, options.buffer_size,
+                     options.max_step, rng);
+  return out;
+}
+
+}  // namespace somrm::sim

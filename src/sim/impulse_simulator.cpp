@@ -1,0 +1,99 @@
+#include "sim/impulse_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::sim {
+
+ImpulseSimulator::ImpulseSimulator(core::SecondOrderImpulseMrm model)
+    : model_(std::move(model)) {
+  const std::size_t n = model_.num_states();
+  jump_rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    jump_rows_.push_back(model_.base().generator().jump_distribution(i));
+}
+
+double ImpulseSimulator::sample_reward(double t, somrm::prob::Rng& rng) const {
+  if (!(t >= 0.0))
+    throw std::invalid_argument(
+        "ImpulseSimulator::sample_reward: t must be >= 0");
+
+  const auto& base = model_.base();
+  std::size_t state = rng.discrete(base.initial());
+  double clock = 0.0;
+  double reward = 0.0;
+  const auto& exit_rates = base.generator().exit_rates();
+
+  while (clock < t) {
+    const double exit_rate = exit_rates[state];
+    double sojourn;
+    bool jumps = false;
+    if (exit_rate <= 0.0) {
+      sojourn = t - clock;
+    } else {
+      sojourn = rng.exponential(exit_rate);
+      if (sojourn >= t - clock) {
+        sojourn = t - clock;
+      } else {
+        jumps = true;
+      }
+    }
+    reward += rng.normal(base.drifts()[state] * sojourn,
+                         base.variances()[state] * sojourn);
+    clock += sojourn;
+    if (!jumps) break;
+
+    const auto& row = jump_rows_[state];
+    const std::size_t next = row.targets[rng.discrete(row.probabilities)];
+    // Impulse of the transition state -> next; only transitions strictly
+    // before the horizon reach this point.
+    const double m = model_.impulse_mean().at(state, next);
+    const double w = model_.impulse_var().at(state, next);
+    if (m != 0.0 || w != 0.0) reward += rng.normal(m, w);
+    state = next;
+  }
+  return reward;
+}
+
+std::vector<double> ImpulseSimulator::sample_rewards(double t,
+                                                     std::size_t count,
+                                                     std::uint64_t seed) const {
+  somrm::prob::Rng rng(seed);
+  std::vector<double> out(count);
+  for (double& v : out) v = sample_reward(t, rng);
+  return out;
+}
+
+SimulationResult ImpulseSimulator::estimate_moments(
+    double t, const SimulationOptions& options) const {
+  if (options.num_replications == 0)
+    throw std::invalid_argument("estimate_moments: need >= 1 replication");
+
+  const std::size_t n = options.max_moment;
+  const double count = static_cast<double>(options.num_replications);
+  linalg::Vec sum_pow(n + 1, 0.0), sum_pow_sq(n + 1, 0.0);
+  somrm::prob::Rng rng(options.seed);
+  for (std::size_t rep = 0; rep < options.num_replications; ++rep) {
+    const double b = sample_reward(t, rng);
+    double p = 1.0;
+    for (std::size_t j = 0; j <= n; ++j) {
+      sum_pow[j] += p;
+      sum_pow_sq[j] += p * p;
+      p *= b;
+    }
+  }
+
+  SimulationResult out;
+  out.num_replications = options.num_replications;
+  out.moments.resize(n + 1);
+  out.standard_errors.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    const double mean = sum_pow[j] / count;
+    out.moments[j] = mean;
+    const double var = std::max(0.0, sum_pow_sq[j] / count - mean * mean);
+    out.standard_errors[j] = std::sqrt(var / count);
+  }
+  return out;
+}
+
+}  // namespace somrm::sim

@@ -1,0 +1,39 @@
+// somrm/sim/impulse_simulator.hpp
+//
+// Monte Carlo baseline for impulse-reward second-order MRMs: the plain
+// jump/sojourn simulation of sim/simulator.hpp plus a normal impulse
+// N(m_ik, w_ik) drawn at every transition i -> k. Validates the impulse
+// randomization solver the same way the plain simulator validates the
+// plain solver.
+
+#pragma once
+
+#include "core/impulse_model.hpp"
+#include "prob/rng.hpp"
+#include "sim/simulator.hpp"  // SimulationOptions, SimulationResult
+
+namespace somrm::sim {
+
+class ImpulseSimulator {
+ public:
+  explicit ImpulseSimulator(core::SecondOrderImpulseMrm model);
+
+  /// One accumulated-reward sample B(t), impulses included.
+  double sample_reward(double t, somrm::prob::Rng& rng) const;
+
+  /// @p count i.i.d. samples of B(t).
+  std::vector<double> sample_rewards(double t, std::size_t count,
+                                     std::uint64_t seed) const;
+
+  /// Moment estimates with standard errors.
+  SimulationResult estimate_moments(double t,
+                                    const SimulationOptions& options) const;
+
+  const core::SecondOrderImpulseMrm& model() const { return model_; }
+
+ private:
+  core::SecondOrderImpulseMrm model_;
+  std::vector<ctmc::Generator::JumpRow> jump_rows_;
+};
+
+}  // namespace somrm::sim

@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace somrm::sim {
+
+Simulator::Simulator(core::SecondOrderMrm model) : model_(std::move(model)) {
+  const std::size_t n = model_.num_states();
+  jump_rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    jump_rows_.push_back(model_.generator().jump_distribution(i));
+}
+
+double Simulator::sample_reward(double t, somrm::prob::Rng& rng) const {
+  if (!(t >= 0.0))
+    throw std::invalid_argument("Simulator::sample_reward: t must be >= 0");
+
+  std::size_t state = rng.discrete(model_.initial());
+  double clock = 0.0;
+  double reward = 0.0;
+  const auto& exit_rates = model_.generator().exit_rates();
+
+  while (clock < t) {
+    const double exit_rate = exit_rates[state];
+    double sojourn;
+    if (exit_rate <= 0.0) {
+      sojourn = t - clock;  // absorbing: stay until the horizon
+    } else {
+      sojourn = std::min(rng.exponential(exit_rate), t - clock);
+    }
+    // Exact Brownian increment over the (possibly truncated) sojourn.
+    reward += rng.normal(model_.drifts()[state] * sojourn,
+                         model_.variances()[state] * sojourn);
+    clock += sojourn;
+    if (clock >= t) break;
+    const auto& row = jump_rows_[state];
+    state = row.targets[rng.discrete(row.probabilities)];
+  }
+  return reward;
+}
+
+std::vector<double> Simulator::sample_rewards(double t, std::size_t count,
+                                              std::uint64_t seed) const {
+  somrm::prob::Rng rng(seed);
+  std::vector<double> out(count);
+  for (double& v : out) v = sample_reward(t, rng);
+  return out;
+}
+
+SimulationResult Simulator::estimate_moments(
+    double t, const SimulationOptions& options) const {
+  if (options.num_replications == 0)
+    throw std::invalid_argument("estimate_moments: need >= 1 replication");
+
+  const std::size_t n = options.max_moment;
+  const double count = static_cast<double>(options.num_replications);
+
+  // Accumulate sums of B^j and B^{2j} (the latter for standard errors).
+  linalg::Vec sum_pow(n + 1, 0.0), sum_pow_sq(n + 1, 0.0);
+  somrm::prob::Rng rng(options.seed);
+  for (std::size_t rep = 0; rep < options.num_replications; ++rep) {
+    const double b = sample_reward(t, rng);
+    double p = 1.0;
+    for (std::size_t j = 0; j <= n; ++j) {
+      sum_pow[j] += p;
+      sum_pow_sq[j] += p * p;
+      p *= b;
+    }
+  }
+
+  SimulationResult out;
+  out.num_replications = options.num_replications;
+  out.moments.resize(n + 1);
+  out.standard_errors.resize(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) {
+    const double mean = sum_pow[j] / count;
+    out.moments[j] = mean;
+    const double var =
+        std::max(0.0, sum_pow_sq[j] / count - mean * mean);
+    out.standard_errors[j] = std::sqrt(var / count);
+  }
+  return out;
+}
+
+double empirical_cdf(std::span<const double> samples, double x, bool sorted) {
+  if (samples.empty())
+    throw std::invalid_argument("empirical_cdf: no samples");
+  if (sorted) {
+    const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    return static_cast<double>(it - samples.begin()) /
+           static_cast<double>(samples.size());
+  }
+  std::size_t below = 0;
+  for (double s : samples)
+    if (s <= x) ++below;
+  return static_cast<double>(below) / static_cast<double>(samples.size());
+}
+
+}  // namespace somrm::sim

@@ -1,0 +1,64 @@
+// somrm/sim/simulator.hpp
+//
+// Monte Carlo baseline for second-order MRMs: exact CTMC jump simulation
+// plus exact normal sampling of the per-sojourn reward increment (given a
+// sojourn of length tau in state i, the increment is N(r_i tau,
+// sigma_i^2 tau) — no time discretization error). The paper used such a
+// simulation tool as one of its three cross-checks.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/vec.hpp"
+#include "prob/rng.hpp"
+
+namespace somrm::sim {
+
+struct SimulationOptions {
+  std::size_t num_replications = 10000;
+  std::uint64_t seed = 0x5eed;
+  std::size_t max_moment = 3;
+};
+
+struct SimulationResult {
+  /// Raw-moment estimates of B(t), orders 0..max_moment.
+  linalg::Vec moments;
+  /// Standard errors of the moment estimates (order 0 has error 0).
+  linalg::Vec standard_errors;
+  std::size_t num_replications = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(core::SecondOrderMrm model);
+
+  /// Draws one accumulated-reward sample B(t) (fresh trajectory).
+  double sample_reward(double t, somrm::prob::Rng& rng) const;
+
+  /// Draws @p count i.i.d. samples of B(t).
+  std::vector<double> sample_rewards(double t, std::size_t count,
+                                     std::uint64_t seed) const;
+
+  /// Moment estimates with standard errors.
+  SimulationResult estimate_moments(double t,
+                                    const SimulationOptions& options) const;
+
+  const core::SecondOrderMrm& model() const { return model_; }
+
+ private:
+  core::SecondOrderMrm model_;
+  /// Jump-chain rows cached per state (targets + probabilities).
+  std::vector<ctmc::Generator::JumpRow> jump_rows_;
+};
+
+/// Empirical CDF value of @p samples at @p x (samples need not be sorted;
+/// sort once and reuse sorted=true for repeated evaluation).
+double empirical_cdf(std::span<const double> samples, double x,
+                     bool sorted = false);
+
+}  // namespace somrm::sim

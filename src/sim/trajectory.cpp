@@ -1,0 +1,64 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "prob/rng.hpp"
+
+namespace somrm::sim {
+
+std::vector<TrajectoryPoint> sample_trajectory(
+    const core::SecondOrderMrm& model, const TrajectoryOptions& options) {
+  if (!(options.horizon > 0.0))
+    throw std::invalid_argument("sample_trajectory: horizon must be positive");
+  if (!(options.sample_step > 0.0))
+    throw std::invalid_argument("sample_trajectory: step must be positive");
+
+  somrm::prob::Rng rng(options.seed);
+  const auto& exit_rates = model.generator().exit_rates();
+
+  std::vector<TrajectoryPoint> path;
+  std::size_t state = rng.discrete(model.initial());
+  double clock = 0.0;
+  double reward = 0.0;
+  path.push_back({clock, state, reward});
+
+  // Next scheduled events: state jump and grid sample.
+  double next_jump =
+      exit_rates[state] > 0.0
+          ? rng.exponential(exit_rates[state])
+          : options.horizon + 1.0;
+  double next_grid = options.sample_step;
+
+  while (clock < options.horizon) {
+    const double next_event =
+        std::min({next_jump, next_grid, options.horizon});
+    const double dt = next_event - clock;
+    if (dt > 0.0) {
+      reward += rng.normal(model.drifts()[state] * dt,
+                           model.variances()[state] * dt);
+      clock = next_event;
+    }
+
+    if (clock == next_jump && clock < options.horizon) {
+      const auto row = model.generator().jump_distribution(state);
+      state = row.targets[rng.discrete(row.probabilities)];
+      path.push_back({clock, state, reward});
+      next_jump = exit_rates[state] > 0.0
+                      ? clock + rng.exponential(exit_rates[state])
+                      : options.horizon + 1.0;
+    }
+    if (clock == next_grid) {
+      path.push_back({clock, state, reward});
+      next_grid += options.sample_step;
+    }
+    if (clock >= options.horizon) {
+      if (path.back().time < options.horizon)
+        path.push_back({options.horizon, state, reward});
+      break;
+    }
+  }
+  return path;
+}
+
+}  // namespace somrm::sim

@@ -1,0 +1,39 @@
+// somrm/sim/trajectory.hpp
+//
+// Sample-path recorder for Figure 1: simulates one trajectory of a
+// second-order MRM and reports both the structure-state jumps and the
+// accumulated reward B(t) sampled on a fine grid. Within a sojourn the
+// Brownian reward is refined by independent normal increments between grid
+// points (exact joint distribution — a Brownian path restricted to a grid
+// IS a Gaussian random walk on that grid), so the plotted path has the
+// correct law at every plotted point.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace somrm::sim {
+
+struct TrajectoryPoint {
+  double time = 0.0;
+  std::size_t state = 0;
+  double reward = 0.0;
+};
+
+struct TrajectoryOptions {
+  double horizon = 2.0;       ///< simulate on [0, horizon]
+  double sample_step = 0.01;  ///< grid spacing for reward samples
+  std::uint64_t seed = 42;
+};
+
+/// One sampled trajectory. Points are emitted at every grid time and at
+/// every state-transition epoch (so the state column changes exactly at
+/// jump times). Reward increments between consecutive points are sampled
+/// from the exact normal law of the occupying state.
+std::vector<TrajectoryPoint> sample_trajectory(
+    const core::SecondOrderMrm& model, const TrajectoryOptions& options = {});
+
+}  // namespace somrm::sim

@@ -1,0 +1,57 @@
+// somrm.hpp — umbrella header for the somrm library.
+//
+// Pulls in the full public API. Individual components can be included
+// directly (each header documents its own scope); this header is for
+// applications that want everything.
+//
+// Namespaces:
+//   somrm::core    — model types and moment solvers (the paper's results)
+//   somrm::ctmc    — structure-chain substrate
+//   somrm::density — distribution solvers (PDE, transform)
+//   somrm::bounds  — moment-based distribution bounds and estimates
+//   somrm::sim     — Monte Carlo baselines and trajectory tools
+//   somrm::models  — ready-made model builders
+//   somrm::io      — text model files
+//   somrm::linalg / somrm::prob — numerics underneath
+
+#pragma once
+
+#include "bounds/density_estimate.hpp"
+#include "bounds/moment_bounds.hpp"
+#include "bounds/quadrature.hpp"
+#include "core/asymptotics.hpp"
+#include "core/first_order.hpp"
+#include "core/impulse_model.hpp"
+#include "core/impulse_randomization.hpp"
+#include "core/model.hpp"
+#include "core/moment_utils.hpp"
+#include "core/ode_solver.hpp"
+#include "core/piecewise.hpp"
+#include "core/randomization.hpp"
+#include "core/scaling.hpp"
+#include "ctmc/generator.hpp"
+#include "ctmc/occupancy.hpp"
+#include "ctmc/stationary.hpp"
+#include "ctmc/transient.hpp"
+#include "density/density_common.hpp"
+#include "density/pde_solver.hpp"
+#include "density/transform_solver.hpp"
+#include "io/model_io.hpp"
+#include "linalg/bicgstab.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/fft.hpp"
+#include "linalg/tridiag.hpp"
+#include "linalg/vec.hpp"
+#include "models/birth_death.hpp"
+#include "models/onoff.hpp"
+#include "models/reliability.hpp"
+#include "prob/normal.hpp"
+#include "prob/poisson.hpp"
+#include "prob/rng.hpp"
+#include "sim/completion_time.hpp"
+#include "sim/fluid_simulator.hpp"
+#include "sim/impulse_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trajectory.hpp"

@@ -1,0 +1,133 @@
+// Tests for the long-run reward statistics (deviation matrix, rate, bias,
+// asymptotic variance rate) against closed forms and the exact solver.
+
+#include "core/asymptotics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/moment_utils.hpp"
+#include "core/randomization.hpp"
+#include "ctmc/stationary.hpp"
+
+namespace somrm::core {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+SecondOrderMrm two_state(double a, double b, Vec r, Vec s, Vec init) {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, a}, {1, 0, b}});
+  return SecondOrderMrm(std::move(gen), std::move(r), std::move(s),
+                        std::move(init));
+}
+
+TEST(DeviationMatrixTest, DefiningPropertiesHold) {
+  auto gen = ctmc::Generator::from_rates(
+      3, std::vector<Triplet>{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 0.7},
+                              {1, 0, 0.4}});
+  const Vec pi = ctmc::stationary_distribution_gth(gen);
+  const auto d = deviation_matrix(gen, pi);
+
+  // Q D = Pi - I and D h = 0 and pi D = 0.
+  const auto dense_q = gen.matrix().to_dense();
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      double qd = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) qd += dense_q[i][k] * d(k, j);
+      const double expected = pi[j] - (i == j ? 1.0 : 0.0);
+      EXPECT_NEAR(qd, expected, 1e-12) << i << "," << j;
+      row_sum += d(i, j);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    double pid = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) pid += pi[i] * d(i, j);
+    EXPECT_NEAR(pid, 0.0, 1e-12);
+  }
+}
+
+TEST(AsymptoticsTest, TwoStateVarianceRateClosedForm) {
+  // Markov-modulated rate reward (sigma = 0): the asymptotic variance rate
+  // is 2 (r0 - r1)^2 a b / (a + b)^3.
+  const double a = 2.0, b = 3.0, r0 = 5.0, r1 = 1.0;
+  const auto model =
+      two_state(a, b, Vec{r0, r1}, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+  const auto stats = asymptotic_reward_stats(model);
+  const double s = a + b;
+  EXPECT_NEAR(stats.rate, (b * r0 + a * r1) / s, 1e-12);
+  EXPECT_NEAR(stats.variance_rate,
+              2.0 * (r0 - r1) * (r0 - r1) * a * b / (s * s * s), 1e-10);
+}
+
+TEST(AsymptoticsTest, BrownianVarianceAddsLinearly) {
+  // Adding per-state variances sigma_i^2 adds pi . s to the variance rate.
+  const double a = 2.0, b = 3.0;
+  const auto base =
+      two_state(a, b, Vec{5.0, 1.0}, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+  const auto noisy =
+      two_state(a, b, Vec{5.0, 1.0}, Vec{2.0, 4.0}, Vec{1.0, 0.0});
+  const auto s_base = asymptotic_reward_stats(base);
+  const auto s_noisy = asymptotic_reward_stats(noisy);
+  const double pi0 = b / (a + b), pi1 = a / (a + b);
+  EXPECT_NEAR(s_noisy.variance_rate - s_base.variance_rate,
+              pi0 * 2.0 + pi1 * 4.0, 1e-10);
+  EXPECT_NEAR(s_noisy.rate, s_base.rate, 1e-12);
+}
+
+TEST(AsymptoticsTest, MatchesExactSolverAtLargeT) {
+  auto gen = ctmc::Generator::from_rates(
+      4, std::vector<Triplet>{{0, 1, 2.0}, {1, 2, 1.0}, {2, 3, 2.5},
+                              {3, 0, 1.5}, {2, 0, 0.5}, {1, 0, 0.3}});
+  const SecondOrderMrm model(std::move(gen), Vec{4.0, 2.0, -1.0, 0.5},
+                             Vec{0.5, 0.0, 1.5, 0.25},
+                             Vec{1.0, 0.0, 0.0, 0.0});
+  const auto stats = asymptotic_reward_stats(model);
+
+  const RandomizationMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-12;
+  const double t = 400.0;
+  const auto res = solver.solve(t, opts);
+
+  // Mean: rho t + bias.
+  EXPECT_NEAR(res.weighted[1], stats.rate * t + stats.bias,
+              1e-6 * std::abs(res.weighted[1]));
+  // Variance rate.
+  const double var = variance_from_raw(res.weighted);
+  EXPECT_NEAR(var / t, stats.variance_rate,
+              3e-2 * stats.variance_rate + 1e-9);
+}
+
+TEST(AsymptoticsTest, BiasDependsOnInitialState) {
+  // Starting in the high-reward state must give a larger bias than starting
+  // in the low-reward state; starting from stationarity gives zero bias.
+  const double a = 2.0, b = 3.0;
+  const Vec r{5.0, 1.0};
+  const auto from_high = two_state(a, b, r, Vec{0.0, 0.0}, Vec{1.0, 0.0});
+  const auto from_low = two_state(a, b, r, Vec{0.0, 0.0}, Vec{0.0, 1.0});
+  const double pi0 = b / (a + b);
+  const auto from_pi =
+      two_state(a, b, r, Vec{0.0, 0.0}, Vec{pi0, 1.0 - pi0});
+
+  EXPECT_GT(asymptotic_reward_stats(from_high).bias,
+            asymptotic_reward_stats(from_low).bias);
+  EXPECT_NEAR(asymptotic_reward_stats(from_pi).bias, 0.0, 1e-10);
+}
+
+TEST(AsymptoticsTest, ReducibleChainRejected) {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}});
+  const SecondOrderMrm model(std::move(gen), Vec{1.0, 2.0}, Vec{0.0, 0.0},
+                             Vec{1.0, 0.0});
+  EXPECT_THROW(asymptotic_reward_stats(model), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace somrm::core

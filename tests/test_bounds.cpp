@@ -1,0 +1,213 @@
+// Tests for the moment-based distribution bounds (Figures 5-7 machinery):
+// Jacobi coefficients from moments, Gauss/Gauss-Radau rules, and the sharp
+// CDF bounds, validated on distributions with known moments and CDFs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/moment_bounds.hpp"
+#include "bounds/quadrature.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::bounds {
+namespace {
+
+std::vector<double> exponential_moments(std::size_t order) {
+  // Exp(1): mu_k = k!.
+  std::vector<double> m(order + 1);
+  m[0] = 1.0;
+  for (std::size_t k = 1; k <= order; ++k)
+    m[k] = m[k - 1] * static_cast<double>(k);
+  return m;
+}
+
+std::vector<double> uniform01_moments(std::size_t order) {
+  // U(0,1): mu_k = 1/(k+1).
+  std::vector<double> m(order + 1);
+  for (std::size_t k = 0; k <= order; ++k)
+    m[k] = 1.0 / static_cast<double>(k + 1);
+  return m;
+}
+
+TEST(JacobiTest, StandardNormalRecurrenceIsHermite) {
+  // Probabilists' Hermite: alpha_k = 0, beta_k = sqrt(k+1).
+  const auto raw = somrm::prob::normal_raw_moments(0.0, 1.0, 12);
+  const auto jc = jacobi_from_moments(raw);
+  ASSERT_GE(jc.alpha.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(jc.alpha[k]), 0.0, 1e-8);
+    EXPECT_NEAR(static_cast<double>(jc.beta[k]),
+                std::sqrt(static_cast<double>(k + 1)), 1e-8);
+  }
+}
+
+TEST(JacobiTest, UniformRecurrenceIsLegendre) {
+  // Shifted Legendre on (0,1): alpha_k = 1/2,
+  // beta_k = (k+1) / (2 sqrt((2k+1)(2k+3))).
+  const auto jc = jacobi_from_moments(uniform01_moments(12));
+  ASSERT_GE(jc.alpha.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(jc.alpha[k]), 0.5, 1e-9);
+    const double expected =
+        static_cast<double>(k + 1) /
+        (2.0 * std::sqrt(static_cast<double>((2 * k + 1) * (2 * k + 3))));
+    EXPECT_NEAR(static_cast<double>(jc.beta[k]), expected, 1e-9);
+  }
+}
+
+TEST(JacobiTest, DegenerateTwoPointDistributionCapsOrder) {
+  // X in {-1, +1} with equal probability: only 2 support points, so the
+  // usable Jacobi order is capped at 2 even with many moments supplied.
+  std::vector<double> raw(13);
+  for (std::size_t k = 0; k <= 12; ++k) raw[k] = (k % 2 == 0) ? 1.0 : 0.0;
+  const auto jc = jacobi_from_moments(raw);
+  EXPECT_LE(jc.alpha.size(), 2u);
+  const auto rule = gauss_rule(jc);
+  ASSERT_EQ(rule.nodes.size(), 2u);
+  EXPECT_NEAR(rule.nodes[0], -1.0, 1e-10);
+  EXPECT_NEAR(rule.nodes[1], 1.0, 1e-10);
+  EXPECT_NEAR(rule.weights[0], 0.5, 1e-10);
+  EXPECT_NEAR(rule.weights[1], 0.5, 1e-10);
+}
+
+TEST(JacobiTest, InputValidation) {
+  EXPECT_THROW(jacobi_from_moments(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(jacobi_from_moments(std::vector<double>{0.0, 0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(GaussRuleTest, ReproducesMomentsExactly) {
+  const auto raw = exponential_moments(10);
+  const auto jc = jacobi_from_moments(raw);
+  const auto rule = gauss_rule(jc);
+  const std::size_t m = rule.nodes.size();
+  // A Gauss rule with m nodes matches moments up to order 2m-1.
+  for (std::size_t k = 0; k < 2 * m; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      acc += rule.weights[i] *
+             std::pow(rule.nodes[i], static_cast<double>(k));
+    EXPECT_NEAR(acc, raw[k], 1e-8 * raw[k] + 1e-10) << "moment " << k;
+  }
+}
+
+TEST(GaussRuleTest, WeightsPositiveAndSumToMu0) {
+  const auto jc = jacobi_from_moments(uniform01_moments(10));
+  const auto rule = gauss_rule(jc, 2.5);
+  double total = 0.0;
+  for (double w : rule.weights) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 2.5, 1e-10);
+}
+
+TEST(GaussRadauTest, PreassignedNodePresent) {
+  const auto jc = jacobi_from_moments(exponential_moments(10));
+  for (double c : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const auto rule = gauss_radau_rule(jc, c);
+    double best = 1e9;
+    for (double node : rule.nodes) best = std::min(best, std::abs(node - c));
+    EXPECT_LT(best, 1e-8) << "c = " << c;
+  }
+}
+
+TEST(GaussRadauTest, RuleStillMatchesMoments) {
+  const auto raw = exponential_moments(8);
+  const auto jc = jacobi_from_moments(raw);
+  const auto rule = gauss_radau_rule(jc, 1.7);
+  // Radau rule with m+1 nodes and one fixed node matches moments up to 2m.
+  const std::size_t m = jc.alpha.size();
+  for (std::size_t k = 0; k <= 2 * m; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rule.nodes.size(); ++i)
+      acc += rule.weights[i] *
+             std::pow(rule.nodes[i], static_cast<double>(k));
+    EXPECT_NEAR(acc, raw[k], 1e-7 * raw[k] + 1e-9) << "moment " << k;
+  }
+}
+
+TEST(GaussRadauTest, CollisionWithGaussNodeHandled) {
+  const auto jc = jacobi_from_moments(uniform01_moments(8));
+  const auto gauss = gauss_rule(jc);
+  // Request the Radau rule anchored exactly at an existing Gauss node.
+  const auto rule = gauss_radau_rule(jc, gauss.nodes[1]);
+  double best = 1e9;
+  for (double node : rule.nodes)
+    best = std::min(best, std::abs(node - gauss.nodes[1]));
+  EXPECT_LT(best, 1e-9);
+}
+
+TEST(MomentBounderTest, BoundsBracketNormalCdf) {
+  const auto raw = somrm::prob::normal_raw_moments(2.0, 4.0, 16);
+  const MomentBounder bounder(raw);
+  for (double x : {-2.0, 0.0, 1.0, 2.0, 3.0, 5.0, 7.0}) {
+    const auto b = bounder.bounds_at(x);
+    const double exact = somrm::prob::normal_cdf(x, 2.0, 4.0);
+    EXPECT_LE(b.lower, exact + 1e-9) << "x = " << x;
+    EXPECT_GE(b.upper, exact - 1e-9) << "x = " << x;
+    EXPECT_LE(b.lower, b.upper);
+  }
+}
+
+TEST(MomentBounderTest, BoundsBracketExponentialCdf) {
+  const MomentBounder bounder(exponential_moments(14));
+  for (double x : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const auto b = bounder.bounds_at(x);
+    const double exact = 1.0 - std::exp(-x);
+    EXPECT_LE(b.lower, exact + 1e-9);
+    EXPECT_GE(b.upper, exact - 1e-9);
+  }
+}
+
+TEST(MomentBounderTest, MoreMomentsTightenTheGap) {
+  const auto raw_lo = somrm::prob::normal_raw_moments(0.0, 1.0, 6);
+  const auto raw_hi = somrm::prob::normal_raw_moments(0.0, 1.0, 16);
+  const MomentBounder lo(raw_lo), hi(raw_hi);
+  const double x = 0.7;
+  const auto bl = lo.bounds_at(x);
+  const auto bh = hi.bounds_at(x);
+  EXPECT_LT(bh.upper - bh.lower, bl.upper - bl.lower);
+}
+
+TEST(MomentBounderTest, LowerBoundsMonotoneInX) {
+  const MomentBounder bounder(exponential_moments(12));
+  double prev_lower = -1.0;
+  for (double x = 0.1; x <= 5.0; x += 0.1) {
+    const auto b = bounder.bounds_at(x);
+    EXPECT_GE(b.lower, prev_lower - 1e-9);
+    prev_lower = b.lower;
+  }
+}
+
+TEST(MomentBounderTest, ExtremeTailsPinchToZeroOrOne) {
+  const auto raw = somrm::prob::normal_raw_moments(0.0, 1.0, 12);
+  const MomentBounder bounder(raw);
+  const auto left = bounder.bounds_at(-100.0);
+  EXPECT_NEAR(left.upper, 0.0, 1e-6);
+  const auto right = bounder.bounds_at(100.0);
+  EXPECT_NEAR(right.lower, 1.0, 1e-6);
+}
+
+TEST(MomentBounderTest, RejectsDegenerateInput) {
+  EXPECT_THROW(MomentBounder(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  // Zero variance (X = 3 a.s.).
+  EXPECT_THROW(MomentBounder(std::vector<double>{1.0, 3.0, 9.0}),
+               std::invalid_argument);
+}
+
+TEST(MomentBounderTest, UnnormalizedMu0Accepted) {
+  auto raw = somrm::prob::normal_raw_moments(1.0, 1.0, 10);
+  for (double& v : raw) v *= 2.0;  // mu_0 = 2
+  const MomentBounder bounder(raw);
+  const auto b = bounder.bounds_at(1.0);
+  EXPECT_LE(b.lower, 0.5 + 1e-9);
+  EXPECT_GE(b.upper, 0.5 - 1e-9);
+}
+
+}  // namespace
+}  // namespace somrm::bounds

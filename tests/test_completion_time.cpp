@@ -1,0 +1,161 @@
+// Tests for the completion-time simulator, anchored by the monotone
+// first-order identity Pr(Theta(x) > t) = Pr(B(t) < x) and by Brownian
+// hitting-time closed forms (inverse Gaussian).
+
+#include "sim/completion_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/randomization.hpp"
+#include "prob/normal.hpp"
+#include "sim/simulator.hpp"
+
+namespace somrm::sim {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+core::SecondOrderMrm monotone_model() {
+  // sigma = 0, all rates positive: B(t) strictly increasing.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 2.0}, {1, 0, 3.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{3.0, 1.0}, Vec{0.0, 0.0},
+                              Vec{1.0, 0.0});
+}
+
+core::SecondOrderMrm brownian_model(double r, double s2) {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{r, r}, Vec{s2, s2},
+                              Vec{1.0, 0.0});
+}
+
+TEST(CompletionTimeTest, DeterministicSingleRate) {
+  // One effective rate r = 2 everywhere: Theta(x) = x / 2 exactly.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  const core::SecondOrderMrm m(std::move(gen), Vec{2.0, 2.0}, Vec{0.0, 0.0},
+                               Vec{1.0, 0.0});
+  const CompletionTimeSimulator sim(m);
+  somrm::prob::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = sim.sample(5.0, rng, 100.0, 1e-10);
+    ASSERT_TRUE(s.completed);
+    EXPECT_NEAR(s.time, 2.5, 1e-9);
+  }
+}
+
+TEST(CompletionTimeTest, MonotoneFirstOrderIdentity) {
+  // Pr(Theta(x) > t) = Pr(B(t) < x) for monotone rewards: compare the
+  // empirical completion-time CDF against the simulated reward CDF.
+  const auto model = monotone_model();
+  const CompletionTimeSimulator ct_sim(model);
+  const Simulator b_sim(model);
+
+  const double x = 4.0;
+  CompletionTimeOptions opts;
+  opts.num_replications = 40000;
+  opts.seed = 11;
+  const auto samples = ct_sim.sample_many(x, opts);
+
+  for (double t : {1.5, 2.0, 3.0}) {
+    double theta_gt_t = 0.0;
+    for (const auto& s : samples)
+      if (!s.completed || s.time > t) theta_gt_t += 1.0;
+    theta_gt_t /= static_cast<double>(samples.size());
+
+    auto rewards = b_sim.sample_rewards(t, 40000, 12);
+    std::sort(rewards.begin(), rewards.end());
+    // Pr(B(t) < x); rewards are continuous mixtures here so <= is fine.
+    const double b_lt_x = empirical_cdf(rewards, x, /*sorted=*/true);
+    EXPECT_NEAR(theta_gt_t, b_lt_x, 0.015) << "t = " << t;
+  }
+}
+
+TEST(CompletionTimeTest, BrownianHittingTimeInverseGaussian) {
+  // Pure Brownian reward (uniform r, s2): Theta(x) ~ InverseGaussian with
+  // mean x/r and shape x^2/s2 => E = x/r, Var = x s2 / r^3.
+  const double r = 2.0, s2 = 1.0, x = 3.0;
+  const CompletionTimeSimulator sim(brownian_model(r, s2));
+  CompletionTimeOptions opts;
+  opts.num_replications = 60000;
+  opts.seed = 21;
+  opts.horizon = 1000.0;
+  const auto est = sim.estimate(x, opts);
+  EXPECT_GT(est.completion_probability, 0.999);  // positive drift: a.s. hit
+  EXPECT_NEAR(est.mean, x / r, 0.02);
+  EXPECT_NEAR(est.stddev, std::sqrt(x * s2 / (r * r * r)), 0.02);
+}
+
+TEST(CompletionTimeTest, CrossingCanPrecedeEndpoint) {
+  // With variance, Theta(x) <= t happens strictly more often than
+  // B(t) >= x (paths can cross and come back): check the inequality and
+  // that it is strict for a wide barrier.
+  const auto model = brownian_model(1.0, 4.0);
+  const CompletionTimeSimulator ct_sim(model);
+  const Simulator b_sim(model);
+  const double x = 1.0, t = 1.0;
+
+  CompletionTimeOptions opts;
+  opts.num_replications = 30000;
+  opts.seed = 5;
+  opts.horizon = t;  // censor at t: completion fraction = Pr(Theta <= t)
+  const auto est = ct_sim.estimate(x, opts);
+
+  auto rewards = b_sim.sample_rewards(t, 30000, 6);
+  std::sort(rewards.begin(), rewards.end());
+  const double p_b_ge_x =
+      1.0 - empirical_cdf(rewards, x, /*sorted=*/true);
+
+  EXPECT_GT(est.completion_probability, p_b_ge_x + 0.02);
+
+  // Exact check: for Brownian motion, Pr(Theta(x) <= t) =
+  // Phi((rt-x)/sqrt(s2 t)) + e^{2rx/s2} Phi((-rt-x)/sqrt(s2 t)).
+  const double exact =
+      prob::normal_cdf(1.0 * t - x, 0.0, 4.0 * t) +
+      std::exp(2.0 * 1.0 * x / 4.0) *
+          prob::normal_cdf(-1.0 * t - x, 0.0, 4.0 * t);
+  EXPECT_NEAR(est.completion_probability, exact, 0.01);
+}
+
+TEST(CompletionTimeTest, CensoringReported) {
+  // Negative drift, far barrier: most replications censor.
+  const auto model = brownian_model(-1.0, 0.5);
+  const CompletionTimeSimulator sim(model);
+  CompletionTimeOptions opts;
+  opts.num_replications = 2000;
+  opts.horizon = 5.0;
+  opts.seed = 8;
+  const auto est = sim.estimate(50.0, opts);
+  EXPECT_LT(est.completion_probability, 0.01);
+}
+
+TEST(CompletionTimeTest, Reproducible) {
+  const CompletionTimeSimulator sim(brownian_model(1.0, 1.0));
+  CompletionTimeOptions opts;
+  opts.num_replications = 100;
+  opts.seed = 77;
+  const auto a = sim.sample_many(2.0, opts);
+  const auto b = sim.sample_many(2.0, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(CompletionTimeTest, InputValidation) {
+  const CompletionTimeSimulator sim(brownian_model(1.0, 1.0));
+  somrm::prob::Rng rng(1);
+  EXPECT_THROW(sim.sample(0.0, rng, 10.0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(sim.sample(1.0, rng, 0.0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(sim.sample(1.0, rng, 10.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::sim

@@ -1,0 +1,157 @@
+// Convergence and refinement properties across the numerical methods:
+// errors must shrink at (at least) the advertised rates as discretizations
+// are refined. These tests guard against silent first-order regressions
+// that exact-value anchors at a single resolution would miss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/ode_solver.hpp"
+#include "core/randomization.hpp"
+#include "density/pde_solver.hpp"
+#include "density/transform_solver.hpp"
+#include "prob/normal.hpp"
+#include "sim/simulator.hpp"
+
+namespace somrm {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+core::SecondOrderMrm test_model() {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 3.0}, {1, 0, 2.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{2.0, -1.0}, Vec{0.5, 1.5},
+                              Vec{1.0, 0.0});
+}
+
+double reference_m2(const core::SecondOrderMrm& m, double t) {
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-13;
+  return core::RandomizationMomentSolver(m).solve(t, opts).weighted[2];
+}
+
+TEST(ConvergenceTest, TrapezoidErrorShrinksQuadratically) {
+  const auto model = test_model();
+  const double t = 0.5;
+  const double ref = reference_m2(model, t);
+
+  std::vector<double> errors;
+  for (std::size_t steps : {50, 100, 200, 400}) {
+    core::OdeSolverOptions opts;
+    opts.num_steps = steps;
+    const auto res =
+        core::solve_moments_ode(model, t, core::OdeMethod::kTrapezoid, opts);
+    errors.push_back(std::abs(res.weighted[2] - ref));
+  }
+  // Each halving of h should cut the error by ~4; require >= 3 to allow
+  // rounding floor effects at the finest level.
+  for (std::size_t k = 1; k < errors.size(); ++k)
+    EXPECT_LT(errors[k], errors[k - 1] / 3.0) << "level " << k;
+}
+
+TEST(ConvergenceTest, Rk4ReachesRoundingPlateauFast) {
+  const auto model = test_model();
+  const double t = 0.5;
+  const double ref = reference_m2(model, t);
+  core::OdeSolverOptions opts;
+  opts.num_steps = 64;  // below stability limit; auto-raised
+  const auto res =
+      core::solve_moments_ode(model, t, core::OdeMethod::kRk4, opts);
+  EXPECT_LT(std::abs(res.weighted[2] - ref), 1e-8 * (1.0 + std::abs(ref)));
+}
+
+TEST(ConvergenceTest, PdeErrorShrinksWithGridRefinement) {
+  // Brownian anchor (uniform rewards): exact density known.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  const core::SecondOrderMrm m(std::move(gen), Vec{1.0, 1.0}, Vec{1.0, 1.0},
+                               Vec{1.0, 0.0});
+  const double t = 0.5;
+
+  std::vector<double> errors;
+  for (std::size_t level = 0; level < 3; ++level) {
+    density::PdeSolverOptions opts;
+    const std::size_t pts = 301 * (1u << level) - (1u << level) + 1;
+    opts.grid = {-5.0, 6.0, pts};
+    opts.num_time_steps = 100 * (1u << level);
+    const auto res = density::density_via_pde(m, t, opts);
+    double err = 0.0;
+    for (std::size_t j = 0; j < res.x.size(); j += 7) {
+      const double exact = prob::normal_pdf(res.x[j], t, t);
+      err = std::max(err, std::abs(res.weighted[j] - exact));
+    }
+    errors.push_back(err);
+  }
+  EXPECT_LT(errors[1], errors[0]);
+  EXPECT_LT(errors[2], errors[1]);
+  EXPECT_LT(errors[2], 0.6 * errors[0]);
+}
+
+TEST(ConvergenceTest, TransformDensityConvergesWithGridSize) {
+  const auto model = test_model();
+  const double t = 0.5;
+  const double ref = reference_m2(model, t);
+
+  // The characteristic-function route is spectrally accurate: already at
+  // 256 points the quadrature error sits at the rounding floor, and it must
+  // stay there as the grid refines (no divergence from aliasing).
+  for (std::size_t pts : {256, 512, 2048}) {
+    density::TransformSolverOptions opts;
+    opts.grid = {-8.0, 10.0, pts};
+    const auto res = density::density_via_transform(model, t, opts);
+    const double err = std::abs(
+        density::raw_moment_from_density(res.x, res.weighted, 2) - ref);
+    EXPECT_LT(err, 1e-9 * (1.0 + std::abs(ref))) << pts << " points";
+  }
+}
+
+TEST(ConvergenceTest, MonteCarloErrorShrinksWithReplications) {
+  const auto model = test_model();
+  const sim::Simulator simulator(model);
+  const double t = 0.5;
+  core::MomentSolverOptions mopts;
+  mopts.epsilon = 1e-12;
+  const double exact =
+      core::RandomizationMomentSolver(model).solve(t, mopts).weighted[1];
+
+  // Average |error| over several seeds at two replication counts: the
+  // larger count must be closer on average (weak but robust 1/sqrt(n)).
+  double err_small = 0.0, err_large = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::SimulationOptions small, large;
+    small.num_replications = 2000;
+    large.num_replications = 50000;
+    small.seed = large.seed = seed * 7919;
+    err_small +=
+        std::abs(simulator.estimate_moments(t, small).moments[1] - exact);
+    err_large +=
+        std::abs(simulator.estimate_moments(t, large).moments[1] - exact);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(ConvergenceTest, TruncationPointScalesWithLogEpsilon) {
+  // G grows roughly like qt + c sqrt(qt log(1/eps)); doubling the digits
+  // must grow G sublinearly — sanity on the Theorem-4 search.
+  const double qt = 1000.0, d = 0.5;
+  const auto g6 =
+      core::RandomizationMomentSolver::truncation_point(qt, 3, d, 1e-6);
+  const auto g12 =
+      core::RandomizationMomentSolver::truncation_point(qt, 3, d, 1e-12);
+  const auto g24 =
+      core::RandomizationMomentSolver::truncation_point(qt, 3, d, 1e-24);
+  EXPECT_LT(g6, g12);
+  EXPECT_LT(g12, g24);
+  // sqrt(log 1/eps) growth: the increment ratio for doubled log-precision
+  // is (sqrt(24)-sqrt(12))/(sqrt(12)-sqrt(6)) ~ 1.41; linear growth would
+  // give 2.0. Assert we are clearly sublinear.
+  EXPECT_LT(static_cast<double>(g24 - g12),
+            1.8 * static_cast<double>(g12 - g6));
+}
+
+}  // namespace
+}  // namespace somrm

@@ -1,0 +1,174 @@
+// Unit tests for the CSR sparse matrix and builder.
+
+#include "linalg/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace somrm::linalg {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  CsrBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(2, 0, 3.0);
+  b.add(2, 1, 4.0);
+  return std::move(b).build();
+}
+
+TEST(CsrBuilderTest, SumsDuplicatesAndSorts) {
+  CsrBuilder b(2, 2);
+  b.add(1, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 2.5);  // duplicate, summed
+  const CsrMatrix m = std::move(b).build();
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+}
+
+TEST(CsrBuilderTest, DropsExplicitZerosByDefault) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  EXPECT_EQ(std::move(b).build().nnz(), 0u);
+}
+
+TEST(CsrBuilderTest, KeepsExplicitZerosOnRequest) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 0.0);
+  EXPECT_EQ(std::move(b).build(/*keep_explicit_zeros=*/true).nnz(), 1u);
+}
+
+TEST(CsrBuilderTest, RejectsOutOfRange) {
+  CsrBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(CsrMatrixTest, ValidatesRawArrays) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 1}, {5}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrixTest, AtFindsStoredAndMissingEntries) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+  EXPECT_THROW(m.at(3, 0), std::out_of_range);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  const CsrMatrix m = small_matrix();
+  const Vec x{1.0, 2.0, 3.0};
+  Vec y(3, 0.0);
+  m.multiply(x, y);
+  EXPECT_EQ(y, (Vec{7.0, 0.0, 11.0}));
+}
+
+TEST(CsrMatrixTest, MultiplyAddScalesAndAccumulates) {
+  const CsrMatrix m = small_matrix();
+  const Vec x{1.0, 2.0, 3.0};
+  Vec y{1.0, 1.0, 1.0};
+  m.multiply_add(2.0, x, y);
+  EXPECT_EQ(y, (Vec{15.0, 1.0, 23.0}));
+}
+
+TEST(CsrMatrixTest, MultiplyTransposedMatchesTransposedMultiply) {
+  const CsrMatrix m = small_matrix();
+  const CsrMatrix mt = m.transposed();
+  const Vec x{1.0, 2.0, 3.0};
+  Vec y1(3, 0.0), y2(3, 0.0);
+  m.multiply_transposed(x, y1);
+  mt.multiply(x, y2);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(CsrMatrixTest, IdentityAndDiagonalFactories) {
+  const CsrMatrix eye = CsrMatrix::identity(3);
+  EXPECT_EQ(eye.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(eye.at(1, 1), 1.0);
+
+  const Vec d{1.0, 2.0, 3.0};
+  const CsrMatrix diag = CsrMatrix::diagonal(d);
+  EXPECT_EQ(diag.diagonal_vector(), d);
+}
+
+TEST(CsrMatrixTest, ScaledPlusIdentityFormsUniformizedMatrix) {
+  // Q = [-2 2; 1 -1], q = 2 => P = Q/2 + I = [0 1; 0.5 0.5].
+  CsrBuilder b(2, 2);
+  b.add(0, 0, -2.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, -1.0);
+  const CsrMatrix q = std::move(b).build();
+  const CsrMatrix p = q.scaled_plus_identity(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 0.5);
+  EXPECT_TRUE(p.is_substochastic(1e-15));
+}
+
+TEST(CsrMatrixTest, ScaledPlusIdentityAddsMissingDiagonal) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, 1.0);  // no diagonal stored anywhere
+  const CsrMatrix m = std::move(b).build();
+  const CsrMatrix r = m.scaled_plus_identity(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(r.at(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 1.0);
+}
+
+TEST(CsrMatrixTest, RowSumsAndDiagnostics) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.row_sums(), (Vec{3.0, 0.0, 7.0}));
+  EXPECT_DOUBLE_EQ(m.mean_row_nnz(), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.max_abs_diagonal(), 1.0);
+  EXPECT_TRUE(m.is_nonnegative());
+}
+
+TEST(CsrMatrixTest, GeneratorChecks) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, -1.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 1, -2.0);
+  const CsrMatrix q = std::move(b).build();
+  EXPECT_TRUE(q.has_zero_row_sums(1e-12));
+  EXPECT_FALSE(q.is_nonnegative());
+  EXPECT_FALSE(q.is_substochastic(1e-12));
+}
+
+TEST(CsrMatrixTest, ToDenseRoundTrip) {
+  const CsrMatrix m = small_matrix();
+  const auto dense = m.to_dense();
+  EXPECT_DOUBLE_EQ(dense[0][2], 2.0);
+  EXPECT_DOUBLE_EQ(dense[1][1], 0.0);
+  EXPECT_THROW(m.to_dense(/*max_dim=*/2), std::invalid_argument);
+}
+
+TEST(CsrMatrixTest, FromTriplets) {
+  const std::vector<Triplet> ts{{0, 0, 1.0}, {1, 1, 2.0}, {0, 0, 1.0}};
+  const CsrMatrix m = CsrMatrix::from_triplets(2, 2, ts);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 2.0);
+}
+
+TEST(CsrMatrixTest, MultiplySizeChecks) {
+  const CsrMatrix m = small_matrix();
+  Vec bad(2, 0.0), good(3, 0.0);
+  EXPECT_THROW(m.multiply(bad, good), std::invalid_argument);
+  EXPECT_THROW(m.multiply(good, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

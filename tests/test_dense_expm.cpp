@@ -1,0 +1,150 @@
+// Tests for the dense matrix type and the Pade scaling-and-squaring matrix
+// exponential.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/dense.hpp"
+#include "linalg/expm.hpp"
+
+namespace somrm::linalg {
+namespace {
+
+TEST(DenseTest, ArithmeticOperators) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;
+  DenseMatrix b = a;
+  b *= 3.0;
+  const DenseMatrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 8.0);
+  const DenseMatrix d = c - a;
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+}
+
+TEST(DenseTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double v = 1.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseTest, SolveRecoversKnownSolution) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 4.0; a(0, 1) = 1.0; a(0, 2) = 0.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  const auto b = a.multiply(std::span<const double>(x_true));
+  const auto x = a.solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(DenseTest, SolveDetectsSingularMatrix) {
+  DenseMatrix a(2, 2);  // all zeros
+  std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(a.solve(b), std::runtime_error);
+}
+
+TEST(DenseTest, Norm1IsMaxColumnSum) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = -3.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(a.norm1(), 4.0);
+  EXPECT_DOUBLE_EQ(a.norm_max(), 3.0);
+}
+
+TEST(ExpmTest, ExpOfZeroIsIdentity) {
+  DenseMatrix z(3, 3);
+  const DenseMatrix e = expm(z);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-15);
+}
+
+TEST(ExpmTest, DiagonalMatrixExponentiatesElementwise) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.5;
+  const DenseMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.5), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-15);
+}
+
+TEST(ExpmTest, MatchesClosedFormTwoByTwoGenerator) {
+  // Q = [-a a; b -b]: exp(Qt) known in closed form.
+  const double a = 2.0, b = 3.0, t = 0.7;
+  DenseMatrix q(2, 2);
+  q(0, 0) = -a * t; q(0, 1) = a * t;
+  q(1, 0) = b * t;  q(1, 1) = -b * t;
+  const DenseMatrix e = expm(q);
+  const double s = a + b;
+  const double decay = std::exp(-s * t);
+  EXPECT_NEAR(e(0, 0), (b + a * decay) / s, 1e-12);
+  EXPECT_NEAR(e(0, 1), (a - a * decay) / s, 1e-12);
+  EXPECT_NEAR(e(1, 0), (b - b * decay) / s, 1e-12);
+  EXPECT_NEAR(e(1, 1), (a + b * decay) / s, 1e-12);
+}
+
+TEST(ExpmTest, InverseProperty) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 0.3; a(0, 1) = -1.2; a(0, 2) = 0.5;
+  a(1, 0) = 0.7; a(1, 1) = 0.1;  a(1, 2) = -0.4;
+  a(2, 0) = -0.2; a(2, 1) = 0.6; a(2, 2) = 0.9;
+  DenseMatrix neg = a;
+  neg *= -1.0;
+  const DenseMatrix prod = expm(a).multiply(expm(neg));
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(ExpmTest, LargeNormTriggersScalingAndStaysAccurate) {
+  // 60 * nilpotent-ish matrix: exp([0 60; 0 0]) = [1 60; 0 1].
+  DenseMatrix a(2, 2);
+  a(0, 1) = 60.0;
+  const DenseMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(e(0, 1), 60.0, 1e-9);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-12);
+}
+
+TEST(ExpmTest, ComplexRotationMatchesEulerFormula) {
+  using C = std::complex<double>;
+  DenseCMatrix a(1, 1);
+  a(0, 0) = C(0.0, 1.3);  // exp(i 1.3)
+  const DenseCMatrix e = expm(a);
+  EXPECT_NEAR(e(0, 0).real(), std::cos(1.3), 1e-14);
+  EXPECT_NEAR(e(0, 0).imag(), std::sin(1.3), 1e-14);
+}
+
+TEST(ExpmTest, ComplexGeneratorCharacteristicStructure) {
+  // exp(t(Q + iwR)) h for a 1-state chain (Q = 0): e^{i w r t}.
+  using C = std::complex<double>;
+  const double w = 2.0, r = 1.5, t = 0.8;
+  DenseCMatrix a(1, 1);
+  a(0, 0) = C(0.0, w * r * t);
+  const auto e = expm(a);
+  EXPECT_NEAR(std::abs(e(0, 0)), 1.0, 1e-14);
+  EXPECT_NEAR(std::arg(e(0, 0)), std::remainder(w * r * t, 2 * M_PI), 1e-12);
+}
+
+TEST(ExpmTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(expm(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

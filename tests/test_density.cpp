@@ -1,0 +1,228 @@
+// Tests for the two distribution solvers: Corollary-2 transform inversion
+// and the Corollary-1 PDE scheme. Anchored by exact Brownian densities and
+// by the randomization moment solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/impulse_randomization.hpp"
+#include "core/randomization.hpp"
+#include "density/pde_solver.hpp"
+#include "density/transform_solver.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::density {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+core::SecondOrderMrm brownian_model(double r, double s2) {
+  // 2-state chain with identical rewards: B(t) ~ N(rt, s2 t) exactly.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 2.0}, {1, 0, 3.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{r, r}, Vec{s2, s2},
+                              Vec{1.0, 0.0});
+}
+
+core::SecondOrderMrm mixed_model() {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 3.0}, {1, 0, 2.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{2.0, -1.0}, Vec{0.5, 1.5},
+                              Vec{1.0, 0.0});
+}
+
+TEST(DensityCommonTest, TrapezoidIntegralOfLinearFunction) {
+  const Vec x{0.0, 1.0, 2.0, 3.0};
+  const Vec f{0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(integrate_trapezoid(x, f), 4.5);
+  EXPECT_THROW(integrate_trapezoid(x, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(DensityCommonTest, CdfFromDensityOfUniform) {
+  // Uniform density 0.5 on [0, 2].
+  Vec x(201), f(201, 0.5);
+  for (std::size_t j = 0; j <= 200; ++j) x[j] = 0.01 * static_cast<double>(j);
+  EXPECT_NEAR(cdf_from_density(x, f, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(cdf_from_density(x, f, 0.355), 0.1775, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf_from_density(x, f, -1.0), 0.0);
+}
+
+TEST(TransformSolverTest, CharacteristicFunctionAtZeroIsOne) {
+  const auto model = mixed_model();
+  const auto phi = characteristic_function(model, 0.7, 0.0);
+  for (const auto& v : phi) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(TransformSolverTest, CharacteristicFunctionBrownianClosedForm) {
+  // Uniform rewards: phi(w) = exp(i w r t - w^2 s2 t / 2).
+  const double r = 1.2, s2 = 0.8, t = 0.6, w = 1.7;
+  const auto phi = characteristic_function(brownian_model(r, s2), t, w);
+  const double mag = std::exp(-0.5 * w * w * s2 * t);
+  EXPECT_NEAR(std::abs(phi[0]), mag, 1e-10);
+  EXPECT_NEAR(std::arg(phi[0]), std::remainder(w * r * t, 2 * M_PI), 1e-10);
+}
+
+TEST(TransformSolverTest, DensityMatchesExactNormal) {
+  const double r = 1.0, s2 = 2.0, t = 0.5;
+  TransformSolverOptions opts;
+  opts.grid = {-6.0, 8.0, 1024};
+  const auto res = density_via_transform(brownian_model(r, s2), t, opts);
+  for (std::size_t j = 100; j < 1000; j += 50) {
+    const double exact = prob::normal_pdf(res.x[j], r * t, s2 * t);
+    EXPECT_NEAR(res.weighted[j], exact, 1e-8 + 1e-8 * exact) << res.x[j];
+  }
+}
+
+TEST(TransformSolverTest, DensityIntegratesToOneAndMatchesMoments) {
+  const auto model = mixed_model();
+  const double t = 0.5;
+  TransformSolverOptions opts;
+  opts.grid = {-8.0, 10.0, 2048};
+  const auto res = density_via_transform(model, t, opts);
+
+  EXPECT_NEAR(integrate_trapezoid(res.x, res.weighted), 1.0, 1e-9);
+
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions mopts;
+  mopts.epsilon = 1e-12;
+  const auto ref = solver.solve(t, mopts);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(raw_moment_from_density(res.x, res.weighted, j),
+                ref.weighted[j], 1e-6 * (1.0 + std::abs(ref.weighted[j])))
+        << "moment " << j;
+}
+
+TEST(TransformSolverTest, PerStateDensitiesAreConditionalOnInitialState) {
+  const auto model = mixed_model();
+  TransformSolverOptions opts;
+  opts.grid = {-8.0, 10.0, 1024};
+  const auto res = density_via_transform(model, 0.4, opts);
+  // Each conditional density integrates to 1.
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(integrate_trapezoid(res.x, res.per_state[i]), 1.0, 1e-8);
+  // weighted = pi-mix; initial mass is on state 0 here.
+  for (std::size_t j = 0; j < res.x.size(); j += 100)
+    EXPECT_NEAR(res.weighted[j], res.per_state[0][j], 1e-12);
+}
+
+TEST(TransformSolverTest, ImpulseCharacteristicFunctionCompoundPoisson) {
+  // Symmetric 2-state chain (Poisson jump process, rate lambda) with
+  // normal impulses and zero rate reward: phi(w) =
+  // exp(lambda t (e^{i w m - w^2 v/2} - 1)).
+  const double lambda = 2.0, m = 0.5, v = 0.3, t = 0.8, w = 1.3;
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, lambda}, {1, 0, lambda}});
+  const core::SecondOrderMrm base(std::move(gen), Vec{0.0, 0.0},
+                                  Vec{0.0, 0.0}, Vec{1.0, 0.0});
+  const auto model =
+      core::SecondOrderImpulseMrm::uniform_impulse(base, m, v);
+
+  const auto phi = characteristic_function(model, t, w);
+  const std::complex<double> jump_cf =
+      std::exp(std::complex<double>(-0.5 * w * w * v, w * m));
+  const std::complex<double> expected =
+      std::exp(lambda * t * (jump_cf - 1.0));
+  EXPECT_NEAR(phi[0].real(), expected.real(), 1e-10);
+  EXPECT_NEAR(phi[0].imag(), expected.imag(), 1e-10);
+}
+
+TEST(TransformSolverTest, ImpulseDensityMatchesImpulseMoments) {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 3.0}, {1, 0, 2.0}});
+  const core::SecondOrderMrm base(std::move(gen), Vec{2.0, -1.0},
+                                  Vec{0.5, 1.5}, Vec{1.0, 0.0});
+  const auto model =
+      core::SecondOrderImpulseMrm::uniform_impulse(base, 0.4, 0.2);
+  const double t = 0.6;
+
+  TransformSolverOptions opts;
+  opts.grid = {-9.0, 11.0, 2048};
+  const auto res = density_via_transform(model, t, opts);
+  EXPECT_NEAR(integrate_trapezoid(res.x, res.weighted), 1.0, 1e-8);
+
+  core::MomentSolverOptions mopts;
+  mopts.epsilon = 1e-12;
+  const auto ref = core::ImpulseMomentSolver(model).solve(t, mopts);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(raw_moment_from_density(res.x, res.weighted, j),
+                ref.weighted[j], 1e-5 * (1.0 + std::abs(ref.weighted[j])))
+        << "moment " << j;
+}
+
+TEST(TransformSolverTest, InputValidation) {
+  const auto model = mixed_model();
+  TransformSolverOptions opts;
+  opts.grid = {-5.0, 5.0, 1000};  // not a power of two
+  EXPECT_THROW(density_via_transform(model, 1.0, opts),
+               std::invalid_argument);
+  opts.grid = {-5.0, 5.0, 1024};
+  EXPECT_THROW(density_via_transform(model, 0.0, opts),
+               std::invalid_argument);
+}
+
+TEST(PdeSolverTest, BrownianDensityReproduced) {
+  const double r = 1.0, s2 = 1.5, t = 0.5;
+  PdeSolverOptions opts;
+  opts.grid = {-6.0, 8.0, 1401};
+  opts.num_time_steps = 400;
+  const auto res = density_via_pde(brownian_model(r, s2), t, opts);
+  // Compare at a few interior points; the mollified delta and upwinding
+  // cost some accuracy, so tolerances are loose but meaningful.
+  for (double xq : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    const auto j = static_cast<std::size_t>(
+        std::llround((xq - opts.grid.x_min) / opts.grid.dx()));
+    const double exact = prob::normal_pdf(res.x[j], r * t, s2 * t);
+    EXPECT_NEAR(res.weighted[j], exact, 0.02) << "x = " << xq;
+  }
+}
+
+TEST(PdeSolverTest, MassConservedOnWideGrid) {
+  PdeSolverOptions opts;
+  opts.grid = {-10.0, 12.0, 1101};
+  opts.num_time_steps = 300;
+  const auto res = density_via_pde(mixed_model(), 0.5, opts);
+  EXPECT_NEAR(integrate_trapezoid(res.x, res.weighted), 1.0, 5e-3);
+  for (double v : res.weighted) EXPECT_GE(v, -1e-9);
+}
+
+TEST(PdeSolverTest, AgreesWithTransformSolver) {
+  const auto model = mixed_model();
+  const double t = 0.4;
+  PdeSolverOptions popts;
+  popts.grid = {-8.0, 10.0, 1801};
+  popts.num_time_steps = 600;
+  const auto pde = density_via_pde(model, t, popts);
+
+  TransformSolverOptions topts;
+  topts.grid = {-8.0, 10.0, 2048};
+  const auto tr = density_via_transform(model, t, topts);
+
+  // Compare coarse features: mean and stddev of the two densities.
+  const double m1_p = raw_moment_from_density(pde.x, pde.weighted, 1);
+  const double m1_t = raw_moment_from_density(tr.x, tr.weighted, 1);
+  EXPECT_NEAR(m1_p, m1_t, 0.02);
+  const double m2_p = raw_moment_from_density(pde.x, pde.weighted, 2);
+  const double m2_t = raw_moment_from_density(tr.x, tr.weighted, 2);
+  EXPECT_NEAR(m2_p, m2_t, 0.06);
+}
+
+TEST(PdeSolverTest, InputValidation) {
+  const auto model = mixed_model();
+  PdeSolverOptions opts;
+  opts.num_time_steps = 0;
+  EXPECT_THROW(density_via_pde(model, 1.0, opts), std::invalid_argument);
+  opts.num_time_steps = 10;
+  opts.theta = 0.2;
+  EXPECT_THROW(density_via_pde(model, 1.0, opts), std::invalid_argument);
+  opts.theta = 1.0;
+  EXPECT_THROW(density_via_pde(model, 0.0, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::density

@@ -1,0 +1,137 @@
+// Tests for the Gram-Charlier moment-based density estimate and the
+// quantile bounds added to MomentBounder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/density_estimate.hpp"
+#include "bounds/moment_bounds.hpp"
+#include "core/randomization.hpp"
+#include "density/transform_solver.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::bounds {
+namespace {
+
+TEST(HermiteTest, LowOrderClosedForms) {
+  for (double x : {-2.0, -0.5, 0.0, 1.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(hermite_polynomial(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(hermite_polynomial(1, x), x);
+    EXPECT_DOUBLE_EQ(hermite_polynomial(2, x), x * x - 1.0);
+    EXPECT_DOUBLE_EQ(hermite_polynomial(3, x), x * x * x - 3.0 * x);
+    EXPECT_NEAR(hermite_polynomial(4, x),
+                x * x * x * x - 6.0 * x * x + 3.0, 1e-12);
+  }
+}
+
+TEST(HermiteTest, RecurrenceConsistency) {
+  for (std::size_t k = 2; k <= 10; ++k) {
+    for (double x : {-1.3, 0.4, 2.2}) {
+      EXPECT_NEAR(hermite_polynomial(k, x),
+                  x * hermite_polynomial(k - 1, x) -
+                      static_cast<double>(k - 1) *
+                          hermite_polynomial(k - 2, x),
+                  1e-9 * std::abs(hermite_polynomial(k, x)) + 1e-12);
+    }
+  }
+}
+
+TEST(GramCharlierTest, ExactForNormalInput) {
+  // All corrections vanish for normal moments: recover N(mu, s2) exactly.
+  const auto raw = prob::normal_raw_moments(2.0, 4.0, 8);
+  const GramCharlierDensity gc(raw, 8);
+  EXPECT_DOUBLE_EQ(gc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(gc.stddev(), 2.0);
+  for (double x : {-2.0, 0.0, 2.0, 4.0, 6.0}) {
+    EXPECT_NEAR(gc.pdf(x), prob::normal_pdf(x, 2.0, 4.0), 1e-10);
+    EXPECT_NEAR(gc.cdf(x), prob::normal_cdf(x, 2.0, 4.0), 1e-10);
+  }
+}
+
+TEST(GramCharlierTest, CapturesSkewOfRewardDistribution) {
+  // Accumulated reward of a 2-state model: mildly skewed; the order-6
+  // Gram-Charlier density must beat the plain normal fit against the exact
+  // transform-domain density.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<linalg::Triplet>{{0, 1, 3.0}, {1, 0, 2.0}});
+  const core::SecondOrderMrm model(std::move(gen), linalg::Vec{2.0, -1.0},
+                                   linalg::Vec{0.5, 1.5},
+                                   linalg::Vec{1.0, 0.0});
+  const double t = 0.6;
+
+  core::MomentSolverOptions opts;
+  opts.max_moment = 6;
+  opts.epsilon = 1e-12;
+  const auto res = core::RandomizationMomentSolver(model).solve(t, opts);
+  const GramCharlierDensity gc(res.weighted, 6);
+  const GramCharlierDensity normal_fit(res.weighted, 2);
+
+  density::TransformSolverOptions topts;
+  topts.grid = {-8.0, 10.0, 2048};
+  const auto exact = density::density_via_transform(model, t, topts);
+
+  double gc_err = 0.0, normal_err = 0.0;
+  for (std::size_t j = 200; j < 1800; j += 40) {
+    const double x = exact.x[j];
+    gc_err = std::max(gc_err, std::abs(gc.pdf(x) - exact.weighted[j]));
+    normal_err =
+        std::max(normal_err, std::abs(normal_fit.pdf(x) - exact.weighted[j]));
+  }
+  EXPECT_LT(gc_err, 0.6 * normal_err);
+  EXPECT_LT(gc_err, 0.02);
+}
+
+TEST(GramCharlierTest, CdfMonotoneNearCenterAndClamped) {
+  const auto raw = prob::normal_raw_moments(0.0, 1.0, 6);
+  const GramCharlierDensity gc(raw, 6);
+  double prev = -1.0;
+  for (double x = -3.0; x <= 3.0; x += 0.25) {
+    const double c = gc.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(GramCharlierTest, InputValidation) {
+  EXPECT_THROW(GramCharlierDensity(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(GramCharlierDensity(std::vector<double>{0.0, 0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(QuantileBoundsTest, BracketTrueNormalQuantiles) {
+  const auto raw = prob::normal_raw_moments(1.0, 4.0, 14);
+  const MomentBounder bounder(raw);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const auto qb = bounder.quantile_bounds(p);
+    const double exact = 1.0 + 2.0 * prob::standard_normal_quantile(p);
+    EXPECT_LE(qb.lower, exact + 1e-6) << "p = " << p;
+    EXPECT_GE(qb.upper, exact - 1e-6) << "p = " << p;
+    // 14 moments pin a quantile of a sd-2 distribution to ~1.2 sd.
+    EXPECT_LT(qb.upper - qb.lower, 2.5);
+  }
+}
+
+TEST(QuantileBoundsTest, MonotoneInP) {
+  const auto raw = prob::normal_raw_moments(0.0, 1.0, 12);
+  const MomentBounder bounder(raw);
+  const auto q25 = bounder.quantile_bounds(0.25);
+  const auto q75 = bounder.quantile_bounds(0.75);
+  EXPECT_LT(q25.lower, q75.lower);
+  EXPECT_LT(q25.upper, q75.upper);
+}
+
+TEST(QuantileBoundsTest, InputValidation) {
+  const auto raw = prob::normal_raw_moments(0.0, 1.0, 8);
+  const MomentBounder bounder(raw);
+  EXPECT_THROW(bounder.quantile_bounds(0.0), std::invalid_argument);
+  EXPECT_THROW(bounder.quantile_bounds(1.0), std::invalid_argument);
+  EXPECT_THROW(bounder.quantile_bounds(0.5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::bounds

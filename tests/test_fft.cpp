@@ -1,0 +1,109 @@
+// Tests for the radix-2 FFT.
+
+#include "linalg/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace somrm::linalg {
+namespace {
+
+TEST(FftTest, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  Cvec data(3, {1.0, 0.0});
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  Cvec data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-14);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-14);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  Cvec data(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(tone * j) /
+                         static_cast<double>(n);
+    data[j] = {std::cos(phase), std::sin(phase)};
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == tone ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(data[k]), expected, 1e-10) << "bin " << k;
+  }
+}
+
+TEST(FftTest, RoundTripRestoresInput) {
+  const std::size_t n = 128;
+  Cvec data(n);
+  for (std::size_t j = 0; j < n; ++j)
+    data[j] = {std::sin(0.1 * static_cast<double>(j)),
+               std::cos(0.05 * static_cast<double>(j))};
+  const Cvec original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(data[j].real(), original[j].real(), 1e-12);
+    EXPECT_NEAR(data[j].imag(), original[j].imag(), 1e-12);
+  }
+}
+
+TEST(FftTest, ParsevalIdentityHolds) {
+  const std::size_t n = 256;
+  Cvec data(n);
+  for (std::size_t j = 0; j < n; ++j)
+    data[j] = {std::exp(-0.01 * static_cast<double>(j)),
+               0.3 * std::sin(static_cast<double>(j))};
+  double time_energy = 0.0;
+  for (const auto& v : data) time_energy += std::norm(v);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-8 * time_energy * static_cast<double>(n));
+}
+
+TEST(FftTest, LinearityOfTransform) {
+  const std::size_t n = 32;
+  Cvec a(n), b(n), sum(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = {static_cast<double>(j), 0.0};
+    b[j] = {0.0, 1.0 / (1.0 + static_cast<double>(j))};
+    sum[j] = a[j] + 2.0 * b[j];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto expected = a[k] + 2.0 * b[k];
+    EXPECT_NEAR(std::abs(sum[k] - expected), 0.0, 1e-10);
+  }
+}
+
+TEST(FftTest, SizeOneIsIdentity) {
+  Cvec data{{2.5, -1.0}};
+  fft(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 2.5);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -1.0);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

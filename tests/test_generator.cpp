@@ -1,0 +1,112 @@
+// Tests for the validated CTMC generator wrapper.
+
+#include "ctmc/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace somrm::ctmc {
+namespace {
+
+using linalg::Triplet;
+
+Generator two_state(double a, double b) {
+  const std::vector<Triplet> rates{{0, 1, a}, {1, 0, b}};
+  return Generator::from_rates(2, rates);
+}
+
+TEST(GeneratorTest, FromRatesFillsDiagonal) {
+  const Generator g = two_state(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(g.matrix().at(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(g.matrix().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.matrix().at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.matrix().at(1, 1), -3.0);
+}
+
+TEST(GeneratorTest, ExitRatesAndUniformizationRate) {
+  const Generator g = two_state(2.0, 3.0);
+  EXPECT_EQ(g.exit_rates(), (linalg::Vec{2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(g.uniformization_rate(), 3.0);
+}
+
+TEST(GeneratorTest, RejectsNegativeOffDiagonal) {
+  linalg::CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, -1.0);
+  b.add(1, 1, 0.0);
+  EXPECT_THROW(Generator(std::move(b).build()), std::invalid_argument);
+}
+
+TEST(GeneratorTest, RejectsNonZeroRowSums) {
+  linalg::CsrBuilder b(2, 2);
+  b.add(0, 0, -1.0);
+  b.add(0, 1, 2.0);  // row sums to +1
+  b.add(1, 1, 0.0);
+  EXPECT_THROW(Generator(std::move(b).build()), std::invalid_argument);
+}
+
+TEST(GeneratorTest, RejectsNonSquareAndEmpty) {
+  linalg::CsrBuilder b(2, 3);
+  EXPECT_THROW(Generator(std::move(b).build()), std::invalid_argument);
+  linalg::CsrBuilder e(0, 0);
+  EXPECT_THROW(Generator(std::move(e).build()), std::invalid_argument);
+}
+
+TEST(GeneratorTest, FromRatesRejectsDiagonalAndNegativeEntries) {
+  const std::vector<Triplet> diag{{0, 0, 1.0}};
+  EXPECT_THROW(Generator::from_rates(2, diag), std::invalid_argument);
+  const std::vector<Triplet> neg{{0, 1, -1.0}};
+  EXPECT_THROW(Generator::from_rates(2, neg), std::invalid_argument);
+}
+
+TEST(GeneratorTest, AbsorbingStateAllowed) {
+  const std::vector<Triplet> rates{{0, 1, 1.5}};  // state 1 absorbing
+  const Generator g = Generator::from_rates(2, rates);
+  EXPECT_DOUBLE_EQ(g.exit_rates()[1], 0.0);
+  EXPECT_TRUE(g.jump_distribution(1).targets.empty());
+}
+
+TEST(GeneratorTest, UniformizedDtmcIsStochastic) {
+  const Generator g = two_state(2.0, 3.0);
+  const auto p = g.uniformized_dtmc();
+  EXPECT_TRUE(p.is_substochastic(1e-12));
+  const auto sums = p.row_sums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-14);
+  EXPECT_NEAR(sums[1], 1.0, 1e-14);
+  // Row with the max exit rate loses its self-loop.
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 0.0);
+}
+
+TEST(GeneratorTest, UniformizedDtmcWithInflatedRate) {
+  const Generator g = two_state(2.0, 3.0);
+  const auto p = g.uniformized_dtmc(6.0);
+  EXPECT_NEAR(p.at(0, 0), 1.0 - 2.0 / 6.0, 1e-14);
+  EXPECT_NEAR(p.at(1, 1), 1.0 - 3.0 / 6.0, 1e-14);
+  EXPECT_THROW(g.uniformized_dtmc(1.0), std::invalid_argument);
+}
+
+TEST(GeneratorTest, JumpDistributionNormalized) {
+  const std::vector<Triplet> rates{{0, 1, 1.0}, {0, 2, 3.0}, {1, 0, 1.0},
+                                   {2, 0, 1.0}};
+  const Generator g = Generator::from_rates(3, rates);
+  const auto row = g.jump_distribution(0);
+  ASSERT_EQ(row.targets.size(), 2u);
+  EXPECT_EQ(row.targets[0], 1u);
+  EXPECT_EQ(row.targets[1], 2u);
+  EXPECT_DOUBLE_EQ(row.probabilities[0], 0.25);
+  EXPECT_DOUBLE_EQ(row.probabilities[1], 0.75);
+  EXPECT_THROW(g.jump_distribution(5), std::out_of_range);
+}
+
+TEST(GeneratorTest, AllAbsorbingChainHasZeroRate) {
+  const Generator g =
+      Generator::from_rates(3, std::vector<Triplet>{});
+  EXPECT_DOUBLE_EQ(g.uniformization_rate(), 0.0);
+  const auto p = g.uniformized_dtmc();
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(2, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace somrm::ctmc

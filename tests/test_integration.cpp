@@ -1,0 +1,248 @@
+// End-to-end integration tests on the paper's own example (Table 1 /
+// Figures 3-7): cross-solver agreement and the qualitative claims the
+// figures make.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bounds/moment_bounds.hpp"
+#include "core/moment_utils.hpp"
+#include "core/ode_solver.hpp"
+#include "core/randomization.hpp"
+#include "ctmc/occupancy.hpp"
+#include "ctmc/stationary.hpp"
+#include "models/onoff.hpp"
+#include "models/reliability.hpp"
+#include "sim/simulator.hpp"
+
+namespace somrm {
+namespace {
+
+core::SecondOrderMrm table1_model(double sigma2) {
+  return models::make_onoff_multiplexer(models::table1_params(sigma2));
+}
+
+TEST(PaperExampleTest, Figure3MeanIndependentOfVariance) {
+  core::MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.epsilon = 1e-10;
+  const std::vector<double> times{0.1, 0.25, 0.5, 1.0};
+
+  const core::RandomizationMomentSolver s0(table1_model(0.0));
+  const core::RandomizationMomentSolver s1(table1_model(1.0));
+  const core::RandomizationMomentSolver s10(table1_model(10.0));
+  const auto r0 = s0.solve_multi(times, opts);
+  const auto r1 = s1.solve_multi(times, opts);
+  const auto r10 = s10.solve_multi(times, opts);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(r0[i].weighted[1], r1[i].weighted[1], 1e-6);
+    EXPECT_NEAR(r0[i].weighted[1], r10[i].weighted[1], 1e-6);
+  }
+}
+
+TEST(PaperExampleTest, Figure3TransientMeanBelowSteadyStateLine) {
+  // Starting all-OFF the available capacity starts at C = 32 per unit time
+  // and decays towards the stationary rate; the transient mean therefore
+  // lies ABOVE t * stationary_rate and below t * C.
+  const auto model = table1_model(0.0);
+  const auto pi_ss = ctmc::stationary_distribution_gth(model.generator());
+  const double ss_rate = model.stationary_reward_rate(pi_ss);
+  // Closed form: C - N r beta/(alpha+beta) = 32 - 32 * 3/7.
+  EXPECT_NEAR(ss_rate, 32.0 - 32.0 * 3.0 / 7.0, 1e-9);
+
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.epsilon = 1e-10;
+  for (double t : {0.1, 0.5, 1.0}) {
+    const double mean = solver.solve(t, opts).weighted[1];
+    EXPECT_GT(mean, ss_rate * t);
+    EXPECT_LT(mean, 32.0 * t);
+  }
+}
+
+TEST(PaperExampleTest, Figure4HigherMomentsGrowWithVariance) {
+  core::MomentSolverOptions opts;
+  opts.max_moment = 3;
+  opts.epsilon = 1e-10;
+  const double t = 0.5;
+  double prev_m2 = -1.0, prev_m3 = -1.0;
+  for (double s2 : {0.0, 1.0, 10.0}) {
+    const core::RandomizationMomentSolver solver(table1_model(s2));
+    const auto res = solver.solve(t, opts);
+    EXPECT_GT(res.weighted[2], prev_m2);
+    EXPECT_GT(res.weighted[3], prev_m3);
+    prev_m2 = res.weighted[2];
+    prev_m3 = res.weighted[3];
+  }
+}
+
+TEST(PaperExampleTest, ThreeSolversAgreeOnTable1Model) {
+  // The paper: randomization, an ODE solver and a simulator "gave exactly
+  // the same results".
+  const auto model = table1_model(1.0);
+  const double t = 0.3;
+
+  core::MomentSolverOptions ropts;
+  ropts.epsilon = 1e-11;
+  const core::RandomizationMomentSolver rand_solver(model);
+  const auto rand_res = rand_solver.solve(t, ropts);
+
+  core::OdeSolverOptions oopts;
+  oopts.num_steps = 400;
+  const auto ode_res =
+      core::solve_moments_ode(model, t, core::OdeMethod::kRk4, oopts);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(ode_res.weighted[j], rand_res.weighted[j],
+                1e-6 * std::abs(rand_res.weighted[j]))
+        << "moment " << j;
+
+  const sim::Simulator simulator(model);
+  sim::SimulationOptions sopts;
+  sopts.num_replications = 40000;
+  sopts.seed = 2024;
+  const auto sim_res = simulator.estimate_moments(t, sopts);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(sim_res.moments[j], rand_res.weighted[j],
+                5.0 * sim_res.standard_errors[j])
+        << "moment " << j;
+}
+
+TEST(PaperExampleTest, Figures5to7BoundsBracketSimulatedCdf) {
+  // Bounds from 24 raw moments (the paper used 23 evaluated moments) must
+  // bracket the empirical CDF of B(0.5) for each sigma^2.
+  const double t = 0.5;
+  for (double s2 : {0.0, 1.0, 10.0}) {
+    const auto model = table1_model(s2);
+    const core::RandomizationMomentSolver solver(model);
+
+    // High-order moments must be computed centered: raw E[B^23] ~ 1e24
+    // would lose the central information to cancellation (see the `center`
+    // option). One cheap solve for the mean, then the centered batch.
+    core::MomentSolverOptions mean_opts;
+    mean_opts.max_moment = 1;
+    mean_opts.epsilon = 1e-10;
+    const double mean = solver.solve(t, mean_opts).weighted[1];
+
+    core::MomentSolverOptions opts;
+    opts.max_moment = 23;
+    opts.epsilon = 1e-13;
+    opts.center = mean / t;
+    const auto res = solver.solve(t, opts);
+    const bounds::MomentBounder bounder(res.weighted);
+
+    const sim::Simulator simulator(model);
+    auto samples = simulator.sample_rewards(t, 20000, 77);
+    std::sort(samples.begin(), samples.end());
+
+    const double sd = std::sqrt(core::variance_from_raw(res.weighted));
+    for (double offset : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+      const double x = mean + offset * sd;
+      const auto b = bounder.bounds_at(x - mean);  // bounder sees B - mean
+      const double ecdf = sim::empirical_cdf(samples, x, /*sorted=*/true);
+      // 20k samples: allow ~4 sigma of binomial noise around the truth.
+      const double noise = 4.0 * std::sqrt(0.25 / 20000.0);
+      EXPECT_LE(b.lower, ecdf + noise)
+          << "sigma2 " << s2 << " x " << x;
+      EXPECT_GE(b.upper, ecdf - noise)
+          << "sigma2 " << s2 << " x " << x;
+    }
+  }
+}
+
+TEST(PaperExampleTest, Figure7LargerVarianceWidensDistribution) {
+  // With sigma^2 = 10 the distribution of B(0.5) is visibly wider than
+  // with sigma^2 = 0 (Figures 5 vs 7).
+  core::MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-11;
+  const double t = 0.5;
+  const auto v0 = core::variance_from_raw(
+      core::RandomizationMomentSolver(table1_model(0.0)).solve(t, opts)
+          .weighted);
+  const auto v10 = core::variance_from_raw(
+      core::RandomizationMomentSolver(table1_model(10.0)).solve(t, opts)
+          .weighted);
+  EXPECT_GT(v10, v0 + 1.0);
+}
+
+TEST(PaperExampleTest, MeanViaOccupancyIntegralOnTable1Model) {
+  // Independent route to Figure 3: E[B(t)] = sum_i L_i(t) r_i with the
+  // occupancy integrals of the uniformized chain.
+  const auto model = table1_model(10.0);
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.epsilon = 1e-12;
+  for (double t : {0.1, 0.5, 1.0}) {
+    const auto occ = ctmc::expected_occupancy(model.generator(),
+                                              model.initial(), t);
+    const double via_occ = linalg::dot(occ, model.drifts());
+    const double via_solver = solver.solve(t, opts).weighted[1];
+    EXPECT_NEAR(via_occ, via_solver, 1e-8 * (1.0 + std::abs(via_solver)))
+        << "t = " << t;
+  }
+}
+
+TEST(PaperExampleTest, LargeQtRegimeStaysAccurate) {
+  // A 2001-state slice of the Table-2 family with qt ~ 800: the log-space
+  // Poisson machinery must keep the mean consistent with the occupancy
+  // route and the variance positive.
+  auto params = models::table2_params();
+  params.num_sources = 2000;
+  params.capacity = 2000.0;
+  const auto model = models::make_onoff_multiplexer(params);
+  const double t = 0.1;  // q = 8000 => qt = 800
+
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  const auto res = solver.solve(t, opts);
+  EXPECT_GT(res.truncation_point, 800u);
+
+  const auto occ = ctmc::expected_occupancy(model.generator(),
+                                            model.initial(), t);
+  EXPECT_NEAR(linalg::dot(occ, model.drifts()), res.weighted[1],
+              1e-7 * res.weighted[1]);
+  EXPECT_GT(core::variance_from_raw(res.weighted), 0.0);
+
+  // Linear scaling fingerprint of Figure 8: the mean is (N/32) times the
+  // Table-1 mean at the same alpha/beta (both models start all-OFF and the
+  // per-source dynamics are identical).
+  const auto small = table1_model(10.0);
+  const double small_mean =
+      core::RandomizationMomentSolver(small).solve(t, opts).weighted[1];
+  EXPECT_NEAR(res.weighted[1] / small_mean, 2000.0 / 32.0,
+              1e-6 * 2000.0 / 32.0);
+}
+
+TEST(PaperExampleTest, MachineRepairModelCrossSolverAgreement) {
+  // A structurally different model family through the same pipeline.
+  models::MachineRepairParams p;
+  p.num_processors = 6;
+  p.failure_rate = 0.4;
+  p.repair_rate = 1.5;
+  p.num_repairmen = 2;
+  p.unit_power = 2.0;
+  p.unit_power_variance = 0.5;
+  const auto model = models::make_machine_repair(p);
+
+  core::MomentSolverOptions ropts;
+  ropts.epsilon = 1e-11;
+  const auto rand_res =
+      core::RandomizationMomentSolver(model).solve(1.0, ropts);
+
+  core::OdeSolverOptions oopts;
+  oopts.num_steps = 300;
+  const auto ode_res =
+      core::solve_moments_ode(model, 1.0, core::OdeMethod::kTrapezoid, oopts);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(ode_res.weighted[j], rand_res.weighted[j],
+                1e-4 * (1.0 + std::abs(rand_res.weighted[j])));
+}
+
+}  // namespace
+}  // namespace somrm

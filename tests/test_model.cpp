@@ -1,0 +1,107 @@
+// Tests for the SecondOrderMrm model type.
+
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace somrm::core {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+ctmc::Generator two_state_gen() {
+  return ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 2.0}});
+}
+
+TEST(ModelTest, ConstructionStoresComponents) {
+  const SecondOrderMrm m(two_state_gen(), Vec{1.0, -2.0}, Vec{0.5, 0.0},
+                         Vec{0.25, 0.75});
+  EXPECT_EQ(m.num_states(), 2u);
+  EXPECT_EQ(m.drifts(), (Vec{1.0, -2.0}));
+  EXPECT_EQ(m.variances(), (Vec{0.5, 0.0}));
+  EXPECT_EQ(m.initial(), (Vec{0.25, 0.75}));
+}
+
+TEST(ModelTest, SizeMismatchesRejected) {
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0}, Vec{0.0, 0.0},
+                              Vec{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{0.0},
+                              Vec{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{0.0, 0.0},
+                              Vec{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ModelTest, NegativeVarianceRejected) {
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{-0.1, 0.0},
+                              Vec{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ModelTest, NonFiniteParametersRejected) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{inf, 1.0}, Vec{0.0, 0.0},
+                              Vec{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{inf, 0.0},
+                              Vec{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ModelTest, InitialMustBeProbabilityVector) {
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{0.0, 0.0},
+                              Vec{0.5, 0.4}),
+               std::invalid_argument);
+  EXPECT_THROW(SecondOrderMrm(two_state_gen(), Vec{1.0, 1.0}, Vec{0.0, 0.0},
+                              Vec{-0.5, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(ModelTest, FirstOrderDetection) {
+  const SecondOrderMrm first(two_state_gen(), Vec{1.0, 2.0}, Vec{0.0, 0.0},
+                             Vec{1.0, 0.0});
+  EXPECT_TRUE(first.is_first_order());
+  const SecondOrderMrm second(two_state_gen(), Vec{1.0, 2.0}, Vec{0.0, 0.1},
+                              Vec{1.0, 0.0});
+  EXPECT_FALSE(second.is_first_order());
+}
+
+TEST(ModelTest, DriftAndVarianceExtremes) {
+  const SecondOrderMrm m(two_state_gen(), Vec{-3.0, 5.0}, Vec{0.5, 7.0},
+                         Vec{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.min_drift(), -3.0);
+  EXPECT_DOUBLE_EQ(m.max_drift(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_variance(), 7.0);
+}
+
+TEST(ModelTest, StationaryRewardRate) {
+  const SecondOrderMrm m(two_state_gen(), Vec{10.0, 2.0}, Vec{0.0, 0.0},
+                         Vec{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.stationary_reward_rate(Vec{0.5, 0.5}), 6.0);
+}
+
+TEST(ModelTest, ShiftedDriftsArePathwiseConsistent) {
+  const SecondOrderMrm m(two_state_gen(), Vec{-1.0, 4.0}, Vec{0.3, 0.2},
+                         Vec{1.0, 0.0});
+  const SecondOrderMrm shifted = m.with_shifted_drifts(-1.0);
+  EXPECT_EQ(shifted.drifts(), (Vec{0.0, 5.0}));
+  EXPECT_EQ(shifted.variances(), m.variances());
+}
+
+TEST(ModelTest, WithInitialReplacesDistribution) {
+  const SecondOrderMrm m(two_state_gen(), Vec{1.0, 2.0}, Vec{0.0, 0.0},
+                         Vec{1.0, 0.0});
+  const SecondOrderMrm m2 = m.with_initial(Vec{0.0, 1.0});
+  EXPECT_EQ(m2.initial(), (Vec{0.0, 1.0}));
+  EXPECT_THROW(m.with_initial(Vec{0.7, 0.7}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::core

@@ -1,0 +1,167 @@
+// Tests for the text model format: parsing, validation diagnostics with
+// line numbers, and save/load round trips.
+
+#include "io/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/impulse_randomization.hpp"
+#include "core/randomization.hpp"
+
+namespace somrm::io {
+namespace {
+
+ModelFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return load_model(in);
+}
+
+constexpr const char* kBasicModel = R"(somrm-model v1
+states 2
+transition 0 1 2.0
+transition 1 0 3.0
+drift 0 1.5
+drift 1 -0.5
+variance 1 0.25
+initial 0 1.0
+)";
+
+TEST(ModelIoTest, ParsesBasicModel) {
+  const ModelFile f = parse(kBasicModel);
+  EXPECT_EQ(f.model.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(f.model.generator().matrix().at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(f.model.generator().matrix().at(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(f.model.drifts()[1], -0.5);
+  EXPECT_DOUBLE_EQ(f.model.variances()[0], 0.0);
+  EXPECT_DOUBLE_EQ(f.model.variances()[1], 0.25);
+  EXPECT_FALSE(f.with_impulses.has_value());
+}
+
+TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
+  const ModelFile f = parse(
+      "somrm-model v1\n"
+      "\n"
+      "# a comment\n"
+      "states 2   # trailing comment\n"
+      "transition 0 1 1.0\n"
+      "transition 1 0 1.0\n"
+      "initial 1 1.0\n");
+  EXPECT_EQ(f.model.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(f.model.initial()[1], 1.0);
+}
+
+TEST(ModelIoTest, ImpulseDirectivesProduceImpulseModel) {
+  const ModelFile f = parse(
+      "somrm-model v1\n"
+      "states 2\n"
+      "transition 0 1 1.0\n"
+      "transition 1 0 1.0\n"
+      "initial 0 1.0\n"
+      "impulse 0 1 0.5 0.1\n"
+      "impulse 1 0 -0.25\n");
+  ASSERT_TRUE(f.with_impulses.has_value());
+  EXPECT_DOUBLE_EQ(f.with_impulses->impulse_mean().at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(f.with_impulses->impulse_var().at(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(f.with_impulses->impulse_mean().at(1, 0), -0.25);
+  EXPECT_DOUBLE_EQ(f.with_impulses->impulse_var().at(1, 0), 0.0);
+}
+
+TEST(ModelIoTest, ErrorsCarryLineNumbers) {
+  const auto expect_error_at = [](const std::string& text, std::size_t line) {
+    try {
+      parse(text);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+
+  expect_error_at("bogus\n", 1);  // missing header
+  expect_error_at("somrm-model v2\n", 1);
+  expect_error_at("somrm-model v1\ntransition 0 1 1.0\n", 2);  // before states
+  expect_error_at("somrm-model v1\nstates 2\nstates 3\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\ntransition 0 5 1.0\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\ntransition 0 0 1.0\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\ntransition 0 1 -1.0\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\nvariance 0 -2.0\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\nfrobnicate 1\n", 3);
+  expect_error_at("somrm-model v1\nstates 2\ndrift 0 1.0 extra\n", 3);
+}
+
+TEST(ModelIoTest, ModelInvariantsStillEnforced) {
+  // Initial probabilities not summing to 1 fail at model construction.
+  EXPECT_THROW(parse("somrm-model v1\n"
+                     "states 2\n"
+                     "transition 0 1 1.0\n"
+                     "transition 1 0 1.0\n"
+                     "initial 0 0.4\n"),
+               std::invalid_argument);
+  // Impulse without a matching transition fails impulse-model validation.
+  EXPECT_THROW(parse("somrm-model v1\n"
+                     "states 3\n"
+                     "transition 0 1 1.0\n"
+                     "transition 1 0 1.0\n"
+                     "initial 0 1.0\n"
+                     "impulse 0 2 1.0\n"),
+               std::invalid_argument);
+}
+
+TEST(ModelIoTest, RoundTripPlainModel) {
+  const ModelFile f = parse(kBasicModel);
+  std::ostringstream out;
+  save_model(out, f.model);
+  const ModelFile g = parse(out.str());
+  ASSERT_EQ(g.model.num_states(), f.model.num_states());
+  EXPECT_EQ(g.model.drifts(), f.model.drifts());
+  EXPECT_EQ(g.model.variances(), f.model.variances());
+  EXPECT_EQ(g.model.initial(), f.model.initial());
+  EXPECT_DOUBLE_EQ(g.model.generator().matrix().at(1, 0),
+                   f.model.generator().matrix().at(1, 0));
+}
+
+TEST(ModelIoTest, RoundTripImpulseModelPreservesSolution) {
+  const ModelFile f = parse(
+      "somrm-model v1\n"
+      "states 3\n"
+      "transition 0 1 2.0\n"
+      "transition 1 2 1.0\n"
+      "transition 2 0 3.0\n"
+      "drift 0 1.0\n"
+      "drift 1 -2.0\n"
+      "drift 2 0.5\n"
+      "variance 0 0.3\n"
+      "initial 0 1.0\n"
+      "impulse 0 1 0.4 0.2\n"
+      "impulse 2 0 -0.1\n");
+  ASSERT_TRUE(f.with_impulses.has_value());
+
+  std::ostringstream out;
+  save_model(out, *f.with_impulses);
+  const ModelFile g = parse(out.str());
+  ASSERT_TRUE(g.with_impulses.has_value());
+
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-12;
+  const auto a = core::ImpulseMomentSolver(*f.with_impulses).solve(0.7, opts);
+  const auto b = core::ImpulseMomentSolver(*g.with_impulses).solve(0.7, opts);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_DOUBLE_EQ(a.weighted[j], b.weighted[j]);
+}
+
+TEST(ModelIoTest, MissingFileReported) {
+  EXPECT_THROW(load_model_file("/nonexistent/path/model.somrm"),
+               std::runtime_error);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const ModelFile f = parse(kBasicModel);
+  const std::string path = "/tmp/somrm_test_model.somrm";
+  save_model_file(path, f.model);
+  const ModelFile g = load_model_file(path);
+  EXPECT_EQ(g.model.drifts(), f.model.drifts());
+}
+
+}  // namespace
+}  // namespace somrm::io

@@ -1,0 +1,159 @@
+// Tests for the model builders: ON-OFF multiplexer (Figure 2 / Tables 1-2),
+// general birth-death, and the machine-repair reliability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/birth_death.hpp"
+#include "models/onoff.hpp"
+#include "models/reliability.hpp"
+
+namespace somrm::models {
+namespace {
+
+TEST(OnOffTest, Table1StructureMatchesFigure2) {
+  const auto model = make_onoff_multiplexer(table1_params(10.0));
+  EXPECT_EQ(model.num_states(), 33u);
+
+  const auto& q = model.generator().matrix();
+  // q_{i,i+1} = (N-i) beta, q_{i,i-1} = i alpha.
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 32.0 * 3.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 2), 31.0 * 3.0);
+  EXPECT_DOUBLE_EQ(q.at(1, 0), 1.0 * 4.0);
+  EXPECT_DOUBLE_EQ(q.at(32, 31), 32.0 * 4.0);
+  EXPECT_DOUBLE_EQ(q.at(0, 0), -(32.0 * 3.0));
+
+  // Uniformization rate: max exit rate is N*alpha = 128 at state N.
+  EXPECT_DOUBLE_EQ(model.generator().uniformization_rate(), 128.0);
+
+  // Rewards: r_i = C - i r, sigma_i^2 = i sigma^2.
+  EXPECT_DOUBLE_EQ(model.drifts()[0], 32.0);
+  EXPECT_DOUBLE_EQ(model.drifts()[32], 0.0);
+  EXPECT_DOUBLE_EQ(model.variances()[0], 0.0);
+  EXPECT_DOUBLE_EQ(model.variances()[10], 100.0);
+
+  // All sources OFF at t = 0.
+  EXPECT_DOUBLE_EQ(model.initial()[0], 1.0);
+}
+
+TEST(OnOffTest, SigmaZeroIsFirstOrder) {
+  EXPECT_TRUE(make_onoff_multiplexer(table1_params(0.0)).is_first_order());
+  EXPECT_FALSE(make_onoff_multiplexer(table1_params(1.0)).is_first_order());
+}
+
+TEST(OnOffTest, Table2ParametersMatchPaper) {
+  const auto p = table2_params();
+  EXPECT_DOUBLE_EQ(p.capacity, 200000.0);
+  EXPECT_EQ(p.num_sources, 200000u);
+  EXPECT_DOUBLE_EQ(p.rate_variance, 10.0);
+  // q = N alpha = 800,000 as reported below Table 2 (build a scaled-down
+  // version to keep the test fast and check the formula instead).
+  auto small = p;
+  small.num_sources = 100;
+  small.capacity = 100.0;
+  const auto model = make_onoff_multiplexer(small);
+  EXPECT_DOUBLE_EQ(model.generator().uniformization_rate(),
+                   100.0 * small.on_rate);
+}
+
+TEST(OnOffTest, GeneratorRowsSumToZero) {
+  const auto model = make_onoff_multiplexer(table1_params(1.0));
+  EXPECT_TRUE(model.generator().matrix().has_zero_row_sums(1e-9));
+}
+
+TEST(OnOffTest, InputValidation) {
+  auto p = table1_params(1.0);
+  p.num_sources = 0;
+  EXPECT_THROW(make_onoff_multiplexer(p), std::invalid_argument);
+  p = table1_params(1.0);
+  p.on_rate = 0.0;
+  EXPECT_THROW(make_onoff_multiplexer(p), std::invalid_argument);
+  p = table1_params(-1.0);
+  EXPECT_THROW(make_onoff_multiplexer(p), std::invalid_argument);
+}
+
+TEST(BirthDeathTest, RatesPlacedOnCorrectDiagonals) {
+  const auto gen = make_birth_death_generator(
+      4, [](std::size_t i) { return 1.0 + static_cast<double>(i); },
+      [](std::size_t i) { return 2.0 * static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(gen.matrix().at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(gen.matrix().at(2, 3), 3.0);
+  EXPECT_DOUBLE_EQ(gen.matrix().at(3, 2), 6.0);
+  EXPECT_DOUBLE_EQ(gen.matrix().at(0, 0), -1.0);
+  EXPECT_TRUE(gen.matrix().has_zero_row_sums(1e-12));
+}
+
+TEST(BirthDeathTest, ZeroRatesOmitTransitions) {
+  const auto gen = make_birth_death_generator(
+      3, [](std::size_t) { return 0.0; }, [](std::size_t) { return 1.0; });
+  EXPECT_DOUBLE_EQ(gen.matrix().at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(gen.exit_rates()[0], 0.0);
+}
+
+TEST(BirthDeathTest, NegativeRateRejected) {
+  EXPECT_THROW(make_birth_death_generator(
+                   3, [](std::size_t) { return -1.0; },
+                   [](std::size_t) { return 1.0; }),
+               std::invalid_argument);
+}
+
+TEST(BirthDeathTest, MrmBuilderWiresRewards) {
+  const auto m = make_birth_death_mrm(
+      3, [](std::size_t) { return 1.0; }, [](std::size_t) { return 2.0; },
+      [](std::size_t i) { return 10.0 - static_cast<double>(i); },
+      [](std::size_t i) { return 0.5 * static_cast<double>(i); },
+      /*initial_state=*/1);
+  EXPECT_DOUBLE_EQ(m.drifts()[2], 8.0);
+  EXPECT_DOUBLE_EQ(m.variances()[2], 1.0);
+  EXPECT_DOUBLE_EQ(m.initial()[1], 1.0);
+}
+
+TEST(ReliabilityTest, MachineRepairStructure) {
+  MachineRepairParams p;
+  p.num_processors = 4;
+  p.failure_rate = 0.5;
+  p.repair_rate = 2.0;
+  p.num_repairmen = 2;
+  p.unit_power = 3.0;
+  p.unit_power_variance = 0.25;
+  const auto m = make_machine_repair(p);
+  EXPECT_EQ(m.num_states(), 5u);
+
+  const auto& q = m.generator().matrix();
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 4.0 * 0.5);  // all up, one fails
+  EXPECT_DOUBLE_EQ(q.at(3, 4), 1.0 * 0.5);
+  EXPECT_DOUBLE_EQ(q.at(1, 0), 1.0 * 2.0);  // one repairman busy
+  EXPECT_DOUBLE_EQ(q.at(3, 2), 2.0 * 2.0);  // repair capacity saturates at 2
+
+  EXPECT_DOUBLE_EQ(m.drifts()[0], 12.0);
+  EXPECT_DOUBLE_EQ(m.drifts()[4], 0.0);
+  EXPECT_DOUBLE_EQ(m.variances()[1], 0.75);
+  EXPECT_DOUBLE_EQ(m.initial()[0], 1.0);
+}
+
+TEST(ReliabilityTest, InitialFailedRespected) {
+  MachineRepairParams p;
+  p.num_processors = 3;
+  p.initial_failed = 2;
+  const auto m = make_machine_repair(p);
+  EXPECT_DOUBLE_EQ(m.initial()[2], 1.0);
+}
+
+TEST(ReliabilityTest, InputValidation) {
+  MachineRepairParams p;
+  p.num_processors = 0;
+  EXPECT_THROW(make_machine_repair(p), std::invalid_argument);
+  p = MachineRepairParams{};
+  p.repair_rate = 0.0;
+  EXPECT_THROW(make_machine_repair(p), std::invalid_argument);
+  p = MachineRepairParams{};
+  p.initial_failed = 100;
+  EXPECT_THROW(make_machine_repair(p), std::invalid_argument);
+  p = MachineRepairParams{};
+  p.num_repairmen = 0;
+  EXPECT_THROW(make_machine_repair(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::models

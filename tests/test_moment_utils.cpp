@@ -1,0 +1,135 @@
+// Tests for binomial shifts, central/standardized moments and summary stats.
+
+#include "core/moment_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/normal.hpp"
+
+namespace somrm::core {
+namespace {
+
+TEST(BinomialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 7), 0.0);
+}
+
+TEST(BinomialTest, PascalIdentityHolds) {
+  for (std::size_t n = 1; n <= 30; ++n)
+    for (std::size_t k = 1; k <= n; ++k)
+      EXPECT_DOUBLE_EQ(binomial_coefficient(n, k),
+                       binomial_coefficient(n - 1, k - 1) +
+                           binomial_coefficient(n - 1, k));
+}
+
+TEST(ShiftMomentsTest, ShiftOfDegenerateAtZero) {
+  // X = 0 a.s.: raw = (1, 0, 0, 0). X + d has moments d^k.
+  const std::vector<double> raw{1.0, 0.0, 0.0, 0.0};
+  const auto shifted = shift_raw_moments(raw, 2.0);
+  EXPECT_DOUBLE_EQ(shifted[0], 1.0);
+  EXPECT_DOUBLE_EQ(shifted[1], 2.0);
+  EXPECT_DOUBLE_EQ(shifted[2], 4.0);
+  EXPECT_DOUBLE_EQ(shifted[3], 8.0);
+}
+
+TEST(ShiftMomentsTest, ShiftThenUnshiftIsIdentity) {
+  const std::vector<double> raw{1.0, 0.7, 1.9, 2.2, 11.0};
+  const auto there = shift_raw_moments(raw, 1.3);
+  const auto back = shift_raw_moments(there, -1.3);
+  for (std::size_t k = 0; k < raw.size(); ++k)
+    EXPECT_NEAR(back[k], raw[k], 1e-12);
+}
+
+TEST(ShiftMomentsTest, MatchesNormalClosedForm) {
+  // Shifting N(0, s^2) by mu gives N(mu, s^2).
+  const auto centered = prob::normal_raw_moments(0.0, 2.0, 6);
+  const auto shifted = shift_raw_moments(centered, 1.5);
+  const auto direct = prob::normal_raw_moments(1.5, 2.0, 6);
+  for (std::size_t k = 0; k <= 6; ++k)
+    EXPECT_NEAR(shifted[k], direct[k], 1e-10 * std::abs(direct[k]) + 1e-12);
+}
+
+TEST(CentralMomentsTest, NormalCentralMoments) {
+  const auto raw = prob::normal_raw_moments(3.0, 4.0, 6);
+  const auto central = central_moments_from_raw(raw);
+  EXPECT_NEAR(central[1], 0.0, 1e-10);
+  EXPECT_NEAR(central[2], 4.0, 1e-9);
+  EXPECT_NEAR(central[3], 0.0, 1e-8);
+  EXPECT_NEAR(central[4], 3.0 * 16.0, 1e-7);
+  EXPECT_NEAR(central[6], 15.0 * 64.0, 1e-5);
+}
+
+TEST(StandardizeTest, NormalBecomesStandardNormal) {
+  const auto raw = prob::normal_raw_moments(-2.0, 9.0, 8);
+  const auto std_m = standardize_raw_moments(raw);
+  EXPECT_DOUBLE_EQ(std_m.mean, -2.0);
+  EXPECT_DOUBLE_EQ(std_m.stddev, 3.0);
+  const auto expected = prob::normal_raw_moments(0.0, 1.0, 8);
+  for (std::size_t k = 0; k <= 8; ++k)
+    EXPECT_NEAR(std_m.moments[k], expected[k], 1e-8);
+}
+
+TEST(StandardizeTest, RejectsZeroVariance) {
+  // X = 5 a.s.
+  const std::vector<double> raw{1.0, 5.0, 25.0};
+  EXPECT_THROW(standardize_raw_moments(raw), std::invalid_argument);
+}
+
+TEST(SummaryStatsTest, VarianceSkewnessKurtosisOfExponential) {
+  // Exp(1): mu_k = k!. Variance 1, skewness 2, excess kurtosis 6.
+  std::vector<double> raw(7);
+  raw[0] = 1.0;
+  for (std::size_t k = 1; k <= 6; ++k)
+    raw[k] = raw[k - 1] * static_cast<double>(k);
+  EXPECT_NEAR(variance_from_raw(raw), 1.0, 1e-12);
+  EXPECT_NEAR(skewness_from_raw(raw), 2.0, 1e-11);
+  EXPECT_NEAR(excess_kurtosis_from_raw(raw), 6.0, 1e-10);
+}
+
+TEST(CumulantsTest, NormalCumulantsVanishAboveTwo) {
+  // N(mu, s2): kappa_1 = mu, kappa_2 = s2, all higher cumulants 0.
+  const std::vector<double> kappa{1.5, 2.25, 0.0, 0.0, 0.0, 0.0};
+  const auto m = moments_from_cumulants(kappa);
+  const auto exact = prob::normal_raw_moments(1.5, 2.25, 6);
+  for (std::size_t k = 0; k <= 6; ++k)
+    EXPECT_NEAR(m[k], exact[k], 1e-10 * std::abs(exact[k]) + 1e-12);
+}
+
+TEST(CumulantsTest, PoissonCumulantsAllLambda) {
+  // Pois(lambda): every cumulant is lambda; check low raw moments.
+  const double lambda = 3.0;
+  const std::vector<double> kappa(4, lambda);
+  const auto m = moments_from_cumulants(kappa);
+  EXPECT_NEAR(m[1], lambda, 1e-12);
+  EXPECT_NEAR(m[2], lambda + lambda * lambda, 1e-12);
+  EXPECT_NEAR(m[3], lambda + 3 * lambda * lambda + lambda * lambda * lambda,
+              1e-11);
+}
+
+TEST(CumulantsTest, RoundTripMomentsCumulants) {
+  std::vector<double> raw{1.0, 0.5, 1.7, 2.1, 9.3, 20.0};
+  const auto kappa = cumulants_from_moments(raw);
+  const auto back = moments_from_cumulants(kappa);
+  for (std::size_t k = 0; k < raw.size(); ++k)
+    EXPECT_NEAR(back[k], raw[k], 1e-10 * (1.0 + std::abs(raw[k])));
+}
+
+TEST(CumulantsTest, RejectsBadMuZero) {
+  EXPECT_THROW(cumulants_from_moments(std::vector<double>{2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(SummaryStatsTest, InputSizeValidation) {
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(variance_from_raw(tiny), std::invalid_argument);
+  EXPECT_THROW(skewness_from_raw(tiny), std::invalid_argument);
+  EXPECT_THROW(excess_kurtosis_from_raw(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::core

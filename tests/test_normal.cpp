@@ -1,0 +1,99 @@
+// Tests for normal-distribution utilities.
+
+#include "prob/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace somrm::prob {
+namespace {
+
+TEST(NormalPdfTest, StandardNormalAtZero) {
+  EXPECT_NEAR(normal_pdf(0.0, 0.0, 1.0),
+              1.0 / std::sqrt(2.0 * std::numbers::pi), 1e-15);
+}
+
+TEST(NormalPdfTest, SymmetryAndScaling) {
+  EXPECT_NEAR(normal_pdf(1.3, 0.0, 1.0), normal_pdf(-1.3, 0.0, 1.0), 1e-16);
+  // pdf of N(mu, s^2) at mu equals pdf of N(0,1) at 0 divided by s.
+  EXPECT_NEAR(normal_pdf(2.0, 2.0, 4.0),
+              normal_pdf(0.0, 0.0, 1.0) / 2.0, 1e-15);
+}
+
+TEST(NormalPdfTest, RejectsNonPositiveVariance) {
+  EXPECT_THROW(normal_pdf(0.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(normal_pdf(0.0, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0, 0.0, 1.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963984540054, 0.0, 1.0), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054, 0.0, 1.0), 0.025, 1e-12);
+}
+
+TEST(NormalCdfTest, DegenerateVarianceIsStepFunction) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.9, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normal_cdf(1.0, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(normal_cdf(1.1, 1.0, 0.0), 1.0);
+}
+
+TEST(QuantileTest, InvertsTheCdf) {
+  for (double p : {1e-10, 1e-4, 0.025, 0.3, 0.5, 0.7, 0.975, 1.0 - 1e-4}) {
+    const double x = standard_normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x, 0.0, 1.0), p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(QuantileTest, MedianIsZero) {
+  EXPECT_NEAR(standard_normal_quantile(0.5), 0.0, 1e-14);
+}
+
+TEST(QuantileTest, RejectsBoundaryProbabilities) {
+  EXPECT_THROW(standard_normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(standard_normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(standard_normal_quantile(-0.1), std::invalid_argument);
+}
+
+TEST(NormalMomentsTest, StandardNormalMomentsAreDoubleFactorials) {
+  const auto m = normal_raw_moments(0.0, 1.0, 8);
+  EXPECT_DOUBLE_EQ(m[0], 1.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.0);
+  EXPECT_DOUBLE_EQ(m[2], 1.0);
+  EXPECT_DOUBLE_EQ(m[3], 0.0);
+  EXPECT_DOUBLE_EQ(m[4], 3.0);
+  EXPECT_DOUBLE_EQ(m[5], 0.0);
+  EXPECT_DOUBLE_EQ(m[6], 15.0);
+  EXPECT_DOUBLE_EQ(m[8], 105.0);
+}
+
+TEST(NormalMomentsTest, PureDriftGivesPowers) {
+  const auto m = normal_raw_moments(2.0, 0.0, 4);
+  EXPECT_DOUBLE_EQ(m[1], 2.0);
+  EXPECT_DOUBLE_EQ(m[2], 4.0);
+  EXPECT_DOUBLE_EQ(m[3], 8.0);
+  EXPECT_DOUBLE_EQ(m[4], 16.0);
+}
+
+TEST(NormalMomentsTest, GeneralMeanVarianceSecondMoment) {
+  const double mu = 1.5, s2 = 2.25;
+  const auto m = normal_raw_moments(mu, s2, 4);
+  EXPECT_NEAR(m[2], s2 + mu * mu, 1e-14);
+  EXPECT_NEAR(m[3], mu * mu * mu + 3.0 * mu * s2, 1e-13);
+  EXPECT_NEAR(m[4], mu * mu * mu * mu + 6.0 * mu * mu * s2 + 3.0 * s2 * s2,
+              1e-12);
+}
+
+TEST(BrownianMomentsTest, MatchesNormalWithScaledParameters) {
+  const auto bm = brownian_raw_moments(1.0, 4.0, 0.25, 3);
+  const auto nm = normal_raw_moments(0.25, 1.0, 3);
+  for (std::size_t k = 0; k <= 3; ++k) EXPECT_DOUBLE_EQ(bm[k], nm[k]);
+}
+
+TEST(BrownianMomentsTest, RejectsNegativeTime) {
+  EXPECT_THROW(brownian_raw_moments(1.0, 1.0, -0.5, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::prob

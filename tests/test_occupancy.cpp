@@ -1,0 +1,114 @@
+// Tests for the expected-occupancy (integrated transient) solver.
+
+#include "ctmc/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/first_order.hpp"
+#include "ctmc/transient.hpp"
+
+namespace somrm::ctmc {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+Generator two_state(double a, double b) {
+  return Generator::from_rates(2,
+                               std::vector<Triplet>{{0, 1, a}, {1, 0, b}});
+}
+
+TEST(OccupancyTest, TwoStateClosedForm) {
+  // L_0(t) = int_0^t p_0(u) du with p_0(u) = b/(a+b) + a/(a+b) e^{-(a+b)u}.
+  const double a = 2.0, b = 3.0;
+  const Generator g = two_state(a, b);
+  const Vec init{1.0, 0.0};
+  for (double t : {0.1, 0.5, 2.0}) {
+    const Vec occ = expected_occupancy(g, init, t);
+    const double s = a + b;
+    const double expected0 =
+        b / s * t + a / (s * s) * (1.0 - std::exp(-s * t));
+    EXPECT_NEAR(occ[0], expected0, 1e-10) << "t = " << t;
+    EXPECT_NEAR(occ[0] + occ[1], t, 1e-10);
+  }
+}
+
+TEST(OccupancyTest, SumsToTime) {
+  const std::vector<Triplet> rates{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 0.5},
+                                   {2, 1, 0.25}};
+  const Generator g = Generator::from_rates(3, rates);
+  const Vec init{0.2, 0.5, 0.3};
+  for (double t : {0.0, 0.3, 1.7, 10.0}) {
+    const Vec occ = expected_occupancy(g, init, t);
+    EXPECT_NEAR(linalg::sum(occ), t, 1e-9 * (1.0 + t)) << "t = " << t;
+    EXPECT_TRUE(linalg::is_nonnegative(occ, 1e-12));
+  }
+}
+
+TEST(OccupancyTest, MatchesFirstOrderMeanReward) {
+  // E[B(t)] = sum_i L_i(t) r_i — the independent route to the mean.
+  const std::vector<Triplet> rates{{0, 1, 2.0}, {1, 0, 1.0}, {1, 2, 1.5},
+                                   {2, 1, 3.0}};
+  const Generator g = Generator::from_rates(3, rates);
+  const Vec rewards{4.0, 1.0, -0.5};
+  const Vec init{1.0, 0.0, 0.0};
+  const core::FirstOrderMrm mrm(g, rewards, init);
+  const core::FirstOrderMomentSolver solver(mrm);
+
+  core::MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.epsilon = 1e-12;
+  for (double t : {0.2, 1.0, 3.0}) {
+    const Vec occ = expected_occupancy(g, init, t);
+    const double via_occupancy = linalg::dot(occ, rewards);
+    const double via_solver = solver.solve(t, opts).weighted[1];
+    EXPECT_NEAR(via_occupancy, via_solver, 1e-9 * (1.0 + std::abs(via_solver)))
+        << "t = " << t;
+  }
+}
+
+TEST(OccupancyTest, AbsorbingChainAccumulatesInInitialStates) {
+  const Generator g = Generator::from_rates(3, std::vector<Triplet>{});
+  const Vec init{0.5, 0.25, 0.25};
+  const Vec occ = expected_occupancy(g, init, 4.0);
+  EXPECT_NEAR(occ[0], 2.0, 1e-12);
+  EXPECT_NEAR(occ[1], 1.0, 1e-12);
+  EXPECT_NEAR(occ[2], 1.0, 1e-12);
+}
+
+TEST(OccupancyTest, LongHorizonApproachesStationaryShare) {
+  const double a = 2.0, b = 3.0;
+  const Generator g = two_state(a, b);
+  const double t = 200.0;
+  const Vec occ = expected_occupancy(g, Vec{1.0, 0.0}, t);
+  EXPECT_NEAR(occ[0] / t, b / (a + b), 1e-3);
+}
+
+TEST(OccupancyTest, MultiTimeMatchesSingle) {
+  const Generator g = two_state(1.0, 4.0);
+  const Vec init{0.5, 0.5};
+  const std::vector<double> times{0.1, 0.9, 2.5};
+  const auto multi = expected_occupancy_multi(g, init, times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const Vec single = expected_occupancy(g, init, times[i]);
+    EXPECT_NEAR(multi[i][0], single[0], 1e-11);
+    EXPECT_NEAR(multi[i][1], single[1], 1e-11);
+  }
+}
+
+TEST(OccupancyTest, InputValidation) {
+  const Generator g = two_state(1.0, 1.0);
+  EXPECT_THROW(expected_occupancy(g, Vec{1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(expected_occupancy(g, Vec{1.0, 0.0}, -1.0),
+               std::invalid_argument);
+  OccupancyOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(expected_occupancy(g, Vec{1.0, 0.0}, 1.0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::ctmc

@@ -1,0 +1,120 @@
+// Tests for the Theorem-2 ODE baselines (RK4 and implicit trapezoid) and
+// their agreement with the randomization solver.
+
+#include "core/ode_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/randomization.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::core {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+SecondOrderMrm test_model() {
+  auto gen = ctmc::Generator::from_rates(
+      3, std::vector<Triplet>{{0, 1, 2.0}, {1, 0, 1.0}, {1, 2, 1.5},
+                              {2, 1, 3.0}});
+  return SecondOrderMrm(std::move(gen), Vec{4.0, 1.0, -0.5},
+                        Vec{0.3, 1.0, 0.2}, Vec{1.0, 0.0, 0.0});
+}
+
+TEST(OdeSolverTest, Rk4MatchesRandomization) {
+  const SecondOrderMrm m = test_model();
+  const RandomizationMomentSolver rand_solver(m);
+  MomentSolverOptions ropts;
+  ropts.epsilon = 1e-12;
+  const auto ref = rand_solver.solve(1.0, ropts);
+
+  OdeSolverOptions oopts;
+  oopts.num_steps = 200;
+  const auto ode = solve_moments_ode(m, 1.0, OdeMethod::kRk4, oopts);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(ode.weighted[j], ref.weighted[j],
+                1e-7 * (1.0 + std::abs(ref.weighted[j])))
+        << "moment " << j;
+}
+
+TEST(OdeSolverTest, TrapezoidMatchesRandomization) {
+  const SecondOrderMrm m = test_model();
+  const RandomizationMomentSolver rand_solver(m);
+  MomentSolverOptions ropts;
+  ropts.epsilon = 1e-12;
+  const auto ref = rand_solver.solve(0.8, ropts);
+
+  OdeSolverOptions oopts;
+  oopts.num_steps = 4000;  // trapezoid is O(h^2)
+  const auto ode = solve_moments_ode(m, 0.8, OdeMethod::kTrapezoid, oopts);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(ode.weighted[j], ref.weighted[j],
+                1e-5 * (1.0 + std::abs(ref.weighted[j])))
+        << "moment " << j;
+}
+
+TEST(OdeSolverTest, BrownianClosedFormAnchor) {
+  // Uniform rewards: exact N(rt, s2 t) moments.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 2.0}});
+  const SecondOrderMrm m(std::move(gen), Vec{2.0, 2.0}, Vec{1.5, 1.5},
+                         Vec{1.0, 0.0});
+  OdeSolverOptions opts;
+  opts.num_steps = 400;
+  const auto res = solve_moments_ode(m, 0.5, OdeMethod::kRk4, opts);
+  const auto exact = prob::brownian_raw_moments(2.0, 1.5, 0.5, 3);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(res.weighted[j], exact[j], 1e-8 + 1e-8 * std::abs(exact[j]));
+}
+
+TEST(OdeSolverTest, TrapezoidConvergesSecondOrder) {
+  // Halving h should cut the error by ~4x.
+  const SecondOrderMrm m = test_model();
+  const RandomizationMomentSolver rand_solver(m);
+  MomentSolverOptions ropts;
+  ropts.epsilon = 1e-13;
+  const double ref = rand_solver.solve(0.5, ropts).weighted[2];
+
+  OdeSolverOptions coarse, fine;
+  coarse.num_steps = 100;
+  fine.num_steps = 200;
+  const double e_coarse = std::abs(
+      solve_moments_ode(m, 0.5, OdeMethod::kTrapezoid, coarse).weighted[2] -
+      ref);
+  const double e_fine = std::abs(
+      solve_moments_ode(m, 0.5, OdeMethod::kTrapezoid, fine).weighted[2] -
+      ref);
+  EXPECT_LT(e_fine, e_coarse / 2.5);
+}
+
+TEST(OdeSolverTest, StabilityEnforcementRaisesStepCount) {
+  const SecondOrderMrm m = test_model();  // q = 4.5ish
+  OdeSolverOptions opts;
+  opts.num_steps = 2;  // far below the explicit stability limit
+  const auto res = solve_moments_ode(m, 2.0, OdeMethod::kRk4, opts);
+  EXPECT_GE(res.truncation_point, 18u);  // raised internally to ~3qt
+  EXPECT_TRUE(std::isfinite(res.weighted[3]));
+}
+
+TEST(OdeSolverTest, TimeZeroReturnsInitialMoments) {
+  const auto res =
+      solve_moments_ode(test_model(), 0.0, OdeMethod::kTrapezoid);
+  EXPECT_DOUBLE_EQ(res.weighted[0], 1.0);
+  EXPECT_DOUBLE_EQ(res.weighted[1], 0.0);
+}
+
+TEST(OdeSolverTest, InputValidation) {
+  EXPECT_THROW(solve_moments_ode(test_model(), -1.0, OdeMethod::kRk4),
+               std::invalid_argument);
+  OdeSolverOptions bad;
+  bad.num_steps = 0;
+  EXPECT_THROW(solve_moments_ode(test_model(), 1.0, OdeMethod::kRk4, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::core

@@ -1,0 +1,132 @@
+// Tests for log-space Poisson weights, tails and truncation points — the
+// numerical backbone of both randomization solvers.
+
+#include "prob/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace somrm::prob {
+namespace {
+
+TEST(PoissonPmfTest, SmallLambdaMatchesDirectFormula) {
+  const double lambda = 2.5;
+  double factorial = 1.0;
+  for (std::size_t k = 0; k <= 10; ++k) {
+    if (k > 0) factorial *= static_cast<double>(k);
+    const double expected =
+        std::exp(-lambda) * std::pow(lambda, static_cast<double>(k)) /
+        factorial;
+    // exp/lgamma round-trips cost a few ulp relative to the direct product.
+    EXPECT_NEAR(poisson_pmf(k, lambda), expected, 1e-13 * expected + 1e-300);
+  }
+}
+
+TEST(PoissonPmfTest, ZeroLambdaIsDegenerateAtZero) {
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(1, 0.0), 0.0);
+  EXPECT_EQ(log_poisson_pmf(3, 0.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(PoissonPmfTest, NegativeLambdaRejected) {
+  EXPECT_THROW(log_poisson_pmf(0, -1.0), std::invalid_argument);
+}
+
+TEST(PoissonPmfTest, HugeLambdaDoesNotUnderflowNearMode) {
+  // The paper's large example: qt = 40,000. Near the mode the weight is
+  // ~ 1/sqrt(2 pi qt) ~ 2e-3 and must be representable.
+  const double lambda = 40000.0;
+  const double w = poisson_pmf(40000, lambda);
+  EXPECT_GT(w, 1e-4);
+  EXPECT_LT(w, 1e-2);
+  EXPECT_NEAR(w, 1.0 / std::sqrt(2.0 * M_PI * lambda), 1e-5);
+}
+
+TEST(PoissonWeightsTest, SumToOneWhenTruncatedGenerously) {
+  for (double lambda : {0.5, 5.0, 50.0, 500.0}) {
+    const std::size_t k_max =
+        static_cast<std::size_t>(lambda + 20.0 * std::sqrt(lambda) + 30.0);
+    const auto w = poisson_weights(lambda, k_max);
+    double total = 0.0;
+    for (double v : w) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12) << "lambda = " << lambda;
+  }
+}
+
+TEST(PoissonTailTest, ComplementOfLeftSum) {
+  const double lambda = 7.0;
+  for (std::size_t k_min : {1u, 3u, 7u, 10u}) {
+    double left = 0.0;
+    for (std::size_t k = 0; k < k_min; ++k) left += poisson_pmf(k, lambda);
+    EXPECT_NEAR(poisson_tail(lambda, k_min), 1.0 - left, 1e-12);
+  }
+}
+
+TEST(PoissonTailTest, WholeDistributionFromZero) {
+  EXPECT_DOUBLE_EQ(poisson_tail(3.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(log_poisson_tail(3.0, 0), 0.0);
+}
+
+TEST(PoissonTailTest, DeepTailMatchesLogSummation) {
+  // Compare against a directly accumulated log-sum for a moderate case.
+  const double lambda = 20.0;
+  const std::size_t k_min = 60;
+  double direct = 0.0;
+  for (std::size_t k = k_min; k < k_min + 200; ++k)
+    direct += poisson_pmf(k, lambda);
+  EXPECT_NEAR(log_poisson_tail(lambda, k_min), std::log(direct), 1e-10);
+}
+
+TEST(PoissonTailTest, MonotoneDecreasingInKmin) {
+  const double lambda = 100.0;
+  double prev = 0.0;  // log tail at k_min = 0
+  for (std::size_t k = 20; k <= 400; k += 20) {
+    const double cur = log_poisson_tail(lambda, k);
+    EXPECT_LT(cur, prev + 1e-15);
+    prev = cur;
+  }
+}
+
+TEST(PoissonTailTest, ExtremeTailStaysFiniteInLogSpace) {
+  // Far beyond double underflow in linear space.
+  const double lt = log_poisson_tail(40000.0, 50000);
+  EXPECT_TRUE(std::isfinite(lt));
+  EXPECT_LT(lt, -1000.0);
+}
+
+TEST(TruncationPointTest, CoversRequestedMass) {
+  for (double lambda : {1.0, 10.0, 1000.0}) {
+    for (double eps : {1e-6, 1e-12}) {
+      const std::size_t g = poisson_truncation_point(lambda, std::log(eps));
+      EXPECT_LT(poisson_tail(lambda, g + 1), eps);
+      if (g > 0) EXPECT_GE(poisson_tail(lambda, g), eps);
+    }
+  }
+}
+
+TEST(TruncationPointTest, GrowsLikeLambdaPlusSpread) {
+  const double lambda = 40000.0;
+  const std::size_t g = poisson_truncation_point(lambda, std::log(1e-9));
+  // G must exceed the mode and stay within a few-thousand-wide window
+  // (paper: G = 41,588 for the full Theorem-4 bound at this qt).
+  EXPECT_GT(g, 40000u);
+  EXPECT_LT(g, 42000u);
+}
+
+TEST(TruncationPointTest, TrivialCases) {
+  EXPECT_EQ(poisson_truncation_point(0.0, std::log(1e-9)), 0u);
+  EXPECT_EQ(poisson_truncation_point(5.0, 0.5), 0u);  // bound >= 1
+}
+
+TEST(TruncationPointTest, HandlesSubUnderflowTargets) {
+  // Tail targets far below double range must still resolve (log form).
+  const std::size_t g = poisson_truncation_point(100.0, -800.0);
+  EXPECT_GT(g, 100u);
+  EXPECT_LT(log_poisson_tail(100.0, g + 1), -800.0);
+}
+
+}  // namespace
+}  // namespace somrm::prob

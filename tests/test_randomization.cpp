@@ -1,0 +1,379 @@
+// Tests for the randomization moment solver (Theorems 3-4) — the paper's
+// core algorithm. Anchors:
+//  * models whose reward is exactly Brownian (all states share r, sigma^2):
+//    every moment has the N(rt, sigma^2 t) closed form regardless of the
+//    chain, which exercises the full recursion including S';
+//  * the degenerate no-transition chain (closed-form path);
+//  * numerical integration of E[B(t)] = int_0^t p(u) . r du via the
+//    transient solver;
+//  * internal consistency properties (variance >= 0, mean independent of
+//    sigma^2, multi-time vs single-time, epsilon honored, shift transform).
+
+#include "core/randomization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/moment_utils.hpp"
+#include "ctmc/transient.hpp"
+#include "prob/normal.hpp"
+
+namespace somrm::core {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+ctmc::Generator ring_generator(std::size_t n, double rate) {
+  std::vector<Triplet> rates;
+  for (std::size_t i = 0; i < n; ++i)
+    rates.push_back({i, (i + 1) % n, rate * (1.0 + 0.3 * static_cast<double>(i))});
+  return ctmc::Generator::from_rates(n, rates);
+}
+
+SecondOrderMrm uniform_reward_model(std::size_t n, double r, double s2) {
+  return SecondOrderMrm(ring_generator(n, 2.0), Vec(n, r), Vec(n, s2),
+                        linalg::unit_vec(n, 0));
+}
+
+SecondOrderMrm varied_model(std::size_t n, double sigma2_scale);  // below
+
+TEST(RandomizationTest, UniformRewardsMatchBrownianClosedForm) {
+  // All states share (r, sigma^2): B(t) ~ N(r t, sigma^2 t) exactly.
+  const double r = 1.7, s2 = 0.8, t = 0.9;
+  const RandomizationMomentSolver solver(uniform_reward_model(4, r, s2));
+  MomentSolverOptions opts;
+  opts.max_moment = 5;
+  opts.epsilon = 1e-12;
+  const auto res = solver.solve(t, opts);
+  const auto exact = prob::brownian_raw_moments(r, s2, t, 5);
+  for (std::size_t j = 0; j <= 5; ++j)
+    EXPECT_NEAR(res.weighted[j], exact[j],
+                1e-9 * std::abs(exact[j]) + 1e-9)
+        << "moment " << j;
+}
+
+TEST(RandomizationTest, UniformNegativeDriftClosedForm) {
+  // Negative drift goes through the shift transform; the closed form must
+  // still hold exactly.
+  const double r = -2.3, s2 = 1.1, t = 0.6;
+  const RandomizationMomentSolver solver(uniform_reward_model(3, r, s2));
+  MomentSolverOptions opts;
+  opts.max_moment = 4;
+  opts.epsilon = 1e-12;
+  const auto res = solver.solve(t, opts);
+  const auto exact = prob::brownian_raw_moments(r, s2, t, 4);
+  for (std::size_t j = 0; j <= 4; ++j)
+    EXPECT_NEAR(res.weighted[j], exact[j],
+                1e-9 * std::abs(exact[j]) + 1e-9);
+}
+
+TEST(RandomizationTest, DegenerateChainUsesClosedForm) {
+  auto gen = ctmc::Generator::from_rates(2, std::vector<Triplet>{});
+  const SecondOrderMrm m(std::move(gen), Vec{1.0, -3.0}, Vec{0.5, 2.0},
+                         Vec{0.25, 0.75});
+  const RandomizationMomentSolver solver(m);
+  const auto res = solver.solve(2.0);
+  const auto m0 = prob::brownian_raw_moments(1.0, 0.5, 2.0, 3);
+  const auto m1 = prob::brownian_raw_moments(-3.0, 2.0, 2.0, 3);
+  for (std::size_t j = 0; j <= 3; ++j) {
+    EXPECT_DOUBLE_EQ(res.per_state[j][0], m0[j]);
+    EXPECT_DOUBLE_EQ(res.per_state[j][1], m1[j]);
+    EXPECT_NEAR(res.weighted[j], 0.25 * m0[j] + 0.75 * m1[j], 1e-12);
+  }
+}
+
+TEST(RandomizationTest, MeanMatchesTransientIntegral) {
+  // E[B(t) | Z(0)=i] = int_0^t sum_k p_ik(u) r_k du; integrate with Simpson.
+  auto gen = ctmc::Generator::from_rates(
+      3, std::vector<Triplet>{{0, 1, 2.0}, {1, 2, 1.0}, {2, 0, 3.0},
+                              {1, 0, 0.5}});
+  const Vec drifts{5.0, -1.0, 2.0};
+  const SecondOrderMrm m(gen, drifts, Vec{0.1, 0.2, 0.3}, Vec{1.0, 0.0, 0.0});
+  const double t = 1.2;
+
+  const std::size_t intervals = 2000;  // even
+  double integral = 0.0;
+  for (std::size_t k = 0; k <= intervals; ++k) {
+    const double u = t * static_cast<double>(k) / intervals;
+    const Vec p = ctmc::transient_distribution(gen, m.initial(), u);
+    const double f = linalg::dot(p, drifts);
+    const double w = (k == 0 || k == intervals) ? 1.0 : (k % 2 == 1 ? 4.0 : 2.0);
+    integral += w * f;
+  }
+  integral *= t / static_cast<double>(intervals) / 3.0;
+
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-12;
+  const auto res = solver.solve(t, opts);
+  EXPECT_NEAR(res.weighted[1], integral, 1e-8);
+}
+
+TEST(RandomizationTest, ZerothMomentIsOnePerState) {
+  const RandomizationMomentSolver solver(uniform_reward_model(5, 2.0, 1.0));
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-10;
+  const auto res = solver.solve(3.0, opts);
+  for (double v : res.per_state[0]) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(RandomizationTest, TimeZeroGivesDeterministicZeroReward) {
+  const RandomizationMomentSolver solver(uniform_reward_model(3, 1.0, 1.0));
+  const auto res = solver.solve(0.0);
+  EXPECT_DOUBLE_EQ(res.weighted[0], 1.0);
+  EXPECT_DOUBLE_EQ(res.weighted[1], 0.0);
+  EXPECT_DOUBLE_EQ(res.weighted[2], 0.0);
+}
+
+TEST(RandomizationTest, MultiTimeMatchesSingleTimeCalls) {
+  const RandomizationMomentSolver solver(uniform_reward_model(4, 1.5, 0.7));
+  const std::vector<double> times{0.1, 0.4, 1.0, 2.5};
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-11;
+  const auto multi = solver.solve_multi(times, opts);
+  ASSERT_EQ(multi.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const auto single = solver.solve(times[i], opts);
+    for (std::size_t j = 0; j <= opts.max_moment; ++j)
+      EXPECT_NEAR(multi[i].weighted[j], single.weighted[j],
+                  1e-10 * (1.0 + std::abs(single.weighted[j])));
+  }
+}
+
+TEST(RandomizationTest, EpsilonControlsAccuracy) {
+  const RandomizationMomentSolver solver(uniform_reward_model(3, 2.0, 1.5));
+  MomentSolverOptions loose, tight;
+  loose.epsilon = 1e-4;
+  tight.epsilon = 1e-13;
+  const auto rl = solver.solve(1.0, loose);
+  const auto rt = solver.solve(1.0, tight);
+  EXPECT_LT(rl.truncation_point, rt.truncation_point);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(rl.weighted[j], rt.weighted[j], 2e-4);
+  // Theorem-4 bound at the loose setting must itself be below epsilon.
+  EXPECT_LT(rl.error_bound, loose.epsilon);
+}
+
+TEST(RandomizationTest, ScalePoliciesAgreeWhenBothValid) {
+  // Drift-dominated model: the paper's d is sub-stochastic too, and the
+  // expansion value must not depend on d.
+  const SecondOrderMrm m(ring_generator(3, 3.0), Vec{5.0, 2.0, 1.0},
+                         Vec{0.2, 0.1, 0.05}, linalg::unit_vec(3, 0));
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions safe, paper;
+  safe.epsilon = paper.epsilon = 1e-12;
+  paper.scale_policy = DriftScalePolicy::kPaper;
+  const auto rs = solver.solve(0.8, safe);
+  const auto rp = solver.solve(0.8, paper);
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(rs.weighted[j], rp.weighted[j],
+                1e-9 * (1.0 + std::abs(rs.weighted[j])));
+}
+
+TEST(RandomizationTest, TruncationPointMonotoneInOrderAndEpsilon) {
+  const double qt = 50.0, d = 0.5;
+  EXPECT_LE(RandomizationMomentSolver::truncation_point(qt, 1, d, 1e-9),
+            RandomizationMomentSolver::truncation_point(qt, 4, d, 1e-9));
+  EXPECT_LE(RandomizationMomentSolver::truncation_point(qt, 2, d, 1e-6),
+            RandomizationMomentSolver::truncation_point(qt, 2, d, 1e-12));
+  EXPECT_EQ(RandomizationMomentSolver::truncation_point(0.0, 2, d, 1e-9), 0u);
+  EXPECT_EQ(RandomizationMomentSolver::truncation_point(qt, 2, 0.0, 1e-9),
+            0u);
+}
+
+TEST(RandomizationTest, CenteredSolveMatchesBrownianCentralMoments) {
+  // Uniform rewards, center = drift: moments of B(t) - r t = N(0, s2 t).
+  const double r = 1.7, s2 = 0.8, t = 0.9;
+  const RandomizationMomentSolver solver(uniform_reward_model(4, r, s2));
+  MomentSolverOptions opts;
+  opts.max_moment = 6;
+  opts.epsilon = 1e-12;
+  opts.center = r;
+  const auto res = solver.solve(t, opts);
+  const auto exact = prob::brownian_raw_moments(0.0, s2, t, 6);
+  for (std::size_t j = 0; j <= 6; ++j)
+    EXPECT_NEAR(res.weighted[j], exact[j], 1e-9 * (1.0 + std::abs(exact[j])))
+        << "moment " << j;
+}
+
+TEST(RandomizationTest, CenteredSolveConsistentWithBinomialShift) {
+  // For moderate orders the two routes agree: raw moments shifted by
+  // -c t must equal the natively centered moments.
+  const SecondOrderMrm m = varied_model(5, 1.5);
+  const RandomizationMomentSolver solver(m);
+  const double t = 0.7, c = 2.1;
+  MomentSolverOptions raw_opts, centered_opts;
+  raw_opts.max_moment = centered_opts.max_moment = 4;
+  raw_opts.epsilon = centered_opts.epsilon = 1e-12;
+  centered_opts.center = c;
+  const auto raw = solver.solve(t, raw_opts);
+  const auto centered = solver.solve(t, centered_opts);
+  const auto mapped = shift_raw_moments(raw.weighted, -c * t);
+  for (std::size_t j = 0; j <= 4; ++j)
+    EXPECT_NEAR(centered.weighted[j], mapped[j],
+                1e-8 * (1.0 + std::abs(mapped[j])))
+        << "moment " << j;
+}
+
+TEST(RandomizationTest, CenteredHighOrderMomentsAvoidCancellation) {
+  // High-order central moments via centered solve stay accurate where the
+  // binomial route from raw moments loses all precision. Anchor: uniform
+  // rewards => central moments are exactly those of N(0, s2 t), even at
+  // order 20 with a large drift.
+  const double r = 50.0, s2 = 2.0, t = 0.5;
+  const RandomizationMomentSolver solver(uniform_reward_model(3, r, s2));
+  MomentSolverOptions opts;
+  opts.max_moment = 20;
+  opts.epsilon = 1e-13;
+  opts.center = r;
+  const auto res = solver.solve(t, opts);
+  const auto exact = prob::brownian_raw_moments(0.0, s2, t, 20);
+  // E[B_c^20] = 19!! * (s2 t)^10 ~ 6.5e8 * 1 — must match to ~1e-8 rel.
+  EXPECT_NEAR(res.weighted[20], exact[20], 1e-7 * exact[20]);
+  EXPECT_NEAR(res.weighted[19], 0.0, 1e-7 * exact[20]);
+}
+
+TEST(RandomizationTest, TerminalWeightsOneRecoverPlainSolve) {
+  const SecondOrderMrm m = varied_model(4, 1.0);
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-12;
+  const auto plain = solver.solve(0.9, opts);
+  const auto weighted =
+      solver.solve_terminal_weighted(0.9, linalg::ones(4), opts);
+  for (std::size_t j = 0; j <= 3; ++j)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(weighted.per_state[j][i], plain.per_state[j][i],
+                  1e-9 * (1.0 + std::abs(plain.per_state[j][i])));
+}
+
+TEST(RandomizationTest, TerminalIndicatorsSumToPlainSolve) {
+  // sum_k E[B^j ; Z(t)=k] = E[B^j].
+  const SecondOrderMrm m = varied_model(5, 2.0);
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-12;
+  const double t = 0.6;
+  const auto plain = solver.solve(t, opts);
+  linalg::Vec total(4, 0.0);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto part =
+        solver.solve_terminal_weighted(t, linalg::unit_vec(5, k), opts);
+    for (std::size_t j = 0; j <= 3; ++j) total[j] += part.weighted[j];
+  }
+  for (std::size_t j = 0; j <= 3; ++j)
+    EXPECT_NEAR(total[j], plain.weighted[j],
+                1e-8 * (1.0 + std::abs(plain.weighted[j])));
+}
+
+TEST(RandomizationTest, TerminalZeroOrderIsTransientProbability) {
+  // E[B^0 ; Z(t)=k] = Pr(Z(t)=k).
+  const SecondOrderMrm m = varied_model(4, 1.0);
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions opts;
+  opts.max_moment = 0;
+  opts.epsilon = 1e-13;
+  const double t = 0.8;
+  const auto p = ctmc::transient_distribution(m.generator(), m.initial(), t);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto part =
+        solver.solve_terminal_weighted(t, linalg::unit_vec(4, k), opts);
+    EXPECT_NEAR(part.weighted[0], p[k], 1e-10) << "state " << k;
+  }
+}
+
+TEST(RandomizationTest, TerminalWeightedValidation) {
+  const SecondOrderMrm m = varied_model(3, 1.0);
+  const RandomizationMomentSolver solver(m);
+  EXPECT_THROW(solver.solve_terminal_weighted(1.0, linalg::ones(2)),
+               std::invalid_argument);
+  EXPECT_THROW(solver.solve_terminal_weighted(1.0, linalg::zeros(3)),
+               std::invalid_argument);
+  const linalg::Vec neg{1.0, -0.5, 0.0};
+  EXPECT_THROW(solver.solve_terminal_weighted(1.0, neg),
+               std::invalid_argument);
+}
+
+TEST(RandomizationTest, InputValidation) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  EXPECT_THROW(solver.solve(-1.0), std::invalid_argument);
+  MomentSolverOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: variance non-negative, mean invariant to sigma^2, even
+// central moments monotone in sigma^2, across chain sizes and times.
+// ---------------------------------------------------------------------------
+
+class RandomizationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+SecondOrderMrm varied_model(std::size_t n, double sigma2_scale) {
+  std::vector<Triplet> rates;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rates.push_back({i, i + 1, 1.0 + static_cast<double>(i)});
+    rates.push_back({i + 1, i, 2.0});
+  }
+  auto gen = ctmc::Generator::from_rates(n, rates);
+  Vec drifts(n), vars(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    drifts[i] = static_cast<double>(n - i);  // decreasing rewards
+    vars[i] = sigma2_scale * static_cast<double>(i);
+  }
+  return SecondOrderMrm(std::move(gen), std::move(drifts), std::move(vars),
+                        linalg::unit_vec(n, 0));
+}
+
+TEST_P(RandomizationPropertyTest, VarianceNonNegativePerState) {
+  const auto [n, t] = GetParam();
+  const RandomizationMomentSolver solver(varied_model(n, 1.0));
+  MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-11;
+  const auto res = solver.solve(t, opts);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double var =
+        res.per_state[2][i] - res.per_state[1][i] * res.per_state[1][i];
+    EXPECT_GE(var, -1e-8) << "state " << i << " t " << t;
+  }
+}
+
+TEST_P(RandomizationPropertyTest, MeanIndependentOfVariances) {
+  const auto [n, t] = GetParam();
+  MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.epsilon = 1e-12;
+  const RandomizationMomentSolver first(varied_model(n, 0.0));
+  const RandomizationMomentSolver second(varied_model(n, 3.0));
+  const double m1 = first.solve(t, opts).weighted[1];
+  const double m2 = second.solve(t, opts).weighted[1];
+  EXPECT_NEAR(m1, m2, 1e-8 * (1.0 + std::abs(m1)));
+}
+
+TEST_P(RandomizationPropertyTest, SecondMomentMonotoneInVariance) {
+  const auto [n, t] = GetParam();
+  MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-11;
+  double prev = -1.0;
+  for (double scale : {0.0, 1.0, 5.0}) {
+    const RandomizationMomentSolver solver(varied_model(n, scale));
+    const double m2 = solver.solve(t, opts).weighted[2];
+    EXPECT_GE(m2, prev - 1e-9);
+    prev = m2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizationPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 12),
+                       ::testing::Values(0.05, 0.5, 2.0)));
+
+}  // namespace
+}  // namespace somrm::core

@@ -1,0 +1,125 @@
+// Tests for the deterministic RNG and its variate transforms.
+
+#include "prob/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace somrm::prob {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01OpenLeftNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.uniform01_open_left(), 0.0);
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformBelowUnbiasedOverSmallRange) {
+  Rng rng(5);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5.0, 5.0 * std::sqrt(n / 5.0));
+  EXPECT_THROW(rng.uniform_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, StandardNormalMoments) {
+  Rng rng(13);
+  const int n = 400000;
+  double s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.standard_normal();
+    s1 += z;
+    s2 += z * z;
+    s3 += z * z * z;
+    s4 += z * z * z * z;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.01);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+  EXPECT_NEAR(s3 / n, 0.0, 0.05);
+  EXPECT_NEAR(s4 / n, 3.0, 0.1);
+}
+
+TEST(RngTest, NormalWithParametersAndDegenerateVariance) {
+  Rng rng(17);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const double rate = 2.5;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(rate);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0], 0.1 * n, 400);
+  EXPECT_NEAR(counts[1], 0.3 * n, 600);
+  EXPECT_NEAR(counts[2], 0.6 * n, 700);
+}
+
+TEST(RngTest, DiscreteRejectsBadWeights) {
+  Rng rng(29);
+  EXPECT_THROW(rng.discrete(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.discrete(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::prob

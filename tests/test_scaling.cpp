@@ -1,0 +1,114 @@
+// Tests for the section-6 sub-stochastic scaling transform.
+
+#include "core/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "models/onoff.hpp"
+
+namespace somrm::core {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+SecondOrderMrm simple_model(Vec drifts, Vec variances) {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 2.0}, {1, 0, 4.0}});
+  return SecondOrderMrm(std::move(gen), std::move(drifts),
+                        std::move(variances), Vec{1.0, 0.0});
+}
+
+TEST(ScalingTest, UniformizationRateAndStochasticQPrime) {
+  const auto scaled = scale_model(simple_model({1.0, 2.0}, {0.5, 0.25}));
+  EXPECT_DOUBLE_EQ(scaled.q, 4.0);
+  EXPECT_TRUE(scaled.q_prime.is_substochastic(1e-12));
+  const auto sums = scaled.q_prime.row_sums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-14);
+  EXPECT_NEAR(sums[1], 1.0, 1e-14);
+}
+
+TEST(ScalingTest, SafePolicyKeepsRewardMatricesSubstochastic) {
+  // Large variances relative to drift — the regime where the paper's
+  // printed d breaks sub-stochasticity.
+  const auto scaled =
+      scale_model(simple_model({1.0, 2.0}, {30.0, 50.0}));
+  EXPECT_TRUE(is_reward_scaling_substochastic(scaled));
+  for (double r : scaled.r_prime) EXPECT_LE(r, 1.0 + 1e-12);
+  for (double s : scaled.s_prime) EXPECT_LE(s, 1.0 + 1e-12);
+}
+
+TEST(ScalingTest, PaperPolicyCanViolateSubstochasticity) {
+  const auto scaled = scale_model(simple_model({1.0, 2.0}, {30.0, 50.0}),
+                                  DriftScalePolicy::kPaper);
+  EXPECT_FALSE(is_reward_scaling_substochastic(scaled));
+}
+
+TEST(ScalingTest, PoliciesAgreeWhenDriftDominates) {
+  // sigma_i <= r_i and q >= 1: the two d definitions coincide when
+  // max sigma_i / sqrt(q) <= max r_i / q, i.e. sigma_max <= r_max/sqrt(q).
+  const auto safe = scale_model(simple_model({8.0, 4.0}, {1.0, 0.5}));
+  EXPECT_DOUBLE_EQ(safe.d, 8.0 / 4.0);  // r_max / q = 2 > sigma_max/sqrt(q)
+}
+
+TEST(ScalingTest, ScalingInvariantsReconstructInputs) {
+  const Vec drifts{3.0, 1.0};
+  const Vec vars{2.0, 5.0};
+  const auto scaled = scale_model(simple_model(drifts, vars));
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(scaled.r_prime[i] * scaled.q * scaled.d, drifts[i], 1e-12);
+    EXPECT_NEAR(scaled.s_prime[i] * scaled.q * scaled.d * scaled.d, vars[i],
+                1e-12);
+  }
+}
+
+TEST(ScalingTest, NegativeDriftsShiftedToZero) {
+  const auto scaled = scale_model(simple_model({-2.0, 3.0}, {0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(scaled.shift, -2.0);
+  // Shifted drifts are r_i - shift = {0, 5}; the smallest is zero.
+  EXPECT_DOUBLE_EQ(scaled.r_prime[0], 0.0);
+  EXPECT_GT(scaled.r_prime[1], 0.0);
+}
+
+TEST(ScalingTest, NonNegativeDriftsNotShifted) {
+  const auto scaled = scale_model(simple_model({0.0, 3.0}, {0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(scaled.shift, 0.0);
+}
+
+TEST(ScalingTest, AllZeroRewardsGiveZeroD) {
+  const auto scaled = scale_model(simple_model({0.0, 0.0}, {0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(scaled.d, 0.0);
+  EXPECT_EQ(scaled.r_prime, (Vec{0.0, 0.0}));
+  EXPECT_EQ(scaled.s_prime, (Vec{0.0, 0.0}));
+}
+
+TEST(ScalingTest, DegenerateChainWithoutTransitions) {
+  auto gen = ctmc::Generator::from_rates(2, std::vector<Triplet>{});
+  const SecondOrderMrm m(std::move(gen), Vec{1.0, 2.0}, Vec{0.5, 0.5},
+                         Vec{1.0, 0.0});
+  const auto scaled = scale_model(m);
+  EXPECT_DOUBLE_EQ(scaled.q, 0.0);
+  EXPECT_DOUBLE_EQ(scaled.d, 0.0);
+}
+
+TEST(ScalingTest, Table1ModelSafeDAccountsForVariance) {
+  // The paper's small example with sigma^2 = 10: q = 128, r_max = 32,
+  // sigma_max = sqrt(320). Safe d = max(32/128, sqrt(320/128)) = sqrt(2.5).
+  const auto model =
+      models::make_onoff_multiplexer(models::table1_params(10.0));
+  const auto scaled = scale_model(model);
+  EXPECT_DOUBLE_EQ(scaled.q, 128.0);
+  EXPECT_NEAR(scaled.d, std::sqrt(2.5), 1e-12);
+  EXPECT_TRUE(is_reward_scaling_substochastic(scaled));
+
+  // The paper's d = max(32, sqrt(320))/128 = 0.25 is NOT sub-stochastic.
+  const auto paper = scale_model(model, DriftScalePolicy::kPaper);
+  EXPECT_DOUBLE_EQ(paper.d, 0.25);
+  EXPECT_FALSE(is_reward_scaling_substochastic(paper));
+}
+
+}  // namespace
+}  // namespace somrm::core

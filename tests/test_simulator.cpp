@@ -1,0 +1,156 @@
+// Tests for the Monte Carlo simulator and the trajectory recorder.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/randomization.hpp"
+#include "prob/normal.hpp"
+#include "sim/trajectory.hpp"
+
+namespace somrm::sim {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+core::SecondOrderMrm two_state_model() {
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 2.0}, {1, 0, 3.0}});
+  return core::SecondOrderMrm(std::move(gen), Vec{3.0, -1.0}, Vec{0.5, 1.0},
+                              Vec{1.0, 0.0});
+}
+
+TEST(SimulatorTest, ReproducibleWithSameSeed) {
+  const Simulator sim(two_state_model());
+  const auto a = sim.sample_rewards(1.0, 100, 7);
+  const auto b = sim.sample_rewards(1.0, 100, 7);
+  EXPECT_EQ(a, b);
+  const auto c = sim.sample_rewards(1.0, 100, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(SimulatorTest, MomentEstimatesMatchAnalyticWithinCi) {
+  const auto model = two_state_model();
+  const Simulator sim(model);
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions mopts;
+  mopts.epsilon = 1e-11;
+  const auto exact = solver.solve(0.8, mopts);
+
+  SimulationOptions sopts;
+  sopts.num_replications = 200000;
+  sopts.seed = 12345;
+  const auto est = sim.estimate_moments(0.8, sopts);
+  for (std::size_t j = 1; j <= 3; ++j) {
+    const double err = std::abs(est.moments[j] - exact.weighted[j]);
+    EXPECT_LT(err, 5.0 * est.standard_errors[j] + 1e-9)
+        << "moment " << j << " est " << est.moments[j] << " exact "
+        << exact.weighted[j];
+  }
+}
+
+TEST(SimulatorTest, DeterministicModelGivesExactReward) {
+  // sigma = 0 and equal rates: B(t) = r t with no randomness at all.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  const core::SecondOrderMrm m(std::move(gen), Vec{2.0, 2.0}, Vec{0.0, 0.0},
+                               Vec{1.0, 0.0});
+  const Simulator sim(m);
+  const auto samples = sim.sample_rewards(1.5, 50, 3);
+  for (double s : samples) EXPECT_NEAR(s, 3.0, 1e-12);
+}
+
+TEST(SimulatorTest, AbsorbingChainSamplesSingleNormal) {
+  auto gen = ctmc::Generator::from_rates(1, std::vector<Triplet>{});
+  const core::SecondOrderMrm m(std::move(gen), Vec{1.0}, Vec{2.0}, Vec{1.0});
+  const Simulator sim(m);
+  SimulationOptions opts;
+  opts.num_replications = 100000;
+  opts.seed = 99;
+  const auto est = sim.estimate_moments(2.0, opts);
+  const auto exact = prob::brownian_raw_moments(1.0, 2.0, 2.0, 3);
+  for (std::size_t j = 1; j <= 3; ++j)
+    EXPECT_NEAR(est.moments[j], exact[j],
+                5.0 * est.standard_errors[j] + 1e-9);
+}
+
+TEST(SimulatorTest, InputValidation) {
+  const Simulator sim(two_state_model());
+  somrm::prob::Rng rng(1);
+  EXPECT_THROW(sim.sample_reward(-1.0, rng), std::invalid_argument);
+  SimulationOptions bad;
+  bad.num_replications = 0;
+  EXPECT_THROW(sim.estimate_moments(1.0, bad), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, MatchesHandComputedValues) {
+  std::vector<double> samples{3.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(empirical_cdf(samples, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf(samples, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(empirical_cdf(samples, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(empirical_cdf(samples, 10.0), 1.0);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_DOUBLE_EQ(empirical_cdf(samples, 2.0, /*sorted=*/true), 0.75);
+  EXPECT_THROW(empirical_cdf(std::vector<double>{}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(TrajectoryTest, PathStartsAtZeroAndCoversHorizon) {
+  const auto path = sample_trajectory(two_state_model(), {});
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_DOUBLE_EQ(path.front().time, 0.0);
+  EXPECT_DOUBLE_EQ(path.front().reward, 0.0);
+  EXPECT_NEAR(path.back().time, 2.0, 1e-12);
+}
+
+TEST(TrajectoryTest, TimesNonDecreasingAndStatesValid) {
+  TrajectoryOptions opts;
+  opts.horizon = 1.0;
+  opts.sample_step = 0.005;
+  opts.seed = 5;
+  const auto model = two_state_model();
+  const auto path = sample_trajectory(model, opts);
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    EXPECT_GE(path[k].time, path[k - 1].time);
+    EXPECT_LT(path[k].state, model.num_states());
+  }
+}
+
+TEST(TrajectoryTest, FirstOrderPathHasMatchingSlopes) {
+  // With sigma = 0 the reward between two consecutive points in the same
+  // state grows exactly at that state's rate.
+  auto gen = ctmc::Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  const core::SecondOrderMrm m(std::move(gen), Vec{2.0, -1.0}, Vec{0.0, 0.0},
+                               Vec{1.0, 0.0});
+  TrajectoryOptions opts;
+  opts.horizon = 1.0;
+  opts.seed = 11;
+  const auto path = sample_trajectory(m, opts);
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const double dt = path[k].time - path[k - 1].time;
+    if (dt <= 0.0) continue;
+    const double slope = (path[k].reward - path[k - 1].reward) / dt;
+    const double rate = m.drifts()[path[k - 1].state];
+    EXPECT_NEAR(slope, rate, 1e-9);
+  }
+}
+
+TEST(TrajectoryTest, InputValidation) {
+  TrajectoryOptions bad;
+  bad.horizon = 0.0;
+  EXPECT_THROW(sample_trajectory(two_state_model(), bad),
+               std::invalid_argument);
+  bad.horizon = 1.0;
+  bad.sample_step = 0.0;
+  EXPECT_THROW(sample_trajectory(two_state_model(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::sim

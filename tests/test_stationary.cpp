@@ -1,0 +1,104 @@
+// Tests for the GTH and power-iteration stationary solvers.
+
+#include "ctmc/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ctmc/transient.hpp"
+
+namespace somrm::ctmc {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+Generator birth_death(std::size_t n, double birth, double death) {
+  std::vector<Triplet> rates;
+  for (std::size_t i = 0; i + 1 < n; ++i) rates.push_back({i, i + 1, birth});
+  for (std::size_t i = 1; i < n; ++i) rates.push_back({i, i - 1, death});
+  return Generator::from_rates(n, rates);
+}
+
+TEST(StationaryGthTest, TwoStateClosedForm) {
+  const double a = 2.0, b = 3.0;
+  const Generator g = Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, a}, {1, 0, b}});
+  const Vec pi = stationary_distribution_gth(g);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-14);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-14);
+}
+
+TEST(StationaryGthTest, BirthDeathGeometricForm) {
+  // pi_i proportional to (birth/death)^i for constant-rate birth-death.
+  const std::size_t n = 6;
+  const double rho = 2.0 / 5.0;
+  const Generator g = birth_death(n, 2.0, 5.0);
+  const Vec pi = stationary_distribution_gth(g);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_NEAR(pi[i] / pi[i - 1], rho, 1e-12);
+  double total = 0.0;
+  for (double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-14);
+}
+
+TEST(StationaryGthTest, SatisfiesBalanceEquations) {
+  const std::vector<Triplet> rates{{0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 0.5},
+                                   {2, 0, 1.5}, {1, 0, 0.3}};
+  const Generator g = Generator::from_rates(3, rates);
+  const Vec pi = stationary_distribution_gth(g);
+  // pi Q = 0.
+  Vec piq(3, 0.0);
+  g.matrix().multiply_transposed(pi, piq);
+  for (double v : piq) EXPECT_NEAR(v, 0.0, 1e-13);
+}
+
+TEST(StationaryGthTest, SingleStateIsTrivial) {
+  const Generator g = Generator::from_rates(1, std::vector<Triplet>{});
+  EXPECT_EQ(stationary_distribution_gth(g), Vec{1.0});
+}
+
+TEST(StationaryGthTest, DetectsReducibleChain) {
+  // State 1 unreachable backwards: 0 -> 1 only.
+  const Generator g =
+      Generator::from_rates(2, std::vector<Triplet>{{0, 1, 1.0}});
+  EXPECT_THROW(stationary_distribution_gth(g), std::runtime_error);
+}
+
+TEST(StationaryPowerTest, AgreesWithGth) {
+  const Generator g = birth_death(12, 1.7, 2.9);
+  const Vec gth = stationary_distribution_gth(g);
+  const Vec pow = stationary_distribution_power(g);
+  for (std::size_t i = 0; i < gth.size(); ++i)
+    EXPECT_NEAR(pow[i], gth[i], 1e-9);
+}
+
+TEST(StationaryPowerTest, PeriodicEmbeddedChainStillConverges) {
+  // A 2-cycle with equal rates is periodic as a plain embedded DTMC; the
+  // inflated uniformization rate keeps self-loops, so the iteration must
+  // converge anyway.
+  const Generator g = Generator::from_rates(
+      2, std::vector<Triplet>{{0, 1, 1.0}, {1, 0, 1.0}});
+  const Vec pi = stationary_distribution_power(g);
+  EXPECT_NEAR(pi[0], 0.5, 1e-9);
+  EXPECT_NEAR(pi[1], 0.5, 1e-9);
+}
+
+TEST(StationaryPowerTest, MatchesLongHorizonTransient) {
+  const Generator g = birth_death(8, 2.0, 3.0);
+  const Vec pi = stationary_distribution_power(g);
+  const Vec p_long = transient_distribution(
+      g, linalg::unit_vec(8, 0), 200.0);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(pi[i], p_long[i], 1e-8);
+}
+
+TEST(StationaryPowerTest, AllAbsorbingReturnsUniform) {
+  const Generator g = Generator::from_rates(4, std::vector<Triplet>{});
+  const Vec pi = stationary_distribution_power(g);
+  for (double p : pi) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+}  // namespace
+}  // namespace somrm::ctmc

@@ -1,0 +1,134 @@
+// Tests for the uniformization transient solver, anchored by the 2-state
+// closed form and by the dense matrix exponential.
+
+#include "ctmc/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/expm.hpp"
+
+namespace somrm::ctmc {
+namespace {
+
+using linalg::Triplet;
+using linalg::Vec;
+
+Generator two_state(double a, double b) {
+  return Generator::from_rates(2,
+                               std::vector<Triplet>{{0, 1, a}, {1, 0, b}});
+}
+
+// p0(t) starting from state 0: b/(a+b) + a/(a+b) e^{-(a+b)t}.
+double two_state_p0(double a, double b, double t) {
+  return b / (a + b) + a / (a + b) * std::exp(-(a + b) * t);
+}
+
+TEST(TransientTest, TwoStateClosedForm) {
+  const double a = 2.0, b = 3.0;
+  const Generator g = two_state(a, b);
+  const Vec init{1.0, 0.0};
+  for (double t : {0.0, 0.1, 0.5, 1.0, 5.0}) {
+    const Vec p = transient_distribution(g, init, t);
+    EXPECT_NEAR(p[0], two_state_p0(a, b, t), 1e-11) << "t = " << t;
+    EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  }
+}
+
+TEST(TransientTest, MatchesDenseMatrixExponential) {
+  // Random-ish 4-state generator.
+  const std::vector<Triplet> rates{{0, 1, 1.0}, {0, 3, 0.5}, {1, 2, 2.0},
+                                   {2, 0, 0.7}, {2, 3, 0.3}, {3, 1, 1.2}};
+  const Generator g = Generator::from_rates(4, rates);
+  const double t = 0.8;
+
+  linalg::DenseMatrix qt(4, 4);
+  const auto dense = g.matrix().to_dense();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) qt(i, j) = dense[i][j] * t;
+  const auto e = linalg::expm(qt);
+
+  const Vec init{0.25, 0.25, 0.25, 0.25};
+  const Vec p = transient_distribution(g, init, t);
+  for (std::size_t j = 0; j < 4; ++j) {
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) expected += init[i] * e(i, j);
+    EXPECT_NEAR(p[j], expected, 1e-10);
+  }
+}
+
+TEST(TransientTest, ResultIsProbabilityVector) {
+  const Generator g = two_state(5.0, 1.0);
+  const Vec p = transient_distribution(g, Vec{0.3, 0.7}, 2.0);
+  EXPECT_GE(p[0], 0.0);
+  EXPECT_GE(p[1], 0.0);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(TransientTest, TimeZeroReturnsInitial) {
+  const Generator g = two_state(1.0, 1.0);
+  const Vec init{0.4, 0.6};
+  EXPECT_EQ(transient_distribution(g, init, 0.0), init);
+}
+
+TEST(TransientTest, AbsorbingChainStaysPut) {
+  const Generator g =
+      Generator::from_rates(2, std::vector<Triplet>{});
+  const Vec init{0.25, 0.75};
+  const Vec p = transient_distribution(g, init, 10.0);
+  EXPECT_EQ(p, init);
+}
+
+TEST(TransientTest, MultiTimeMatchesSingleTime) {
+  const Generator g = two_state(2.0, 3.0);
+  const Vec init{1.0, 0.0};
+  const std::vector<double> times{0.1, 0.5, 2.0};
+  const auto multi = transient_distribution_multi(g, init, times);
+  ASSERT_EQ(multi.size(), 3u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const Vec single = transient_distribution(g, init, times[i]);
+    EXPECT_NEAR(multi[i][0], single[0], 1e-13);
+    EXPECT_NEAR(multi[i][1], single[1], 1e-13);
+  }
+}
+
+TEST(TransientTest, ConvergesToStationaryForLargeT) {
+  const double a = 2.0, b = 3.0;
+  const Generator g = two_state(a, b);
+  const Vec p = transient_distribution(g, Vec{1.0, 0.0}, 50.0);
+  EXPECT_NEAR(p[0], b / (a + b), 1e-10);
+  EXPECT_NEAR(p[1], a / (a + b), 1e-10);
+}
+
+TEST(TransientTest, InputValidation) {
+  const Generator g = two_state(1.0, 1.0);
+  EXPECT_THROW(transient_distribution(g, Vec{1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(transient_distribution(g, Vec{0.5, 0.4}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(transient_distribution(g, Vec{1.0, 0.0}, -1.0),
+               std::invalid_argument);
+  TransientOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(transient_distribution(g, Vec{1.0, 0.0}, 1.0, bad),
+               std::invalid_argument);
+}
+
+TEST(TransientTest, TighterEpsilonTightensResult) {
+  const Generator g = two_state(4.0, 1.0);
+  const Vec init{1.0, 0.0};
+  TransientOptions loose, tight;
+  loose.epsilon = 1e-4;
+  tight.epsilon = 1e-14;
+  const Vec pl = transient_distribution(g, init, 1.0, loose);
+  const Vec pt = transient_distribution(g, init, 1.0, tight);
+  const double exact = two_state_p0(4.0, 1.0, 1.0);
+  EXPECT_LE(std::abs(pt[0] - exact), std::abs(pl[0] - exact) + 1e-12);
+  EXPECT_NEAR(pt[0], exact, 1e-13);
+}
+
+}  // namespace
+}  // namespace somrm::ctmc

@@ -1,0 +1,129 @@
+// Tests for the Thomas solver and the symmetric tridiagonal eigensolver.
+
+#include "linalg/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace somrm::linalg {
+namespace {
+
+TEST(ThomasTest, SolvesDiagonallyDominantSystem) {
+  // A = tridiag(-1, 4, -1), n = 5.
+  const std::size_t n = 5;
+  std::vector<double> lower(n, -1.0), diag(n, 4.0), upper(n, -1.0);
+  std::vector<double> x_true{1.0, -1.0, 2.0, 0.5, 3.0};
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = diag[i] * x_true[i];
+    if (i > 0) rhs[i] += lower[i] * x_true[i - 1];
+    if (i + 1 < n) rhs[i] += upper[i] * x_true[i + 1];
+  }
+  const auto x = solve_tridiagonal(lower, diag, upper, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(ThomasTest, SingleEquation) {
+  const auto x = solve_tridiagonal(std::vector<double>{0.0},
+                                   std::vector<double>{2.0},
+                                   std::vector<double>{0.0},
+                                   std::vector<double>{6.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+}
+
+TEST(ThomasTest, ThrowsOnZeroPivot) {
+  EXPECT_THROW(solve_tridiagonal(std::vector<double>{0.0, 0.0},
+                                 std::vector<double>{0.0, 1.0},
+                                 std::vector<double>{0.0, 0.0},
+                                 std::vector<double>{1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(ThomasTest, SizeMismatchRejected) {
+  EXPECT_THROW(solve_tridiagonal(std::vector<double>{0.0},
+                                 std::vector<double>{1.0, 1.0},
+                                 std::vector<double>{0.0, 0.0},
+                                 std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(TridiagEigenTest, DiagonalMatrixReturnsSortedDiagonal) {
+  auto eig = symmetric_tridiagonal_eigen<double>({3.0, 1.0, 2.0},
+                                                 {0.0, 0.0});
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-14);
+}
+
+TEST(TridiagEigenTest, TwoByTwoClosedForm) {
+  // [a b; b c]: eigenvalues (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2).
+  const double a = 2.0, b = 0.7, c = -1.0;
+  auto eig = symmetric_tridiagonal_eigen<double>({a, c}, {b});
+  const double mid = (a + c) / 2.0;
+  const double rad = std::sqrt((a - c) * (a - c) / 4.0 + b * b);
+  ASSERT_EQ(eig.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eig.eigenvalues[0], mid - rad, 1e-13);
+  EXPECT_NEAR(eig.eigenvalues[1], mid + rad, 1e-13);
+}
+
+TEST(TridiagEigenTest, LaplacianEigenvaluesMatchClosedForm) {
+  // tridiag(-1, 2, -1) of order n has eigenvalues 2 - 2 cos(k pi/(n+1)).
+  const std::size_t n = 12;
+  auto eig = symmetric_tridiagonal_eigen<double>(
+      std::vector<double>(n, 2.0), std::vector<double>(n - 1, -1.0));
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * std::numbers::pi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(eig.eigenvalues[k - 1], expected, 1e-12);
+  }
+}
+
+TEST(TridiagEigenTest, FirstComponentsSquareToOneTotal) {
+  // The first components are row 0 of an orthogonal matrix: their squares
+  // sum to 1. This is exactly the property Golub-Welsch weights rely on.
+  auto eig = symmetric_tridiagonal_eigen<double>({1.0, 2.0, 3.0, 4.0},
+                                                 {0.5, 0.25, 0.75});
+  double total = 0.0;
+  for (double f : eig.first_components) total += f * f;
+  EXPECT_NEAR(total, 1.0, 1e-13);
+}
+
+TEST(TridiagEigenTest, LongDoubleVariantAgreesWithDouble) {
+  const std::vector<double> d{1.0, -0.5, 2.0};
+  const std::vector<double> e{0.3, 0.9};
+  auto eig_d = symmetric_tridiagonal_eigen<double>(
+      std::vector<double>(d), std::vector<double>(e));
+  auto eig_l = symmetric_tridiagonal_eigen<long double>(
+      std::vector<long double>(d.begin(), d.end()),
+      std::vector<long double>(e.begin(), e.end()));
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_NEAR(eig_d.eigenvalues[k],
+                static_cast<double>(eig_l.eigenvalues[k]), 1e-13);
+}
+
+TEST(TridiagEigenTest, GershgorinBoundHolds) {
+  // Hermite-like Jacobi matrix (standard normal): diag 0, offdiag sqrt(k).
+  const std::size_t m = 8;
+  std::vector<double> diag(m, 0.0), off(m - 1);
+  for (std::size_t k = 0; k < m - 1; ++k)
+    off[k] = std::sqrt(static_cast<double>(k + 1));
+  auto eig = symmetric_tridiagonal_eigen<double>(std::move(diag),
+                                                 std::move(off));
+  // Nodes of Gauss-Hermite (probabilists') are symmetric around zero.
+  for (std::size_t k = 0; k < m / 2; ++k)
+    EXPECT_NEAR(eig.eigenvalues[k], -eig.eigenvalues[m - 1 - k], 1e-11);
+}
+
+TEST(TridiagEigenTest, RejectsBadOffdiagSize) {
+  EXPECT_THROW(
+      symmetric_tridiagonal_eigen<double>({1.0, 2.0}, {0.1, 0.2}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

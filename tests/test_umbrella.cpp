@@ -1,0 +1,57 @@
+// Compile-and-smoke test for the umbrella header: one end-to-end flow
+// touching each subsystem through somrm.hpp only.
+
+#include "somrm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndFlowThroughEverySubsystem) {
+  using namespace somrm;
+
+  // models -> core
+  const auto model = models::make_onoff_multiplexer(
+      models::table1_params(/*rate_variance=*/1.0));
+  const core::RandomizationMomentSolver solver(model);
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-10;
+  const auto res = solver.solve(0.25, opts);
+  EXPECT_GT(res.weighted[1], 0.0);
+
+  // ctmc
+  const auto pi = ctmc::stationary_distribution_gth(model.generator());
+  EXPECT_NEAR(linalg::sum(pi), 1.0, 1e-12);
+  const auto occ = ctmc::expected_occupancy(model.generator(),
+                                            model.initial(), 0.25);
+  EXPECT_NEAR(linalg::sum(occ), 0.25, 1e-9);
+
+  // bounds
+  core::MomentSolverOptions copts;
+  copts.max_moment = 10;
+  copts.epsilon = 1e-12;
+  copts.center = res.weighted[1] / 0.25;
+  const bounds::MomentBounder bounder(solver.solve(0.25, copts).weighted);
+  const auto b = bounder.bounds_at(0.0);
+  EXPECT_LE(b.lower, b.upper);
+
+  // sim
+  const sim::Simulator simulator(model);
+  sim::SimulationOptions sopts;
+  sopts.num_replications = 200;
+  const auto est = simulator.estimate_moments(0.25, sopts);
+  EXPECT_EQ(est.num_replications, 200u);
+
+  // io round trip
+  std::ostringstream out;
+  io::save_model(out, model);
+  std::istringstream in(out.str());
+  const auto loaded = io::load_model(in);
+  EXPECT_EQ(loaded.model.num_states(), model.num_states());
+
+  // prob / linalg basics reachable
+  EXPECT_NEAR(prob::normal_cdf(0.0, 0.0, 1.0), 0.5, 1e-15);
+  EXPECT_TRUE(linalg::is_power_of_two(64));
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Unit tests for linalg/vec.hpp.
+
+#include "linalg/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace somrm::linalg {
+namespace {
+
+TEST(VecTest, ConstructorsProduceExpectedContents) {
+  EXPECT_EQ(ones(3), (Vec{1.0, 1.0, 1.0}));
+  EXPECT_EQ(zeros(2), (Vec{0.0, 0.0}));
+  EXPECT_EQ(constant_vec(2, 2.5), (Vec{2.5, 2.5}));
+  EXPECT_EQ(unit_vec(3, 1), (Vec{0.0, 1.0, 0.0}));
+}
+
+TEST(VecTest, UnitVecRejectsOutOfRangeIndex) {
+  EXPECT_THROW(unit_vec(3, 3), std::out_of_range);
+}
+
+TEST(VecTest, DotComputesInnerProduct) {
+  const Vec x{1.0, 2.0, 3.0};
+  const Vec y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VecTest, DotRejectsSizeMismatch) {
+  const Vec x{1.0};
+  const Vec y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+}
+
+TEST(VecTest, AxpyAccumulates) {
+  const Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  axpy(3.0, x, y);
+  EXPECT_EQ(y, (Vec{13.0, 26.0}));
+}
+
+TEST(VecTest, ScaleMultiplies) {
+  Vec x{1.0, -2.0};
+  scale(-2.0, x);
+  EXPECT_EQ(x, (Vec{-2.0, 4.0}));
+}
+
+TEST(VecTest, Norms) {
+  const Vec x{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(VecTest, SumMinMax) {
+  const Vec x{1.0, -2.0, 5.0};
+  EXPECT_DOUBLE_EQ(sum(x), 4.0);
+  EXPECT_DOUBLE_EQ(max_elem(x), 5.0);
+  EXPECT_DOUBLE_EQ(min_elem(x), -2.0);
+  EXPECT_THROW(max_elem(Vec{}), std::invalid_argument);
+}
+
+TEST(VecTest, MaxAbsDiff) {
+  const Vec x{1.0, 2.0};
+  const Vec y{1.5, 1.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 1.0);
+}
+
+TEST(VecTest, AllFiniteDetectsNanAndInf) {
+  EXPECT_TRUE(all_finite(Vec{1.0, 2.0}));
+  EXPECT_FALSE(all_finite(Vec{1.0, std::numeric_limits<double>::infinity()}));
+  EXPECT_FALSE(all_finite(Vec{std::nan("")}));
+}
+
+TEST(VecTest, IsNonnegativeHonoursTolerance) {
+  EXPECT_TRUE(is_nonnegative(Vec{0.0, 1.0}));
+  EXPECT_FALSE(is_nonnegative(Vec{-1e-3}));
+  EXPECT_TRUE(is_nonnegative(Vec{-1e-3}, 1e-2));
+}
+
+TEST(VecTest, NormalizeProbability) {
+  Vec x{1.0, 3.0};
+  normalize_probability(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.75);
+  Vec zero{0.0, 0.0};
+  EXPECT_THROW(normalize_probability(zero), std::invalid_argument);
+}
+
+TEST(VecTest, ToStringTruncatesLongVectors) {
+  const Vec x(100, 1.0);
+  const std::string s = to_string(x, 4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("100 elems"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace somrm::linalg
