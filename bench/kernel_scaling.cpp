@@ -12,6 +12,7 @@
 
 #include "core/first_order.hpp"
 #include "core/randomization.hpp"
+#include "linalg/parallel.hpp"
 #include "models/birth_death.hpp"
 
 namespace {
@@ -109,6 +110,32 @@ void BM_MultiTimeSeparateSolves(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiTimeSeparateSolves);
+
+// Thread-count sweep over the fused randomization sweep. Args are
+// (threads, states); the interesting comparison is wall time at fixed N as
+// threads grow — on a multi-core host the N >= 10,000 rows should show the
+// near-linear row-parallel speedup, while N = 1024 stays below the grain
+// and runs inline regardless. Results are bit-identical across the sweep
+// (deterministic partition, row-owned writes), so only time varies.
+void BM_SolveVsThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto states = static_cast<std::size_t>(state.range(1));
+  const core::RandomizationMomentSolver solver(make_chain(states, 1.0));
+  core::MomentSolverOptions opts;
+  opts.epsilon = 1e-9;
+  linalg::set_num_threads(threads);
+  for (auto _ : state) {
+    auto res = solver.solve(1.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+  linalg::set_num_threads(0);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_SolveVsThreads)
+    ->ArgsProduct({{1, 2, 4}, {1024, 10000, 40000}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // G growth vs qt: not a timing — report G as a counter (iterations are a
 // single truncation-point computation, which is itself worth timing since

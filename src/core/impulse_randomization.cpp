@@ -6,6 +6,7 @@
 
 #include "core/moment_utils.hpp"
 #include "core/scaling.hpp"
+#include "linalg/parallel.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 
@@ -171,44 +172,105 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     g_max = std::max(g_max, g);
   }
 
+  // Per-time-point Poisson weight tables (one lgamma each) instead of one
+  // lgamma-based pmf per (k, time point) pair in the sweep.
+  std::vector<prob::PoissonWindow> windows(times.size());
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
+  }
+
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
+  std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
   std::vector<std::vector<linalg::Vec>> acc(
       times.size(), std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
 
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
-    linalg::axpy(qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0, u[0], acc[ti][0]);
+    const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
   }
 
-  linalg::Vec scratch(num_states, 0.0);
-  for (std::size_t k = 1; k <= g_max; ++k) {
-    for (std::size_t j = n; j >= 1; --j) {
-      scaled.q_prime.multiply(u[j], scratch);
-      const linalg::Vec& lower1 = u[j - 1];
-      for (std::size_t i = 0; i < num_states; ++i)
-        scratch[i] += scaled.r_prime[i] * lower1[i];
-      if (j >= 2) {
-        const linalg::Vec& lower2 = u[j - 2];
-        for (std::size_t i = 0; i < num_states; ++i)
-          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
-      }
-      // Impulse convolution: + sum_{l=1..j} A~_l U^(j-l).
-      for (std::size_t l = 1; l <= j; ++l) {
-        if (impulse_mats[l - 1].nnz() == 0) continue;
-        impulse_mats[l - 1].multiply_add(1.0, u[j - l], scratch);
-      }
-      std::swap(u[j], scratch);
-    }
+  struct ActiveWeight {
+    std::size_t ti;
+    double w;
+  };
+  std::vector<ActiveWeight> active;
+  active.reserve(times.size());
 
+  for (std::size_t k = 1; k <= g_max; ++k) {
+    active.clear();
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       if (k > trunc[ti]) continue;
-      const double qt = scaled.q * times[ti];
-      if (qt == 0.0) continue;
-      const double w = prob::poisson_pmf(k, qt);
-      if (w == 0.0) continue;
-      for (std::size_t j = 0; j <= n; ++j) linalg::axpy(w, u[j], acc[ti][j]);
+      const double w = windows[ti].weight(k);
+      if (w != 0.0) active.push_back(ActiveWeight{ti, w});
     }
+
+    // Fused, row-parallel generalized recursion step: the rate/variance
+    // terms, the impulse convolution sum_{l=1..j} A~_l U^(j-l), and the
+    // Poisson-weighted accumulation all happen in one pass per row. Every
+    // write is row-owned, so results are bit-identical for any thread count.
+    linalg::parallel_for(
+        num_states,
+        [&](std::size_t row_begin, std::size_t row_end) {
+          // Stage-wise streaming loops per range (see randomization.cpp's
+          // fused_recursion_step): vectorizable, and per element the
+          // arithmetic order matches the scalar original exactly.
+          const auto& row_ptr = scaled.q_prime.row_ptr();
+          const auto& col_idx = scaled.q_prime.col_idx();
+          const auto& values = scaled.q_prime.values();
+          for (std::size_t j = n; j >= 1; --j) {
+            const linalg::Vec& uj = u[j];
+            linalg::Vec& out = u_next[j];
+            for (std::size_t i = row_begin; i < row_end; ++i) {
+              double s = 0.0;
+              for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk)
+                s += values[kk] * uj[col_idx[kk]];
+              out[i] = s;
+            }
+            const linalg::Vec& lower1 = u[j - 1];
+            for (std::size_t i = row_begin; i < row_end; ++i)
+              out[i] += scaled.r_prime[i] * lower1[i];
+            if (j >= 2) {
+              const linalg::Vec& lower2 = u[j - 2];
+              for (std::size_t i = row_begin; i < row_end; ++i)
+                out[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+            }
+            // Impulse convolution: + sum_{l=1..j} A~_l U^(j-l).
+            for (std::size_t l = 1; l <= j; ++l) {
+              const linalg::CsrMatrix& a = impulse_mats[l - 1];
+              if (a.nnz() == 0) continue;
+              const auto& arp = a.row_ptr();
+              const auto& aci = a.col_idx();
+              const auto& av = a.values();
+              const linalg::Vec& lower = u[j - l];
+              for (std::size_t i = row_begin; i < row_end; ++i) {
+                double imp = 0.0;
+                for (std::size_t kk = arp[i]; kk < arp[i + 1]; ++kk)
+                  imp += av[kk] * lower[aci[kk]];
+                out[i] += imp;
+              }
+            }
+          }
+          // axpy keeps the weight in a register (by-value parameter); an
+          // in-loop aw.w read can alias the acc stores and kills
+          // vectorization.
+          const std::size_t len = row_end - row_begin;
+          for (const ActiveWeight& aw : active) {
+            linalg::axpy(
+                aw.w, std::span<const double>(u[0]).subspan(row_begin, len),
+                std::span<double>(acc[aw.ti][0]).subspan(row_begin, len));
+            for (std::size_t j = 1; j <= n; ++j) {
+              linalg::axpy(
+                  aw.w,
+                  std::span<const double>(u_next[j]).subspan(row_begin, len),
+                  std::span<double>(acc[aw.ti][j]).subspan(row_begin, len));
+            }
+          }
+        },
+        /*grain=*/1024);
+    for (std::size_t j = 1; j <= n; ++j) std::swap(u[j], u_next[j]);
   }
 
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
@@ -218,10 +280,10 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       if (j > 0) factor *= static_cast<double>(j) * scaled.d;
       linalg::scale(factor, acc[ti][j]);
     }
-    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
     if (scaled.shift == 0.0) {
       out.per_state = std::move(acc[ti]);
     } else {
+      out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
       const double delta = scaled.shift * times[ti];
       std::vector<double> raw(n + 1);
       for (std::size_t i = 0; i < num_states; ++i) {

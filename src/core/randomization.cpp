@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/moment_utils.hpp"
+#include "linalg/parallel.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 
@@ -17,6 +18,92 @@ double log_theorem4_prefactor(double qt, std::size_t n, double d) {
   const double nn = static_cast<double>(n);
   return std::log(2.0) + nn * std::log(d) + std::lgamma(nn + 1.0) +
          nn * std::log(qt);
+}
+
+/// A time point whose Poisson weight at the current step k is non-zero.
+struct ActiveWeight {
+  std::size_t ti;
+  double w;
+};
+
+/// Minimum rows per parallel range for the fused kernel. Each row costs
+/// (nnz_row + 4) * n_moments flops, so ranges of ~1k rows amortize the pool
+/// hand-off while still splitting four ways at 10k states.
+constexpr std::size_t kFusedGrain = 1024;
+
+/// One fused, row-parallel step of the Theorem-3 recursion: computes
+///   u_next[j] = Q' u[j] + R' u[j-1] + 1/2 S' u[j-2]   for j = j_lo..n
+/// in a single pass over the CSR structure (instead of an SpMV followed by
+/// two element-wise loops per moment order), and folds the Poisson-weighted
+/// accumulation acc[ti][j] += w * u_next[j] for every active time point into
+/// the same pass. All writes are row-owned, so results are bit-identical for
+/// every thread count; with one thread the arithmetic per element happens in
+/// exactly the order of the original scalar loops.
+///
+/// j_lo == 1 (solve_multi): u[0] is the invariant all-ones vector h, the
+/// j = 0 row is skipped and its accumulation reads u[0] directly.
+/// j_lo == 0 (solve_terminal_weighted): the seed vector is not invariant and
+/// the j = 0 row is iterated like the rest.
+void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
+                          std::size_t j_lo, std::vector<linalg::Vec>& u,
+                          std::vector<linalg::Vec>& u_next,
+                          std::span<const ActiveWeight> active,
+                          std::vector<std::vector<linalg::Vec>>& acc) {
+  const std::size_t num_states = scaled.q_prime.rows();
+  const auto& row_ptr = scaled.q_prime.row_ptr();
+  const auto& col_idx = scaled.q_prime.col_idx();
+  const auto& values = scaled.q_prime.values();
+
+  linalg::parallel_for(
+      num_states,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        // Stage-wise within the range: each stage is a contiguous streaming
+        // loop the compiler can vectorize (interleaving everything per row
+        // costs ~2x single-thread throughput). Per element the arithmetic
+        // order is exactly the scalar original's, so 1-thread results are
+        // bit-identical to the pre-fusion solver.
+        for (std::size_t j = n + 1; j-- > j_lo;) {
+          const linalg::Vec& uj = u[j];
+          linalg::Vec& out = u_next[j];
+          for (std::size_t i = row_begin; i < row_end; ++i) {
+            double s = 0.0;
+            for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk)
+              s += values[kk] * uj[col_idx[kk]];
+            out[i] = s;
+          }
+          if (j >= 1) {
+            const linalg::Vec& lower1 = u[j - 1];
+            for (std::size_t i = row_begin; i < row_end; ++i)
+              out[i] += scaled.r_prime[i] * lower1[i];
+          }
+          if (j >= 2) {
+            const linalg::Vec& lower2 = u[j - 2];
+            for (std::size_t i = row_begin; i < row_end; ++i)
+              out[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+          }
+        }
+        // Accumulation goes through linalg::axpy on the owned sub-range: the
+        // weight travels by value, so the compiler keeps it in a register and
+        // vectorizes (reading aw.w through the struct reference inside the
+        // loop defeats that — the stores to acc could alias it).
+        const std::size_t len = row_end - row_begin;
+        for (const ActiveWeight& aw : active) {
+          if (j_lo > 0) {
+            linalg::axpy(
+                aw.w, std::span<const double>(u[0]).subspan(row_begin, len),
+                std::span<double>(acc[aw.ti][0]).subspan(row_begin, len));
+          }
+          for (std::size_t j = j_lo > 0 ? 1 : 0; j <= n; ++j) {
+            linalg::axpy(
+                aw.w,
+                std::span<const double>(u_next[j]).subspan(row_begin, len),
+                std::span<double>(acc[aw.ti][j]).subspan(row_begin, len));
+          }
+        }
+      },
+      kFusedGrain);
+
+  for (std::size_t j = j_lo; j <= n; ++j) std::swap(u[j], u_next[j]);
 }
 
 /// Finishes a MomentResult from the accumulated scaled sums: applies the
@@ -35,10 +122,10 @@ void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
   }
 
   // Undo the drift shift per initial state: B(t) = B_check(t) + shift * t.
-  out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
   if (scaled.shift == 0.0) {
     out.per_state = std::move(scaled_sums);
   } else {
+    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
     const double delta = scaled.shift * t;
     std::vector<double> raw(n + 1);
     for (std::size_t i = 0; i < num_states; ++i) {
@@ -144,53 +231,50 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
     g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
   out.truncation_point = g;
 
+  // Per-time-point Poisson weight table (single time point here): one
+  // lgamma instead of one per sweep step.
+  const prob::PoissonWindow window =
+      qt > 0.0 ? prob::poisson_weight_window(qt, g) : prob::PoissonWindow{};
+
   // Seed U^(0)(0) with the scaled weights; unlike solve(), U^(0) is not
   // invariant (Q' w != w in general) so the j = 0 row is iterated too.
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   for (std::size_t i = 0; i < num_states; ++i)
     u[0][i] = terminal_weights[i] / w_max;
+  std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
 
-  std::vector<linalg::Vec> acc(n + 1, linalg::zeros(num_states));
-  linalg::axpy(qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0, u[0], acc[0]);
+  std::vector<std::vector<linalg::Vec>> acc(
+      1, std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
+  {
+    const double w0 = qt > 0.0 ? window.weight(0) : 1.0;
+    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[0][0]);
+  }
 
-  linalg::Vec scratch(num_states, 0.0);
+  std::vector<ActiveWeight> active;
   for (std::size_t k = 1; k <= g; ++k) {
-    for (std::size_t j = n + 1; j-- > 0;) {
-      scaled.q_prime.multiply(u[j], scratch);
-      if (j >= 1) {
-        const linalg::Vec& lower1 = u[j - 1];
-        for (std::size_t i = 0; i < num_states; ++i)
-          scratch[i] += scaled.r_prime[i] * lower1[i];
-      }
-      if (j >= 2) {
-        const linalg::Vec& lower2 = u[j - 2];
-        for (std::size_t i = 0; i < num_states; ++i)
-          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
-      }
-      std::swap(u[j], scratch);
-    }
+    active.clear();
     if (qt > 0.0) {
-      const double w = prob::poisson_pmf(k, qt);
-      if (w != 0.0)
-        for (std::size_t j = 0; j <= n; ++j) linalg::axpy(w, u[j], acc[j]);
+      const double w = window.weight(k);
+      if (w != 0.0) active.push_back(ActiveWeight{0, w});
     }
+    fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
   }
 
   // Undo the weight normalization along with the usual j! d^j factor.
   double factor = w_max;
   for (std::size_t j = 0; j <= n; ++j) {
     if (j > 0) factor *= static_cast<double>(j) * scaled.d;
-    linalg::scale(factor, acc[j]);
+    linalg::scale(factor, acc[0][j]);
   }
 
-  out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
   if (scaled.shift == 0.0) {
-    out.per_state = std::move(acc);
+    out.per_state = std::move(acc[0]);
   } else {
+    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
     const double delta = scaled.shift * t;
     std::vector<double> raw(n + 1);
     for (std::size_t i = 0; i < num_states; ++i) {
-      for (std::size_t j = 0; j <= n; ++j) raw[j] = acc[j][i];
+      for (std::size_t j = 0; j <= n; ++j) raw[j] = acc[0][j][i];
       const auto back = shift_raw_moments(raw, delta);
       for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = back[j];
     }
@@ -262,46 +346,40 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     g_max = std::max(g_max, g);
   }
 
+  // Per-time-point Poisson weight tables, one lgamma each (mode-centered
+  // multiplicative recurrence with left truncation) — the old code paid one
+  // lgamma per (k, time point) pair inside the sweep.
+  std::vector<prob::PoissonWindow> windows(times.size());
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
+  }
+
   // U^(j)(0): U^(0) = h, higher orders zero. U^(0)(k) stays h for all k
   // because Q' is stochastic, so the j = 0 row of the recursion is skipped.
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
+  std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
   std::vector<std::vector<linalg::Vec>> acc(
       times.size(), std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
 
   // k = 0 contribution.
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
-    const double w0 = qt > 0.0 ? prob::poisson_pmf(0, qt) : 1.0;
-    linalg::axpy(w0, u[0], acc[ti][0]);
+    const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
   }
 
-  linalg::Vec scratch(num_states, 0.0);
+  std::vector<ActiveWeight> active;
+  active.reserve(times.size());
   for (std::size_t k = 1; k <= g_max; ++k) {
-    for (std::size_t j = n; j >= 1; --j) {
-      // scratch = Q' U^(j) + R' U^(j-1) + 1/2 S' U^(j-2); descending j means
-      // the lower-order iterates on the right are still from step k-1.
-      scaled.q_prime.multiply(u[j], scratch);
-      const linalg::Vec& lower1 = u[j - 1];
-      for (std::size_t i = 0; i < num_states; ++i)
-        scratch[i] += scaled.r_prime[i] * lower1[i];
-      if (j >= 2) {
-        const linalg::Vec& lower2 = u[j - 2];
-        for (std::size_t i = 0; i < num_states; ++i)
-          scratch[i] += 0.5 * scaled.s_prime[i] * lower2[i];
-      }
-      std::swap(u[j], scratch);
-    }
-
+    active.clear();
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       if (k > trunc[ti]) continue;
-      const double qt = scaled.q * times[ti];
-      if (qt == 0.0) continue;
-      const double w = prob::poisson_pmf(k, qt);
-      if (w == 0.0) continue;
-      linalg::axpy(w, u[0], acc[ti][0]);
-      for (std::size_t j = 1; j <= n; ++j) linalg::axpy(w, u[j], acc[ti][j]);
+      const double w = windows[ti].weight(k);
+      if (w != 0.0) active.push_back(ActiveWeight{ti, w});
     }
+    fused_recursion_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
   }
 
   for (std::size_t ti = 0; ti < times.size(); ++ti)

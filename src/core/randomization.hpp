@@ -14,8 +14,16 @@
 // non-zeros per row of Q'), exactly the complexity the paper reports.
 //
 // Implementation notes beyond the paper:
-//  * Poisson weights and the Theorem-4 tail test are evaluated in log space
-//    so qt ~ 40,000 (the paper's large example) cannot underflow.
+//  * The sweep is a fused, row-parallel kernel: each step computes
+//    Q'U + R'U¯¹ + ½S'U¯² for all moment orders AND the Poisson-weighted
+//    accumulation for all time points in one pass over the CSR structure
+//    (linalg::parallel_for; thread count via SOMRM_NUM_THREADS or
+//    linalg::set_num_threads). Outputs are row-owned, so results are
+//    bit-identical for every thread count.
+//  * Poisson weights come from per-time-point mode-centered weight tables
+//    (prob::poisson_weight_window, one lgamma per time point) and the
+//    Theorem-4 tail test is evaluated in log space, so qt ~ 40,000 (the
+//    paper's large example) cannot underflow.
 //  * Negative drifts are shifted out and the returned moments are mapped
 //    back through the binomial expansion (the shift is pathwise exact).
 //  * Several accumulation times can share one sweep of the U-recursion: the

@@ -4,6 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/parallel.hpp"
+
+namespace {
+// Minimum rows per parallel range for the matvecs: generator rows carry only
+// a handful of non-zeros, so anything below a few thousand rows is cheaper
+// to run inline than to hand to the pool.
+constexpr std::size_t kMatvecGrain = 4096;
+}  // namespace
+
 namespace somrm::linalg {
 
 CsrBuilder::CsrBuilder(std::size_t rows, std::size_t cols)
@@ -72,6 +81,16 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
     if (c >= cols_)
       throw std::invalid_argument("CsrMatrix: column index out of range");
   }
+  // at() binary-searches each row, so columns must be strictly increasing
+  // within every row (sorted and duplicate-free) — enforce it here instead
+  // of silently returning wrong entries for hand-built matrices.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r] + 1; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k - 1] >= col_idx_[k])
+        throw std::invalid_argument(
+            "CsrMatrix: row columns must be sorted and duplicate-free");
+    }
+  }
 }
 
 CsrMatrix CsrMatrix::identity(std::size_t n) {
@@ -115,24 +134,34 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      acc += values_[k] * x[col_idx_[k]];
-    y[r] = acc;
-  }
+  parallel_for(
+      rows_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          double acc = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            acc += values_[k] * x[col_idx_[k]];
+          y[r] = acc;
+        }
+      },
+      kMatvecGrain);
 }
 
 void CsrMatrix::multiply_add(double alpha, std::span<const double> x,
                              std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("CsrMatrix::multiply_add: size mismatch");
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      acc += values_[k] * x[col_idx_[k]];
-    y[r] += alpha * acc;
-  }
+  parallel_for(
+      rows_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t r = row_begin; r < row_end; ++r) {
+          double acc = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            acc += values_[k] * x[col_idx_[k]];
+          y[r] += alpha * acc;
+        }
+      },
+      kMatvecGrain);
 }
 
 void CsrMatrix::multiply_transposed(std::span<const double> x,

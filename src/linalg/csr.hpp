@@ -61,7 +61,9 @@ class CsrMatrix {
   CsrMatrix() = default;
 
   /// Builds directly from raw CSR arrays; validates the structure
-  /// (monotone row pointers, in-range column indices).
+  /// (monotone row pointers, in-range column indices, and strictly
+  /// increasing — i.e. sorted, duplicate-free — columns within each row,
+  /// which at()'s binary search relies on).
   CsrMatrix(std::size_t rows, std::size_t cols,
             std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
             std::vector<double> values);
@@ -88,10 +90,11 @@ class CsrMatrix {
   double at(std::size_t row, std::size_t col) const;
 
   /// y = A * x. Requires x.size() == cols(), y.size() == rows(); x and y
-  /// must not alias.
+  /// must not alias. Row-parallel via linalg::parallel_for for large
+  /// matrices; bit-identical for every thread count.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
-  /// y += alpha * A * x.
+  /// y += alpha * A * x. Row-parallel like multiply().
   void multiply_add(double alpha, std::span<const double> x,
                     std::span<double> y) const;
 

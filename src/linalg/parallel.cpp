@@ -1,0 +1,214 @@
+#include "linalg/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace somrm::linalg {
+
+namespace {
+
+/// Persistent pool of workers executing one range-job at a time. The job is
+/// published under the mutex with a generation counter; workers and the
+/// submitting thread pull ranges from a shared cursor, so an uneven machine
+/// load cannot change which indices belong to which range — only which
+/// thread happens to execute a range, which the bit-identical partition
+/// makes irrelevant.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  void run(const std::vector<IndexRange>& ranges,
+           const std::function<void(std::size_t, std::size_t)>& body) {
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ranges_ = &ranges;
+      body_ = &body;
+      next_range_ = 0;
+      pending_ = ranges.size();
+      error_ = nullptr;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    execute_ranges();  // the submitting thread is a worker too
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    ranges_ = nullptr;
+    body_ = nullptr;
+    if (error_) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void execute_ranges() {
+    for (;;) {
+      IndexRange range;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ranges_ == nullptr || next_range_ >= ranges_->size()) return;
+        range = (*ranges_)[next_range_++];
+      }
+      try {
+        (*body_)(range.begin, range.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] {
+          return stop_ || (generation_ != seen_generation &&
+                           ranges_ != nullptr && next_range_ < ranges_->size());
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+      }
+      execute_ranges();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex submit_mutex_;  // serializes concurrent run() calls
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<IndexRange>* ranges_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t next_range_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+/// Ceiling on any requested thread count. Thread counts come from the
+/// environment or API callers; an absurd value (say 100000) must degrade to
+/// "lots of threads", not crash the process inside std::thread with
+/// EAGAIN. Far above any real core count, far below any rlimit.
+constexpr std::size_t kMaxThreads = 1024;
+
+std::size_t env_or_hardware_threads() {
+  if (const char* env = std::getenv("SOMRM_NUM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return std::min(static_cast<std::size_t>(parsed), kMaxThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<std::size_t> g_thread_override{0};  // 0 = use the default
+
+thread_local bool t_inside_parallel_for = false;
+
+}  // namespace
+
+std::vector<IndexRange> partition_ranges(std::size_t total,
+                                         std::size_t num_parts) {
+  std::vector<IndexRange> ranges;
+  if (total == 0) return ranges;
+  if (num_parts == 0) num_parts = 1;
+  const std::size_t parts = std::min(total, num_parts);
+  const std::size_t base = total / parts;
+  const std::size_t remainder = total % parts;
+  ranges.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < remainder ? 1 : 0);
+    ranges.push_back(IndexRange{begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+std::size_t default_num_threads() {
+  static const std::size_t resolved = env_or_hardware_threads();
+  return resolved;
+}
+
+std::size_t num_threads() {
+  const std::size_t override_count = g_thread_override.load();
+  return override_count > 0 ? override_count : default_num_threads();
+}
+
+void set_num_threads(std::size_t count) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_thread_override.store(std::min(count, kMaxThreads));
+  g_pool.reset();  // lazily rebuilt at the new size on next use
+}
+
+void parallel_for(std::size_t total,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t threads = num_threads();
+  const std::size_t max_parts = (total + grain - 1) / grain;
+  const std::size_t parts = std::min(threads, max_parts);
+  if (parts <= 1 || t_inside_parallel_for) {
+    body(0, total);
+    return;
+  }
+
+  const std::vector<IndexRange> ranges = partition_ranges(total, parts);
+  ThreadPool* pool = nullptr;
+  {
+    // Size the pool by what this job can actually use (parts - 1 workers
+    // plus the calling thread), not the raw thread count: a huge
+    // SOMRM_NUM_THREADS must never translate into thousands of idle OS
+    // threads. The pool only grows; jobs needing fewer ranges than there
+    // are workers leave the surplus parked on the condition variable.
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool || g_pool->worker_count() + 1 < parts)
+      g_pool = std::make_unique<ThreadPool>(parts - 1);
+    pool = g_pool.get();
+  }
+
+  t_inside_parallel_for = true;
+  try {
+    pool->run(ranges, [&body](std::size_t begin, std::size_t end) {
+      t_inside_parallel_for = true;
+      body(begin, end);
+    });
+  } catch (...) {
+    t_inside_parallel_for = false;
+    throw;
+  }
+  t_inside_parallel_for = false;
+}
+
+}  // namespace somrm::linalg

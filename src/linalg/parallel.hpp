@@ -1,0 +1,72 @@
+// somrm/linalg/parallel.hpp
+//
+// Minimal row-range parallelism for the solver hot loops.
+//
+// The randomization sweep, the fused U-recursion kernel, and CsrMatrix's
+// matvecs are all embarrassingly row-parallel: every output element is owned
+// by exactly one row. parallel_for() partitions [0, total) into contiguous
+// ranges — one per worker, deterministically — and runs the callback on each
+// range. Because the partition depends only on (total, thread count) and the
+// callbacks write disjoint index ranges, results are bit-identical for every
+// thread count; with one thread the callback runs inline on the calling
+// thread with zero synchronization, so single-threaded behaviour (and
+// floating-point output) is exactly that of the plain serial loop.
+//
+// Thread count resolution, in priority order:
+//   1. set_num_threads(k) with k > 0,
+//   2. the SOMRM_NUM_THREADS environment variable (read once),
+//   3. std::thread::hardware_concurrency().
+// The worker pool is lazily created, persistent, and resized on demand;
+// nested parallel_for calls (a callback invoking parallel_for, directly or
+// through CsrMatrix::multiply) detect the nesting and run inline.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace somrm::linalg {
+
+/// Half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Splits [0, total) into at most @p num_parts contiguous, non-empty,
+/// ascending ranges whose sizes differ by at most one. Deterministic in
+/// (total, num_parts); returns fewer than @p num_parts ranges only when
+/// total < num_parts, and an empty vector only when total == 0.
+std::vector<IndexRange> partition_ranges(std::size_t total,
+                                         std::size_t num_parts);
+
+/// The thread count parallel_for will use (>= 1). Resolves the override set
+/// by set_num_threads, then SOMRM_NUM_THREADS, then hardware concurrency.
+std::size_t num_threads();
+
+/// Overrides the thread count. @p count == 0 resets to the environment /
+/// hardware default; values above an internal ceiling (1024) are clamped —
+/// like oversized SOMRM_NUM_THREADS values — so pathological requests
+/// degrade instead of exhausting OS threads. Not safe to call concurrently
+/// with parallel_for.
+void set_num_threads(std::size_t count);
+
+/// What the environment/hardware default resolves to (ignores overrides).
+std::size_t default_num_threads();
+
+/// Runs @p body over a deterministic partition of [0, total).
+///
+/// @p body receives the half-open range [begin, end) it owns and MUST write
+/// only to indices in that range (reads are unrestricted). @p grain is the
+/// minimum number of indices per range: the partition uses
+/// min(num_threads(), total / grain rounded up) parts, so small problems run
+/// inline with no thread traffic. Exceptions thrown by @p body are captured
+/// and the first one is rethrown on the calling thread after all ranges
+/// finish. Calls from inside a parallel_for callback run inline.
+void parallel_for(std::size_t total,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1024);
+
+}  // namespace somrm::linalg

@@ -1,5 +1,6 @@
 #include "prob/poisson.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -29,6 +30,61 @@ std::vector<double> poisson_weights(double lambda, std::size_t k_max) {
   return w;
 }
 
+PoissonWindow poisson_weight_window(double lambda, std::size_t k_max) {
+  if (lambda < 0.0)
+    throw std::invalid_argument("poisson_weight_window: negative lambda");
+  PoissonWindow window;
+  if (lambda == 0.0) {
+    window.left = 0;
+    window.weights = {1.0};
+    return window;
+  }
+
+  // Anchor at the in-range index closest to the mode — the maximal weight —
+  // so both recurrence directions only ever shrink the value (no overflow,
+  // and underflow marks exactly the indices whose pmf is sub-denormal).
+  const std::size_t mode =
+      std::min(k_max, static_cast<std::size_t>(std::floor(lambda)));
+  const double w_mode = poisson_pmf(mode, lambda);
+  if (w_mode == 0.0) {
+    // qt so extreme even the mode underflows double range; degenerate empty
+    // window (every weight is 0). left > k_max signals "nothing to add".
+    window.left = k_max + 1;
+    return window;
+  }
+
+  // Downward from the mode until the weights leave normal double range
+  // (left truncation). The cut must be at DBL_MIN, not 0: in the denormal
+  // range the recurrence w *= k/lambda with k/lambda >= 1/2 rounds the
+  // smallest denormal back onto itself and never reaches zero, which would
+  // both extend the window down to k = lambda/2 with thousands of junk
+  // 5e-324 entries and poison the accumulation loops with denormal
+  // multiplies (~100-cycle microcode assists each). The truncated mass is
+  // < (k_max + 1) * DBL_MIN ~ 1e-300 — far below any Theorem-4 epsilon.
+  const double w_min = std::numeric_limits<double>::min();
+  std::vector<double> below;  // weights at mode-1, mode-2, ... (descending k)
+  double w = w_mode;
+  for (std::size_t k = mode; k > 0; --k) {
+    w *= static_cast<double>(k) / lambda;
+    if (w < w_min) break;
+    below.push_back(w);
+  }
+  window.left = mode - below.size();
+  window.weights.reserve(below.size() + 1 + (k_max - mode));
+  window.weights.assign(below.rbegin(), below.rend());
+  window.weights.push_back(w_mode);
+
+  // Upward from the mode to k_max; stop early once the weights leave
+  // normal range (same denormal-stall hazard as above).
+  w = w_mode;
+  for (std::size_t k = mode; k < k_max; ++k) {
+    w *= lambda / static_cast<double>(k + 1);
+    if (w < w_min) break;
+    window.weights.push_back(w);
+  }
+  return window;
+}
+
 double log_poisson_tail(double lambda, std::size_t k_min) {
   if (lambda < 0.0)
     throw std::invalid_argument("log_poisson_tail: negative lambda");
@@ -36,9 +92,20 @@ double log_poisson_tail(double lambda, std::size_t k_min) {
   if (lambda == 0.0) return kNegInf;
 
   if (static_cast<double>(k_min) <= lambda + 1.0) {
-    // Tail is a macroscopic probability: compute 1 - left sum directly.
+    // Tail is a macroscopic probability: compute 1 - left sum directly. The
+    // left sum descends from its largest term pmf(k_min - 1) — one lgamma —
+    // via pmf(k-1) = pmf(k) * k / lambda; once terms underflow to zero every
+    // earlier term is zero too (k < k_min <= lambda + 1 keeps the ratio
+    // k / lambda <= 1, so terms are non-increasing going down). The old
+    // per-k poisson_pmf loop cost O(k_min) lgamma calls, which
+    // poisson_truncation_point's bisection then paid ~log2(G) times.
     double left = 0.0;
-    for (std::size_t k = 0; k < k_min; ++k) left += poisson_pmf(k, lambda);
+    double term = poisson_pmf(k_min - 1, lambda);
+    for (std::size_t k = k_min - 1; k > 0 && term != 0.0; --k) {
+      left += term;
+      term *= static_cast<double>(k) / lambda;
+    }
+    left += term;  // the k = 0 term (or 0 if the recurrence underflowed)
     const double tail = 1.0 - left;
     if (tail <= 0.0) {
       // Rounding pushed the complement to zero; fall through to the series.

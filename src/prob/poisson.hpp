@@ -27,6 +27,39 @@ double poisson_pmf(std::size_t k, double lambda);
 /// Weights Pois(k; lambda) for k = 0..k_max inclusive.
 std::vector<double> poisson_weights(double lambda, std::size_t k_max);
 
+/// Left-truncated window of Poisson weights, Fox–Glynn style.
+///
+/// weights[i] = Pois(left + i; lambda) for left..right(), where the window
+/// covers every k in [0, k_max] whose weight is a NORMAL positive double
+/// (>= DBL_MIN); sub-normal weights are truncated away — they carry total
+/// mass < (k_max+1) * DBL_MIN and would stall the accumulation hot loops
+/// with denormal-arithmetic microcode assists (for lambda = 40,000 the left
+/// truncation drops the first ~32,000 indices). Built from ONE
+/// lgamma evaluation at the mode and the multiplicative recurrences
+///   Pois(k+1) = Pois(k) * lambda / (k+1),  Pois(k-1) = Pois(k) * k / lambda,
+/// which are stable in both directions because the anchor is the mode (the
+/// maximal weight) and every step moves downhill.
+struct PoissonWindow {
+  std::size_t left = 0;          ///< first k inside the window
+  std::vector<double> weights;   ///< weights[i] = Pois(left + i; lambda)
+
+  /// Last k inside the window (== left when the window has one entry).
+  std::size_t right() const {
+    return left + (weights.empty() ? 0 : weights.size() - 1);
+  }
+  /// Pois(k; lambda), 0 outside the window (and everywhere when empty).
+  double weight(std::size_t k) const {
+    if (weights.empty() || k < left || k - left >= weights.size()) return 0.0;
+    return weights[k - left];
+  }
+};
+
+/// Builds the weight window for k = 0..k_max (right truncation at the
+/// caller's Theorem-4 / uniformization truncation point). O(window width)
+/// multiplications and a single lgamma; replaces k_max per-k lgamma-based
+/// poisson_pmf calls in the randomization sweeps.
+PoissonWindow poisson_weight_window(double lambda, std::size_t k_max);
+
 /// log of the right tail sum  log( sum_{k >= k_min} Pois(k; lambda) ).
 ///
 /// For k_min <= mode the tail is >= 1/2 and is returned as log of the

@@ -58,6 +58,26 @@ TEST(CsrMatrixTest, ValidatesRawArrays) {
                std::invalid_argument);
 }
 
+TEST(CsrMatrixTest, RejectsUnsortedRowColumns) {
+  // at()'s binary search and the fused row kernels assume strictly
+  // increasing columns within every row.
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 2, 2}, {2, 0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 1, 3}, {0, 2, 1}, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrixTest, RejectsDuplicateRowColumns) {
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrixTest, AcceptsSortedRowColumns) {
+  const CsrMatrix m(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.at(0, 2), 2.0);
+}
+
 TEST(CsrMatrixTest, AtFindsStoredAndMissingEntries) {
   const CsrMatrix m = small_matrix();
   EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);

@@ -1,0 +1,148 @@
+// Tests for the row-range parallelism utility. The load-bearing properties:
+//  * partition_ranges tiles [0, total) exactly — every index covered once,
+//    ranges ascending, sizes balanced to within one — deterministically;
+//  * parallel_for visits every index exactly once for any thread count and
+//    grain, including the degenerate and nested cases;
+//  * exceptions from the body surface on the calling thread;
+//  * the thread-count override round-trips and 0 restores the default.
+
+#include "linalg/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::linalg {
+namespace {
+
+TEST(PartitionRangesTest, TilesExactlyOnce) {
+  for (std::size_t total : {0u, 1u, 2u, 7u, 64u, 1000u, 1023u, 1025u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 4u, 7u, 64u, 2000u}) {
+      const auto ranges = partition_ranges(total, parts);
+      std::vector<int> hits(total, 0);
+      std::size_t expected_begin = 0;
+      for (const IndexRange& r : ranges) {
+        EXPECT_EQ(r.begin, expected_begin);  // ascending, gap-free
+        EXPECT_LT(r.begin, r.end);           // non-empty
+        for (std::size_t i = r.begin; i < r.end; ++i) ++hits[i];
+        expected_begin = r.end;
+      }
+      EXPECT_EQ(expected_begin, total) << total << "/" << parts;
+      for (std::size_t i = 0; i < total; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+    }
+  }
+}
+
+TEST(PartitionRangesTest, BalancedToWithinOne) {
+  const auto ranges = partition_ranges(1000, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  std::size_t lo = ranges[0].size(), hi = ranges[0].size();
+  for (const IndexRange& r : ranges) {
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(PartitionRangesTest, FewerPartsThanRequestedOnlyWhenShort) {
+  EXPECT_EQ(partition_ranges(3, 8).size(), 3u);
+  EXPECT_EQ(partition_ranges(8, 8).size(), 8u);
+  EXPECT_TRUE(partition_ranges(0, 4).empty());
+}
+
+TEST(PartitionRangesTest, Deterministic) {
+  const auto a = partition_ranges(12345, 4);
+  const auto b = partition_ranges(12345, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+class ParallelForThreadsTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_num_threads(GetParam()); }
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_P(ParallelForThreadsTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t total : {0u, 1u, 5u, 1024u, 5000u}) {
+    std::vector<std::atomic<int>> hits(total);
+    for (auto& h : hits) h.store(0);
+    parallel_for(
+        total,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        /*grain=*/64);
+    for (std::size_t i = 0; i < total; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " total " << total;
+  }
+}
+
+TEST_P(ParallelForThreadsTest, NestedCallRunsInlineAndCovers) {
+  const std::size_t total = 512;
+  std::vector<std::atomic<int>> hits(total);
+  for (auto& h : hits) h.store(0);
+  parallel_for(
+      total,
+      [&](std::size_t begin, std::size_t end) {
+        // A body that itself calls parallel_for (as the fused kernel does
+        // through CsrMatrix::multiply) must not deadlock or double-visit.
+        parallel_for(
+            end - begin,
+            [&](std::size_t b2, std::size_t e2) {
+              for (std::size_t i = b2; i < e2; ++i)
+                hits[begin + i].fetch_add(1, std::memory_order_relaxed);
+            },
+            /*grain=*/16);
+      },
+      /*grain=*/16);
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ParallelForThreadsTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(
+          4096,
+          [&](std::size_t begin, std::size_t) {
+            if (begin == 0) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+  // The pool must stay usable after a throwing job.
+  std::atomic<std::size_t> count{0};
+  parallel_for(
+      1000,
+      [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(end - begin, std::memory_order_relaxed);
+      },
+      /*grain=*/64);
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForThreadsTest,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8));
+
+TEST(ParallelForTest, ZeroTotalNeverInvokesBody) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(NumThreadsTest, OverrideRoundTripsAndZeroRestoresDefault) {
+  const std::size_t def = default_num_threads();
+  EXPECT_GE(def, 1u);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), def);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

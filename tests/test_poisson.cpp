@@ -102,7 +102,9 @@ TEST(TruncationPointTest, CoversRequestedMass) {
     for (double eps : {1e-6, 1e-12}) {
       const std::size_t g = poisson_truncation_point(lambda, std::log(eps));
       EXPECT_LT(poisson_tail(lambda, g + 1), eps);
-      if (g > 0) EXPECT_GE(poisson_tail(lambda, g), eps);
+      if (g > 0) {
+        EXPECT_GE(poisson_tail(lambda, g), eps);
+      }
     }
   }
 }
@@ -126,6 +128,85 @@ TEST(TruncationPointTest, HandlesSubUnderflowTargets) {
   const std::size_t g = poisson_truncation_point(100.0, -800.0);
   EXPECT_GT(g, 100u);
   EXPECT_LT(log_poisson_tail(100.0, g + 1), -800.0);
+}
+
+TEST(PoissonWindowTest, MatchesPmfInsideWindow) {
+  for (double lambda : {0.3, 2.5, 40.0, 1000.0}) {
+    const std::size_t k_max =
+        static_cast<std::size_t>(lambda + 10.0 * std::sqrt(lambda) + 30.0);
+    const PoissonWindow win = poisson_weight_window(lambda, k_max);
+    ASSERT_FALSE(win.weights.empty());
+    EXPECT_LE(win.right(), k_max);
+    for (std::size_t k = win.left; k <= win.right(); ++k) {
+      const double expected = poisson_pmf(k, lambda);
+      // The recurrence accumulates ~1 ulp per step away from the mode.
+      EXPECT_NEAR(win.weight(k), expected, 1e-11 * expected)
+          << "lambda " << lambda << " k " << k;
+    }
+  }
+}
+
+TEST(PoissonWindowTest, CoversAllNormalRangeWeights) {
+  // Outside the window the true pmf must be negligible (below DBL_MIN):
+  // window truncation may never drop representable normal-range mass.
+  const double lambda = 40000.0;
+  const std::size_t k_max = 42000;
+  const PoissonWindow win = poisson_weight_window(lambda, k_max);
+  EXPECT_GT(win.left, 30000u);  // deep left truncation actually happens
+  if (win.left > 0) {
+    EXPECT_LT(log_poisson_pmf(win.left - 1, lambda),
+              std::log(std::numeric_limits<double>::min()) + 1.0);
+  }
+  for (double w : win.weights)
+    EXPECT_GE(w, std::numeric_limits<double>::min());  // no denormal entries
+}
+
+TEST(PoissonWindowTest, WeightAccessorZeroOutsideWindow) {
+  const PoissonWindow win = poisson_weight_window(1000.0, 1200);
+  if (win.left > 0) {
+    EXPECT_EQ(win.weight(win.left - 1), 0.0);
+  }
+  EXPECT_EQ(win.weight(win.right() + 1), 0.0);
+  EXPECT_GT(win.weight(1000), 0.0);  // the mode
+}
+
+TEST(PoissonWindowTest, ZeroLambdaIsPointMass) {
+  const PoissonWindow win = poisson_weight_window(0.0, 10);
+  EXPECT_EQ(win.left, 0u);
+  ASSERT_EQ(win.weights.size(), 1u);
+  EXPECT_EQ(win.weights[0], 1.0);
+  EXPECT_EQ(win.weight(1), 0.0);
+}
+
+TEST(PoissonWindowTest, SumsToRoughlyOneWhenKMaxCoversTheMass) {
+  const PoissonWindow win = poisson_weight_window(500.0, 800);
+  double sum = 0.0;
+  for (double w : win.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PoissonWindowTest, RightTruncationAtKMax) {
+  const PoissonWindow win = poisson_weight_window(100.0, 90);
+  EXPECT_LE(win.right(), 90u);
+  EXPECT_EQ(win.weight(91), 0.0);
+}
+
+TEST(PoissonTailTest, MacroscopicBranchMatchesDirectSum) {
+  // k_min <= lambda + 1 takes the 1 - left-sum recurrence; cross-check
+  // against the straightforward per-k pmf accumulation.
+  for (double lambda : {5.0, 50.0, 2000.0}) {
+    for (double frac : {0.2, 0.8, 1.0}) {
+      const std::size_t k_min =
+          static_cast<std::size_t>(frac * lambda);
+      if (k_min == 0) continue;
+      double left = 0.0;
+      for (std::size_t k = 0; k < k_min; ++k) left += poisson_pmf(k, lambda);
+      const double expected = std::log(1.0 - left);
+      EXPECT_NEAR(log_poisson_tail(lambda, k_min), expected,
+                  1e-10 * std::abs(expected) + 1e-12)
+          << "lambda " << lambda << " k_min " << k_min;
+    }
+  }
 }
 
 }  // namespace

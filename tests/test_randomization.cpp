@@ -19,6 +19,8 @@
 
 #include "core/moment_utils.hpp"
 #include "ctmc/transient.hpp"
+#include "linalg/parallel.hpp"
+#include "models/onoff.hpp"
 #include "prob/normal.hpp"
 
 namespace somrm::core {
@@ -374,6 +376,71 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RandomizationPropertyTest,
     ::testing::Combine(::testing::Values<std::size_t>(2, 5, 12),
                        ::testing::Values(0.05, 0.5, 2.0)));
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: the fused sweep partitions rows deterministically
+// and every write is row-owned, so results must be BIT-identical for every
+// thread count (a stronger guarantee than the 1e-13 relative bound the
+// cross-solver tests rely on).
+// ---------------------------------------------------------------------------
+
+class RandomizationThreadTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void TearDown() override { linalg::set_num_threads(0); }
+};
+
+TEST_P(RandomizationThreadTest, MomentsBitIdenticalToSingleThread) {
+  const auto model = models::make_onoff_multiplexer(models::table1_params(1.0));
+  const RandomizationMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+  opts.epsilon = 1e-10;
+  const double times[] = {0.1, 1.0, 5.0};
+
+  linalg::set_num_threads(1);
+  const auto reference = solver.solve_multi(times, opts);
+
+  linalg::set_num_threads(GetParam());
+  const auto parallel = solver.solve_multi(times, opts);
+
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (std::size_t ti = 0; ti < reference.size(); ++ti) {
+    for (std::size_t j = 0; j <= opts.max_moment; ++j) {
+      EXPECT_EQ(parallel[ti].weighted[j], reference[ti].weighted[j])
+          << "t " << times[ti] << " moment " << j;
+      for (std::size_t i = 0; i < model.num_states(); ++i)
+        ASSERT_EQ(parallel[ti].per_state[j][i], reference[ti].per_state[j][i])
+            << "t " << times[ti] << " moment " << j << " state " << i;
+    }
+  }
+}
+
+TEST_P(RandomizationThreadTest, TerminalWeightedBitIdenticalToSingleThread) {
+  const auto model = models::make_onoff_multiplexer(models::table1_params(1.0));
+  const RandomizationMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-10;
+  Vec weights(model.num_states());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = 1.0 + 0.25 * static_cast<double>(i % 3);
+
+  linalg::set_num_threads(1);
+  const auto reference = solver.solve_terminal_weighted(1.0, weights, opts);
+
+  linalg::set_num_threads(GetParam());
+  const auto parallel = solver.solve_terminal_weighted(1.0, weights, opts);
+
+  for (std::size_t j = 0; j <= opts.max_moment; ++j) {
+    EXPECT_EQ(parallel.weighted[j], reference.weighted[j]) << "moment " << j;
+    for (std::size_t i = 0; i < model.num_states(); ++i)
+      ASSERT_EQ(parallel.per_state[j][i], reference.per_state[j][i])
+          << "moment " << j << " state " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, RandomizationThreadTest,
+                         ::testing::Values<std::size_t>(1, 2, 4));
 
 }  // namespace
 }  // namespace somrm::core
