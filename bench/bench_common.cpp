@@ -48,6 +48,33 @@ std::size_t arg_size(int argc, char** argv, const std::string& name,
            : fallback;
 }
 
+std::string arg_string(int argc, char** argv, const std::string& name,
+                       const std::string& fallback) {
+  const char* v = find_arg(argc, argv, name);
+  return v ? std::string(v) : fallback;
+}
+
+void JsonWriter::add(BenchRecord record) {
+  if (enabled()) records_.push_back(std::move(record));
+}
+
+void JsonWriter::write() const {
+  if (!enabled()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) throw std::runtime_error("JsonWriter: cannot open " + path_);
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"states\": %zu, \"threads\": %zu, "
+                 "\"wall_s\": %.9g, \"moments\": %zu}%s\n",
+                 r.bench.c_str(), r.states, r.threads, r.wall_s, r.moments,
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
 namespace {
 
 linalg::Vec centered_moments_of(const core::SecondOrderMrm& model, double t,

@@ -45,6 +45,39 @@ double arg_double(int argc, char** argv, const std::string& name,
                   double fallback);
 std::size_t arg_size(int argc, char** argv, const std::string& name,
                      std::size_t fallback);
+std::string arg_string(int argc, char** argv, const std::string& name,
+                       const std::string& fallback);
+
+/// One machine-readable benchmark measurement. Every harness that supports
+/// `--json <path>` emits records of this shape so perf trajectories can be
+/// tracked across PRs (see BENCH_PR2.json for the committed snapshot).
+struct BenchRecord {
+  std::string bench;        ///< benchmark / case name
+  std::size_t states = 0;   ///< model size (0 when not applicable)
+  std::size_t threads = 0;  ///< solver thread count used
+  double wall_s = 0.0;      ///< wall-clock seconds (per iteration)
+  std::size_t moments = 0;  ///< max moment order (0 when not applicable)
+};
+
+/// Collects BenchRecords and writes them as a JSON array of objects
+/// `{"bench", "states", "threads", "wall_s", "moments"}`. A writer built
+/// with an empty path is disabled: add() and write() become no-ops, so
+/// call sites need no branching on whether --json was given.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  void add(BenchRecord record);
+
+  /// Writes all collected records to the path. Throws std::runtime_error
+  /// when the file cannot be opened.
+  void write() const;
+
+ private:
+  std::string path_;
+  std::vector<BenchRecord> records_;
+};
 
 /// The Figures 5-7 pipeline: mean solve, centered high-order solve, and a
 /// MomentBounder over the centered moments. bounds_at() takes x in original

@@ -6,10 +6,17 @@
 //  * G grows like qt (plus an O(sqrt(qt)) spread),
 //  * a multi-time solve shares one sweep instead of paying per time point.
 
+// Flags beyond google-benchmark's own: `--json <path>` writes every run as
+// a machine-readable {bench, states, threads, wall_s, moments} record via
+// bench_common's JsonWriter (see EXPERIMENTS.md).
+
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/first_order.hpp"
 #include "core/randomization.hpp"
 #include "linalg/parallel.hpp"
@@ -41,6 +48,7 @@ void BM_SolveVsStates(benchmark::State& state) {
     benchmark::DoNotOptimize(res.weighted.data());
   }
   state.counters["states"] = static_cast<double>(states);
+  state.counters["moments"] = 3.0;  // MomentSolverOptions default
 }
 BENCHMARK(BM_SolveVsStates)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
@@ -81,6 +89,8 @@ void BM_SolveVsMomentOrder(benchmark::State& state) {
     auto res = solver.solve(1.0, opts);
     benchmark::DoNotOptimize(res.weighted.data());
   }
+  state.counters["states"] = 4096.0;
+  state.counters["moments"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_SolveVsMomentOrder)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
 
@@ -137,6 +147,46 @@ BENCHMARK(BM_SolveVsThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Panel (multi-vector SpMM) sweep kernel vs the pre-panel fused kernel that
+// re-streams the CSR structure once per moment order, single-threaded so
+// the ratio isolates the memory-traffic win. Args: (states, max_moment).
+// The two kernels are bit-identical (RandomizationThreadTest); only time
+// differs. The (50000, 4) pair is the ISSUE-2 acceptance measurement.
+void run_sweep_kernel(benchmark::State& state, core::SweepKernel kernel) {
+  const auto states = static_cast<std::size_t>(state.range(0));
+  const auto moments = static_cast<std::size_t>(state.range(1));
+  const core::RandomizationMomentSolver solver(make_chain(states, 1.0));
+  core::MomentSolverOptions opts;
+  opts.max_moment = moments;
+  opts.epsilon = 1e-9;
+  opts.kernel = kernel;
+  linalg::set_num_threads(1);
+  for (auto _ : state) {
+    auto res = solver.solve(20.0, opts);
+    benchmark::DoNotOptimize(res.weighted.data());
+  }
+  linalg::set_num_threads(0);
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["threads"] = 1.0;
+  state.counters["moments"] = static_cast<double>(moments);
+}
+
+void BM_SweepPanel(benchmark::State& state) {
+  run_sweep_kernel(state, core::SweepKernel::kPanel);
+}
+BENCHMARK(BM_SweepPanel)
+    ->Args({512, 2})
+    ->Args({50000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepLegacy(benchmark::State& state) {
+  run_sweep_kernel(state, core::SweepKernel::kFusedVectors);
+}
+BENCHMARK(BM_SweepLegacy)
+    ->Args({512, 2})
+    ->Args({50000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 // G growth vs qt: not a timing — report G as a counter (iterations are a
 // single truncation-point computation, which is itself worth timing since
 // it runs a Poisson tail search).
@@ -152,6 +202,64 @@ void BM_TruncationPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_TruncationPoint)->Arg(100)->Arg(1000)->Arg(10000)->Arg(40000);
 
+// Console output as usual, plus a {bench, states, threads, wall_s, moments}
+// record per run into the shared JsonWriter when --json was given.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::JsonWriter& writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto counter = [&run](const char* name) -> std::size_t {
+        const auto it = run.counters.find(name);
+        return it == run.counters.end()
+                   ? 0
+                   : static_cast<std::size_t>(it->second.value);
+      };
+      bench::BenchRecord rec;
+      rec.bench = run.benchmark_name();
+      rec.states = counter("states");
+      rec.threads = counter("threads");
+      rec.moments = counter("moments");
+      rec.wall_s = run.iterations > 0
+                       ? run.real_accumulated_time /
+                             static_cast<double>(run.iterations)
+                       : run.real_accumulated_time;
+      writer_.add(std::move(rec));
+    }
+  }
+
+ private:
+  bench::JsonWriter& writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out --json before benchmark::Initialize, which rejects flags it
+  // does not know.
+  const std::string json_path =
+      somrm::bench::arg_string(argc, argv, "--json", "");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+
+  somrm::bench::JsonWriter writer(json_path);
+  JsonCapturingReporter reporter(writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  writer.write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,13 +10,17 @@
 // the iterates U^(n)(k) do not depend on t — so the whole figure costs one
 // G_max-length sweep.
 //
-// Flags: --states N (default 200000), --epsilon, --moments.
+// Flags: --states N (default 200000), --epsilon, --moments,
+// --kernel panel|legacy (sweep kernel selection, default panel), and
+// --json <path> to append a machine-readable
+// {bench, states, threads, wall_s, moments} record of the solve.
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/scaling.hpp"
+#include "linalg/parallel.hpp"
 #include "models/onoff.hpp"
 
 int main(int argc, char** argv) {
@@ -43,6 +47,9 @@ int main(int argc, char** argv) {
   core::MomentSolverOptions opts;
   opts.max_moment = n;
   opts.epsilon = eps;
+  const std::string kernel = bench::arg_string(argc, argv, "--kernel", "panel");
+  opts.kernel = kernel == "legacy" ? core::SweepKernel::kFusedVectors
+                                   : core::SweepKernel::kPanel;
 
   bench::Stopwatch sw;
   const core::RandomizationMomentSolver solver(model);
@@ -66,5 +73,10 @@ int main(int argc, char** argv) {
   std::printf("# per-iteration cost: (%0.1f + 2) vector ops x %zu states x "
               "%zu moment vectors (matches the section-6 count)\n",
               m, model.num_states(), n + 1);
+
+  bench::JsonWriter writer(bench::arg_string(argc, argv, "--json", ""));
+  writer.add({"table2_fig8_large[" + kernel + "]", model.num_states(),
+              somrm::linalg::num_threads(), seconds, n});
+  writer.write();
   return 0;
 }

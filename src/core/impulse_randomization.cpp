@@ -6,6 +6,7 @@
 
 #include "core/moment_utils.hpp"
 #include "core/scaling.hpp"
+#include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
@@ -180,6 +181,112 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
   }
 
+  struct ActiveWeight {
+    std::size_t ti;
+    double w;
+  };
+  std::vector<ActiveWeight> active;
+  active.reserve(times.size());
+
+  // Panel path (default): the iterates U^(0..n)(k) live in one contiguous
+  // row-major panel and each sweep step streams Q' and every A~_l ONCE,
+  // multiplying each matrix entry against contiguous panel doubles, instead
+  // of once per moment order. Per element the arithmetic order (Q' dot
+  // product, R', ½S', then the impulse convolution in ascending l, then the
+  // weighted accumulation) matches the kFusedVectors kernel exactly, so
+  // results are bit-identical to it at every thread count.
+  if (options.kernel == SweepKernel::kPanel) {
+    linalg::Panel u(num_states, n + 1, 0.0);
+    linalg::Panel u_next(num_states, n + 1, 0.0);
+    u.fill_col(0, 1.0);
+    u_next.fill_col(0, 1.0);  // invariant ones column survives the swaps
+    std::vector<linalg::Panel> acc(times.size(),
+                                   linalg::Panel(num_states, n + 1, 0.0));
+
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      const double qt = scaled.q * times[ti];
+      const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+      if (w0 != 0.0)
+        for (std::size_t i = 0; i < num_states; ++i)
+          acc[ti](i, 0) += w0 * u(i, 0);
+    }
+
+    const std::size_t width = n + 1;
+    for (std::size_t k = 1; k <= g_max; ++k) {
+      active.clear();
+      for (std::size_t ti = 0; ti < times.size(); ++ti) {
+        if (k > trunc[ti]) continue;
+        const double w = windows[ti].weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{ti, w});
+      }
+
+      linalg::parallel_for(
+          num_states,
+          [&](std::size_t row_begin, std::size_t row_end) {
+            if (n >= 1)
+              scaled.q_prime.multiply_panel_rows(u, u_next, row_begin,
+                                                 row_end, /*src_col=*/1,
+                                                 /*dst_col=*/1, n,
+                                                 /*accumulate=*/false);
+            for (std::size_t i = row_begin; i < row_end; ++i) {
+              const double* ui = u.row_data(i);
+              double* oi = u_next.row_data(i);
+              const double r = scaled.r_prime[i];
+              for (std::size_t j = 1; j <= n; ++j) oi[j] += r * ui[j - 1];
+              const double s = 0.5 * scaled.s_prime[i];
+              for (std::size_t j = 2; j <= n; ++j) oi[j] += s * ui[j - 2];
+            }
+            // Impulse convolution in ascending l: element (i, j) receives
+            // its A~_1 .. A~_j contributions in exactly the legacy order,
+            // each computed in its own accumulator before the add.
+            for (std::size_t l = 1; l <= n; ++l) {
+              const linalg::CsrMatrix& a = impulse_mats[l - 1];
+              if (a.nnz() == 0) continue;
+              a.multiply_panel_rows(u, u_next, row_begin, row_end,
+                                    /*src_col=*/0, /*dst_col=*/l,
+                                    width - l, /*accumulate=*/true);
+            }
+            // Poisson-weighted accumulation: one contiguous slab axpy per
+            // active time point (the j = 0 lane reads the invariant ones
+            // column, the value the legacy kernel takes from u[0]).
+            const std::size_t lo = row_begin * width;
+            const std::size_t len = (row_end - row_begin) * width;
+            for (const ActiveWeight& aw : active)
+              linalg::axpy(aw.w, u_next.span().subspan(lo, len),
+                           acc[aw.ti].span().subspan(lo, len));
+          },
+          /*grain=*/1024);
+      u.swap(u_next);
+    }
+
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      MomentResult& out = results[ti];
+      std::vector<linalg::Vec> sums(n + 1);
+      for (std::size_t j = 0; j <= n; ++j) sums[j] = acc[ti].col(j);
+      double factor = 1.0;
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (j > 0) factor *= static_cast<double>(j) * scaled.d;
+        linalg::scale(factor, sums[j]);
+      }
+      if (scaled.shift == 0.0) {
+        out.per_state = std::move(sums);
+      } else {
+        out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
+        const double delta = scaled.shift * times[ti];
+        std::vector<double> raw(n + 1);
+        for (std::size_t i = 0; i < num_states; ++i) {
+          for (std::size_t j = 0; j <= n; ++j) raw[j] = sums[j][i];
+          const auto back = shift_raw_moments(raw, delta);
+          for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = back[j];
+        }
+      }
+      out.weighted.resize(n + 1);
+      for (std::size_t j = 0; j <= n; ++j)
+        out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
+    }
+    return results;
+  }
+
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
   std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
@@ -191,13 +298,6 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
     if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
   }
-
-  struct ActiveWeight {
-    std::size_t ti;
-    double w;
-  };
-  std::vector<ActiveWeight> active;
-  active.reserve(times.size());
 
   for (std::size_t k = 1; k <= g_max; ++k) {
     active.clear();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/moment_utils.hpp"
+#include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
@@ -20,30 +21,212 @@ double log_theorem4_prefactor(double qt, std::size_t n, double d) {
          nn * std::log(qt);
 }
 
+/// Theorem-4 tail bound achieved at truncation point @p g for moment order
+/// @p n (0 when the tail underflows double range).
+double theorem4_error_bound(double qt, std::size_t n, double d,
+                            std::size_t g) {
+  const double log_bound =
+      (n == 0 ? std::log(2.0) : log_theorem4_prefactor(qt, n, d)) +
+      prob::log_poisson_tail(qt, g + 1 >= n ? g + 1 - n : 0);
+  return std::exp(log_bound);
+}
+
 /// A time point whose Poisson weight at the current step k is non-zero.
 struct ActiveWeight {
   std::size_t ti;
   double w;
 };
 
-/// Minimum rows per parallel range for the fused kernel. Each row costs
+/// Minimum rows per parallel range for the fused kernels. Each row costs
 /// (nnz_row + 4) * n_moments flops, so ranges of ~1k rows amortize the pool
 /// hand-off while still splitting four ways at 10k states.
 constexpr std::size_t kFusedGrain = 1024;
 
-/// One fused, row-parallel step of the Theorem-3 recursion: computes
-///   u_next[j] = Q' u[j] + R' u[j-1] + 1/2 S' u[j-2]   for j = j_lo..n
-/// in a single pass over the CSR structure (instead of an SpMV followed by
-/// two element-wise loops per moment order), and folds the Poisson-weighted
-/// accumulation acc[ti][j] += w * u_next[j] for every active time point into
-/// the same pass. All writes are row-owned, so results are bit-identical for
-/// every thread count; with one thread the arithmetic per element happens in
-/// exactly the order of the original scalar loops.
+/// Rows per cache block inside a panel-step row range. The SpMM write, the
+/// R'/½S' diagonal update, and the Poisson-weighted accumulation all touch
+/// the same u_next slab; running them block-by-block keeps that slab
+/// (kPanelBlockRows * width doubles — 64 KiB at width 8) resident in L1/L2
+/// across all three stages instead of streaming the full panel from DRAM
+/// three times per step. Pure traffic optimization: per element the
+/// arithmetic chain is unchanged, so results stay bit-identical.
+constexpr std::size_t kPanelBlockRows = 1024;
+
+/// Fully fused row kernel for one panel recursion step with a compile-time
+/// panel width W = n+1 and recursion floor JLO (0 or 1): per row the
+/// kk-ascending CSR dot products, the R'/½S' diagonal terms, the store to
+/// u_next, and the Poisson-weighted accumulation into every active acc
+/// panel all happen while the row's W accumulators sit in registers — one
+/// pass over the CSR structure AND one pass over the panels per step.
+/// Per element the arithmetic chain (dot product in ascending-k order, then
+/// + R' u^(j-1), then + ½S' u^(j-2), then acc += w * value) is exactly the
+/// kFusedVectors kernel's, so results are bit-identical to it.
+template <std::size_t W, std::size_t JLO>
+void panel_step_rows(const ScaledModel& scaled, const double* ubase,
+                     double* obase, std::span<const ActiveWeight> active,
+                     std::span<double* const> acc_base, std::size_t row_begin,
+                     std::size_t row_end) {
+  constexpr std::size_t n = W - 1;
+  const auto& row_ptr = scaled.q_prime.row_ptr();
+  const auto& col_idx = scaled.q_prime.col_idx();
+  const auto& values = scaled.q_prime.values();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ui = ubase + i * W;
+    double* oi = obase + i * W;
+    double s[W > JLO ? W - JLO : 1];  // W == JLO only for the n = 0 sweep
+    for (std::size_t c = 0; c < W - JLO; ++c) s[c] = 0.0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const double v = values[k];
+      const double* xr = ubase + col_idx[k] * W + JLO;
+      for (std::size_t c = 0; c < W - JLO; ++c) s[c] += v * xr[c];
+    }
+    const double r = scaled.r_prime[i];
+    for (std::size_t j = std::max<std::size_t>(JLO, 1); j <= n; ++j)
+      s[j - JLO] += r * ui[j - 1];
+    const double half_s = 0.5 * scaled.s_prime[i];
+    for (std::size_t j = std::max<std::size_t>(JLO, 2); j <= n; ++j)
+      s[j - JLO] += half_s * ui[j - 2];
+    for (std::size_t c = 0; c < W - JLO; ++c) oi[JLO + c] = s[c];
+    // Weighted accumulation over the FULL width: for JLO == 1 the j = 0
+    // lane reads the invariant ones column stored in u_next, the same
+    // value the vector kernel takes from u[0].
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const double w = active[a].w;
+      double* ar = acc_base[a] + i * W;
+      for (std::size_t j = 0; j < W; ++j) ar[j] += w * oi[j];
+    }
+  }
+}
+
+template <std::size_t W>
+void panel_step_rows_dispatch_jlo(const ScaledModel& scaled, std::size_t j_lo,
+                                  const double* ubase, double* obase,
+                                  std::span<const ActiveWeight> active,
+                                  std::span<double* const> acc_base,
+                                  std::size_t row_begin, std::size_t row_end) {
+  if (j_lo == 0)
+    panel_step_rows<W, 0>(scaled, ubase, obase, active, acc_base, row_begin,
+                          row_end);
+  else
+    panel_step_rows<W, 1>(scaled, ubase, obase, active, acc_base, row_begin,
+                          row_end);
+}
+
+/// One fused, row-parallel step of the Theorem-3 recursion over the panel
+/// layout: the iterates U^(j_lo..n)(k) live in the contiguous row-major
+/// panel u (u(i, j) = U^(j)(k)_i) and the step computes
+///   u_next(i, j) = (Q' u)(i, j) + R'_i u(i, j-1) + 1/2 S'_i u(i, j-2)
+/// with ONE pass over the CSR structure — each matrix entry is loaded once
+/// and multiplied against the n+1-j_lo contiguous doubles of the source row
+/// — folding the R'/½S' diagonal terms and the Poisson-weighted
+/// accumulation acc[ti] += w * u_next into the same per-row pass
+/// (panel_step_rows, dispatched on a compile-time width for n <= 7; wider
+/// panels take a cache-blocked three-stage path over the same arithmetic).
+/// Per element the arithmetic order (kk-ascending dot product, then R',
+/// then ½S', then the weighted accumulation) is exactly the kFusedVectors
+/// kernel's, so results are bit-identical to it at every thread count.
 ///
-/// j_lo == 1 (solve_multi): u[0] is the invariant all-ones vector h, the
-/// j = 0 row is skipped and its accumulation reads u[0] directly.
-/// j_lo == 0 (solve_terminal_weighted): the seed vector is not invariant and
-/// the j = 0 row is iterated like the rest.
+/// j_lo == 1 (solve_multi): column 0 of both panels holds the invariant
+/// all-ones vector h and is never recomputed; the accumulation reads it in
+/// place. j_lo == 0 (solve_terminal_weighted): the seed vector is not
+/// invariant and column 0 is iterated like the rest.
+void fused_panel_step(const ScaledModel& scaled, std::size_t n,
+                      std::size_t j_lo, linalg::Panel& u,
+                      linalg::Panel& u_next,
+                      std::span<const ActiveWeight> active,
+                      std::vector<linalg::Panel>& acc) {
+  const std::size_t num_states = scaled.q_prime.rows();
+  const std::size_t width = n + 1;
+  // Per-weight destination base pointers, resolved once per step.
+  std::vector<double*> acc_base(active.size());
+  for (std::size_t a = 0; a < active.size(); ++a)
+    acc_base[a] = acc[active[a].ti].data();
+  const double* ubase = u.data();
+  double* obase = u_next.data();
+  linalg::parallel_for(
+      num_states,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        switch (width) {
+          case 1:
+            panel_step_rows_dispatch_jlo<1>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 2:
+            panel_step_rows_dispatch_jlo<2>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 3:
+            panel_step_rows_dispatch_jlo<3>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 4:
+            panel_step_rows_dispatch_jlo<4>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 5:
+            panel_step_rows_dispatch_jlo<5>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 6:
+            panel_step_rows_dispatch_jlo<6>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 7:
+            panel_step_rows_dispatch_jlo<7>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          case 8:
+            panel_step_rows_dispatch_jlo<8>(scaled, j_lo, ubase, obase,
+                                            active, acc_base, row_begin,
+                                            row_end);
+            break;
+          default: {
+            // Wide-panel fallback: cache-block the range so the u_next slab
+            // written by the SpMM is still hot when the diagonal update and
+            // the weighted accumulation re-read it (see kPanelBlockRows).
+            for (std::size_t b0 = row_begin; b0 < row_end;
+                 b0 += kPanelBlockRows) {
+              const std::size_t b1 = std::min(row_end, b0 + kPanelBlockRows);
+              scaled.q_prime.multiply_panel_rows(u, u_next, b0, b1,
+                                                 /*src_col=*/j_lo,
+                                                 /*dst_col=*/j_lo,
+                                                 width - j_lo,
+                                                 /*accumulate=*/false);
+              for (std::size_t i = b0; i < b1; ++i) {
+                const double* ui = u.row_data(i);
+                double* oi = u_next.row_data(i);
+                const double r = scaled.r_prime[i];
+                for (std::size_t j = std::max<std::size_t>(j_lo, 1); j <= n;
+                     ++j)
+                  oi[j] += r * ui[j - 1];
+                const double half_s = 0.5 * scaled.s_prime[i];
+                for (std::size_t j = std::max<std::size_t>(j_lo, 2); j <= n;
+                     ++j)
+                  oi[j] += half_s * ui[j - 2];
+              }
+              const std::size_t lo = b0 * width;
+              const std::size_t len = (b1 - b0) * width;
+              for (const ActiveWeight& aw : active)
+                linalg::axpy(aw.w, u_next.span().subspan(lo, len),
+                             acc[aw.ti].span().subspan(lo, len));
+            }
+            break;
+          }
+        }
+      },
+      kFusedGrain);
+  u.swap(u_next);
+}
+
+/// One fused step over the pre-panel layout (one vector per moment order):
+/// re-streams the CSR structure once per order. Kept as the kFusedVectors
+/// reference kernel; see fused_panel_step for the production path.
 void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
                           std::size_t j_lo, std::vector<linalg::Vec>& u,
                           std::vector<linalg::Vec>& u_next,
@@ -58,8 +241,7 @@ void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
       num_states,
       [&](std::size_t row_begin, std::size_t row_end) {
         // Stage-wise within the range: each stage is a contiguous streaming
-        // loop the compiler can vectorize (interleaving everything per row
-        // costs ~2x single-thread throughput). Per element the arithmetic
+        // loop the compiler can vectorize. Per element the arithmetic
         // order is exactly the scalar original's, so 1-thread results are
         // bit-identical to the pre-fusion solver.
         for (std::size_t j = n + 1; j-- > j_lo;) {
@@ -106,16 +288,27 @@ void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
   for (std::size_t j = j_lo; j <= n; ++j) std::swap(u[j], u_next[j]);
 }
 
-/// Finishes a MomentResult from the accumulated scaled sums: applies the
-/// n! d^n factor, undoes the drift shift, and weights by pi.
+/// Extracts the accumulated panel back into one vector per moment order
+/// (the layout finalize_result and MomentResult use).
+std::vector<linalg::Vec> panel_to_vectors(const linalg::Panel& p) {
+  std::vector<linalg::Vec> out(p.width());
+  for (std::size_t j = 0; j < p.width(); ++j) out[j] = p.col(j);
+  return out;
+}
+
+/// Finishes a MomentResult from the accumulated scaled sums: applies
+/// @p prefactor times the n! d^n factor, undoes the drift shift, and
+/// weights by pi. The prefactor is 1 for the plain solve and w_max for the
+/// terminal-weighted solve (undoing the seed normalization).
 void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
-                     double t, std::vector<linalg::Vec> scaled_sums,
-                     MomentResult& out) {
+                     double t, double prefactor,
+                     std::vector<linalg::Vec> scaled_sums, MomentResult& out) {
   const std::size_t n = scaled_sums.size() - 1;
   const std::size_t num_states = model.num_states();
 
-  // V_check^(j) = j! d^j * scaled_sums[j]  (moments of the shifted model).
-  double factor = 1.0;  // j! d^j
+  // V_check^(j) = prefactor * j! d^j * scaled_sums[j]  (moments of the
+  // shifted model).
+  double factor = prefactor;  // prefactor * j! d^j
   for (std::size_t j = 0; j <= n; ++j) {
     if (j > 0) factor *= static_cast<double>(j) * scaled.d;
     linalg::scale(factor, scaled_sums[j]);
@@ -230,58 +423,64 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
   for (std::size_t j = 0; j <= n; ++j)
     g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
   out.truncation_point = g;
+  // Theorem 4 applies unchanged: the normalized seed w/w_max is <= h, so
+  // Lemma 2's majorant still dominates the iterates.
+  out.error_bound = theorem4_error_bound(qt, n, scaled.d, g);
 
   // Per-time-point Poisson weight table (single time point here): one
   // lgamma instead of one per sweep step.
   const prob::PoissonWindow window =
       qt > 0.0 ? prob::poisson_weight_window(qt, g) : prob::PoissonWindow{};
+  const double w0 = qt > 0.0 ? window.weight(0) : 1.0;
 
   // Seed U^(0)(0) with the scaled weights; unlike solve(), U^(0) is not
-  // invariant (Q' w != w in general) so the j = 0 row is iterated too.
-  std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
-  for (std::size_t i = 0; i < num_states; ++i)
-    u[0][i] = terminal_weights[i] / w_max;
-  std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
+  // invariant (Q' w != w in general) so the j = 0 row is iterated too
+  // (j_lo = 0).
+  std::vector<linalg::Vec> sums;
+  if (options.kernel == SweepKernel::kPanel) {
+    linalg::Panel u(num_states, n + 1, 0.0);
+    for (std::size_t i = 0; i < num_states; ++i)
+      u(i, 0) = terminal_weights[i] / w_max;
+    linalg::Panel u_next(num_states, n + 1, 0.0);
+    std::vector<linalg::Panel> acc(1, linalg::Panel(num_states, n + 1, 0.0));
+    if (w0 != 0.0)
+      for (std::size_t i = 0; i < num_states; ++i)
+        acc[0](i, 0) += w0 * u(i, 0);
 
-  std::vector<std::vector<linalg::Vec>> acc(
-      1, std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
-  {
-    const double w0 = qt > 0.0 ? window.weight(0) : 1.0;
-    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[0][0]);
-  }
-
-  std::vector<ActiveWeight> active;
-  for (std::size_t k = 1; k <= g; ++k) {
-    active.clear();
-    if (qt > 0.0) {
-      const double w = window.weight(k);
-      if (w != 0.0) active.push_back(ActiveWeight{0, w});
+    std::vector<ActiveWeight> active;
+    for (std::size_t k = 1; k <= g; ++k) {
+      active.clear();
+      if (qt > 0.0) {
+        const double w = window.weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{0, w});
+      }
+      fused_panel_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
     }
-    fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+    sums = panel_to_vectors(acc[0]);
+  } else {
+    std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
+    for (std::size_t i = 0; i < num_states; ++i)
+      u[0][i] = terminal_weights[i] / w_max;
+    std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
+    std::vector<std::vector<linalg::Vec>> acc(
+        1, std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
+    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[0][0]);
+
+    std::vector<ActiveWeight> active;
+    for (std::size_t k = 1; k <= g; ++k) {
+      active.clear();
+      if (qt > 0.0) {
+        const double w = window.weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{0, w});
+      }
+      fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+    }
+    sums = std::move(acc[0]);
   }
 
   // Undo the weight normalization along with the usual j! d^j factor.
-  double factor = w_max;
-  for (std::size_t j = 0; j <= n; ++j) {
-    if (j > 0) factor *= static_cast<double>(j) * scaled.d;
-    linalg::scale(factor, acc[0][j]);
-  }
-
-  if (scaled.shift == 0.0) {
-    out.per_state = std::move(acc[0]);
-  } else {
-    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
-    const double delta = scaled.shift * t;
-    std::vector<double> raw(n + 1);
-    for (std::size_t i = 0; i < num_states; ++i) {
-      for (std::size_t j = 0; j <= n; ++j) raw[j] = acc[0][j][i];
-      const auto back = shift_raw_moments(raw, delta);
-      for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = back[j];
-    }
-  }
-  out.weighted.resize(n + 1);
-  for (std::size_t j = 0; j <= n; ++j)
-    out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
+  finalize_result(model_, scaled, t, /*prefactor=*/w_max, std::move(sums),
+                  out);
   return out;
 }
 
@@ -338,11 +537,7 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
       g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
     trunc[ti] = g;
     results[ti].truncation_point = g;
-    const double log_bound =
-        (n == 0 ? std::log(2.0)
-                : log_theorem4_prefactor(qt, n, scaled.d)) +
-        prob::log_poisson_tail(qt, g + 1 >= n ? g + 1 - n : 0);
-    results[ti].error_bound = std::exp(log_bound);
+    results[ti].error_bound = theorem4_error_bound(qt, n, scaled.d, g);
     g_max = std::max(g_max, g);
   }
 
@@ -356,7 +551,43 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
   }
 
   // U^(j)(0): U^(0) = h, higher orders zero. U^(0)(k) stays h for all k
-  // because Q' is stochastic, so the j = 0 row of the recursion is skipped.
+  // because Q' is stochastic, so the j = 0 lane of the recursion is skipped
+  // (j_lo = 1).
+  if (options.kernel == SweepKernel::kPanel) {
+    linalg::Panel u(num_states, n + 1, 0.0);
+    linalg::Panel u_next(num_states, n + 1, 0.0);
+    u.fill_col(0, 1.0);
+    u_next.fill_col(0, 1.0);  // invariant ones column survives the swaps
+    std::vector<linalg::Panel> acc(times.size(),
+                                   linalg::Panel(num_states, n + 1, 0.0));
+
+    // k = 0 contribution.
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      const double qt = scaled.q * times[ti];
+      const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+      if (w0 != 0.0)
+        for (std::size_t i = 0; i < num_states; ++i)
+          acc[ti](i, 0) += w0 * u(i, 0);
+    }
+
+    std::vector<ActiveWeight> active;
+    active.reserve(times.size());
+    for (std::size_t k = 1; k <= g_max; ++k) {
+      active.clear();
+      for (std::size_t ti = 0; ti < times.size(); ++ti) {
+        if (k > trunc[ti]) continue;
+        const double w = windows[ti].weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{ti, w});
+      }
+      fused_panel_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
+    }
+
+    for (std::size_t ti = 0; ti < times.size(); ++ti)
+      finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
+                      panel_to_vectors(acc[ti]), results[ti]);
+    return results;
+  }
+
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
   std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
@@ -383,7 +614,8 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
   }
 
   for (std::size_t ti = 0; ti < times.size(); ++ti)
-    finalize_result(model_, scaled, times[ti], std::move(acc[ti]), results[ti]);
+    finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
+                    std::move(acc[ti]), results[ti]);
   return results;
 }
 

@@ -14,12 +14,19 @@
 // non-zeros per row of Q'), exactly the complexity the paper reports.
 //
 // Implementation notes beyond the paper:
-//  * The sweep is a fused, row-parallel kernel: each step computes
-//    Q'U + R'U¯¹ + ½S'U¯² for all moment orders AND the Poisson-weighted
-//    accumulation for all time points in one pass over the CSR structure
+//  * The sweep is a fused, row-parallel panel kernel: the iterates
+//    U^(0..n)(k) are stored as one contiguous row-major linalg::Panel
+//    (P[state][moment]) and each step computes Q'U + R'U¯¹ + ½S'U¯² for all
+//    moment orders AND the Poisson-weighted accumulation for all time
+//    points in ONE pass over the CSR structure — every matrix entry is
+//    loaded once and multiplied against n+1 contiguous doubles
+//    (CsrMatrix::multiply_panel_rows), instead of re-streaming the
+//    row_ptr/col_idx/values arrays once per moment order
 //    (linalg::parallel_for; thread count via SOMRM_NUM_THREADS or
-//    linalg::set_num_threads). Outputs are row-owned, so results are
-//    bit-identical for every thread count.
+//    linalg::set_num_threads). Outputs are row-owned and the per-element
+//    accumulation order matches the scalar original, so results are
+//    bit-identical for every thread count AND to the pre-panel kernel
+//    (selectable via MomentSolverOptions::kernel for regression checks).
 //  * Poisson weights come from per-time-point mode-centered weight tables
 //    (prob::poisson_weight_window, one lgamma per time point) and the
 //    Theorem-4 tail test is evaluated in log space, so qt ~ 40,000 (the
@@ -46,6 +53,20 @@
 
 namespace somrm::core {
 
+/// Which sweep kernel carries the U-recursion.
+enum class SweepKernel {
+  /// Panel (multi-vector SpMM) kernel: the iterates U^(0..n)(k) live in one
+  /// contiguous row-major linalg::Panel and each sweep step streams the CSR
+  /// structure ONCE, multiplying every matrix entry against n+1 contiguous
+  /// doubles. Default — fastest, bit-identical to kFusedVectors.
+  kPanel,
+  /// The pre-panel fused kernel: one vector per moment order, the CSR
+  /// structure re-streamed once per order per step. Kept for regression
+  /// benchmarking and for the bit-identity tests that pin the panel kernel
+  /// to the historical solver output.
+  kFusedVectors,
+};
+
 struct MomentSolverOptions {
   /// Highest moment order n to compute (all orders 0..n are returned).
   std::size_t max_moment = 3;
@@ -61,6 +82,10 @@ struct MomentSolverOptions {
   /// converting raw moments — essential when feeding 20+ moments into the
   /// distribution-bound module (Figures 5-7). 0 = plain raw moments.
   double center = 0.0;
+  /// Sweep kernel. Both kernels produce bit-identical results at every
+  /// thread count (asserted by RandomizationThreadTest); kFusedVectors
+  /// exists to measure and pin that equivalence.
+  SweepKernel kernel = SweepKernel::kPanel;
 };
 
 /// Result of a moment computation at one time point.

@@ -11,6 +11,22 @@ namespace {
 // a handful of non-zeros, so anything below a few thousand rows is cheaper
 // to run inline than to hand to the pool.
 constexpr std::size_t kMatvecGrain = 4096;
+
+// Panel columns processed per pass of the SpMM row kernel: the per-row
+// accumulators live in a stack array of this size so the compiler keeps
+// them in registers/vector lanes. Panels wider than this re-stream the
+// matrix once per chunk — still a 1/kPanelChunk reduction in structure
+// traffic, and the solver's widest panel (the 23-moment bounds pipeline,
+// width 24) fits in one chunk.
+constexpr std::size_t kPanelChunk = 32;
+
+// multiply_transposed switches from the serial scatter to the blocked
+// parallel path above this row count, and always partitions the rows into
+// this fixed number of blocks. Both thresholds depend only on the matrix,
+// never on the thread count, so the summation order per output element is
+// a function of the input alone.
+constexpr std::size_t kTransposeSerialRows = 4096;
+constexpr std::size_t kTransposeBlocks = 8;
 }  // namespace
 
 namespace somrm::linalg {
@@ -164,17 +180,190 @@ void CsrMatrix::multiply_add(double alpha, std::span<const double> x,
       kMatvecGrain);
 }
 
+void CsrMatrix::multiply_panel(const Panel& x, Panel& y) const {
+  if (x.rows() != cols_ || y.rows() != rows_ || x.width() != y.width())
+    throw std::invalid_argument("CsrMatrix::multiply_panel: size mismatch");
+  const std::size_t width = x.width();
+  if (width == 0) return;
+  // Per-row cost scales with the width, so the grain shrinks accordingly.
+  const std::size_t grain = std::max<std::size_t>(1, kMatvecGrain / width);
+  parallel_for(
+      rows_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        multiply_panel_rows(x, y, row_begin, row_end, /*src_col=*/0,
+                            /*dst_col=*/0, width, /*accumulate=*/false);
+      },
+      grain);
+}
+
+namespace {
+// Row kernel with a compile-time column count: the accumulator lives in CW
+// registers/vector lanes and every per-column loop is fully unrolled. The
+// solver's panels are narrow (n+1 for max_moment n, typically 2..6), and at
+// those widths a runtime-variable inner loop costs more in loop overhead
+// than the whole dot product — dispatching to a fixed-width instantiation
+// recovers it. The per-element arithmetic order (ascending k within each
+// row, ascending column) is identical in every instantiation and in the
+// generic fallback, so results are bit-identical regardless of which runs.
+template <std::size_t CW>
+void panel_rows_fixed(const std::vector<std::size_t>& row_ptr,
+                      const std::vector<std::size_t>& col_idx,
+                      const std::vector<double>& values, const double* xbase,
+                      std::size_t xw, double* ybase, std::size_t yw,
+                      std::size_t row_begin, std::size_t row_end,
+                      bool accumulate) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double s[CW];
+    for (std::size_t c = 0; c < CW; ++c) s[c] = 0.0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const double v = values[k];
+      const double* xr = xbase + col_idx[k] * xw;
+      for (std::size_t c = 0; c < CW; ++c) s[c] += v * xr[c];
+    }
+    double* yr = ybase + i * yw;
+    if (accumulate) {
+      for (std::size_t c = 0; c < CW; ++c) yr[c] += s[c];
+    } else {
+      for (std::size_t c = 0; c < CW; ++c) yr[c] = s[c];
+    }
+  }
+}
+
+void panel_rows_generic(const std::vector<std::size_t>& row_ptr,
+                        const std::vector<std::size_t>& col_idx,
+                        const std::vector<double>& values, const double* xbase,
+                        std::size_t xw, double* ybase, std::size_t yw,
+                        std::size_t row_begin, std::size_t row_end,
+                        std::size_t cw, bool accumulate) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double s[kPanelChunk];
+    for (std::size_t c = 0; c < cw; ++c) s[c] = 0.0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const double v = values[k];
+      const double* xr = xbase + col_idx[k] * xw;
+      for (std::size_t c = 0; c < cw; ++c) s[c] += v * xr[c];
+    }
+    double* yr = ybase + i * yw;
+    if (accumulate) {
+      for (std::size_t c = 0; c < cw; ++c) yr[c] += s[c];
+    } else {
+      for (std::size_t c = 0; c < cw; ++c) yr[c] = s[c];
+    }
+  }
+}
+}  // namespace
+
+void CsrMatrix::multiply_panel_rows(const Panel& x, Panel& y,
+                                    std::size_t row_begin, std::size_t row_end,
+                                    std::size_t src_col, std::size_t dst_col,
+                                    std::size_t count, bool accumulate) const {
+  if (x.rows() != cols_ || y.rows() != rows_)
+    throw std::invalid_argument("CsrMatrix::multiply_panel_rows: bad panels");
+  if (row_end > rows_ || row_begin > row_end)
+    throw std::invalid_argument("CsrMatrix::multiply_panel_rows: bad rows");
+  if (src_col + count > x.width() || dst_col + count > y.width())
+    throw std::invalid_argument(
+        "CsrMatrix::multiply_panel_rows: column window out of range");
+  for (std::size_t c0 = 0; c0 < count; c0 += kPanelChunk) {
+    const std::size_t cw = std::min(kPanelChunk, count - c0);
+    const double* xbase = x.data() + src_col + c0;
+    double* ybase = y.data() + dst_col + c0;
+    const std::size_t xw = x.width(), yw = y.width();
+    switch (cw) {
+      case 1:
+        panel_rows_fixed<1>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 2:
+        panel_rows_fixed<2>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 3:
+        panel_rows_fixed<3>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 4:
+        panel_rows_fixed<4>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 5:
+        panel_rows_fixed<5>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 6:
+        panel_rows_fixed<6>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 7:
+        panel_rows_fixed<7>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      case 8:
+        panel_rows_fixed<8>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                            row_begin, row_end, accumulate);
+        break;
+      default:
+        panel_rows_generic(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,
+                           row_begin, row_end, cw, accumulate);
+        break;
+    }
+  }
+}
+
+namespace {
+// Pairwise tree sum of partial[first..first+count) at column c, leaves in
+// ascending block order. The association pattern depends only on the block
+// count, never on the thread count.
+double tree_sum_col(const std::vector<Vec>& partial, std::size_t first,
+                    std::size_t count, std::size_t c) {
+  if (count == 1) return partial[first][c];
+  const std::size_t half = count / 2;
+  return tree_sum_col(partial, first, half, c) +
+         tree_sum_col(partial, first + half, count - half, c);
+}
+}  // namespace
+
 void CsrMatrix::multiply_transposed(std::span<const double> x,
                                     std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_)
     throw std::invalid_argument("CsrMatrix::multiply_transposed: size mismatch");
-  std::fill(y.begin(), y.end(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      y[col_idx_[k]] += values_[k] * xr;
+  if (rows_ < kTransposeSerialRows) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double xr = x[r];
+      if (xr == 0.0) continue;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+        y[col_idx_[k]] += values_[k] * xr;
+    }
+    return;
   }
+  // Scatter phase: each fixed row block accumulates into its own buffer
+  // (blocks distributed over threads; a block's buffer content is the same
+  // whichever thread computes it).
+  const auto blocks = partition_ranges(rows_, kTransposeBlocks);
+  std::vector<Vec> partial(blocks.size(), Vec(cols_, 0.0));
+  parallel_for(
+      blocks.size(),
+      [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          Vec& buf = partial[b];
+          for (std::size_t r = blocks[b].begin; r < blocks[b].end; ++r) {
+            const double xr = x[r];
+            if (xr == 0.0) continue;
+            for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+              buf[col_idx_[k]] += values_[k] * xr;
+          }
+        }
+      },
+      /*grain=*/1);
+  // Reduce phase: column-parallel, fixed pairwise tree over the blocks.
+  parallel_for(
+      cols_,
+      [&](std::size_t c_begin, std::size_t c_end) {
+        for (std::size_t c = c_begin; c < c_end; ++c)
+          y[c] = tree_sum_col(partial, 0, partial.size(), c);
+      },
+      kMatvecGrain);
 }
 
 CsrMatrix CsrMatrix::transposed() const {

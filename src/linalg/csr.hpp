@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/panel.hpp"
 #include "linalg/vec.hpp"
 
 namespace somrm::linalg {
@@ -98,7 +99,36 @@ class CsrMatrix {
   void multiply_add(double alpha, std::span<const double> x,
                     std::span<double> y) const;
 
-  /// y = A^T * x (row-major traversal with scatter).
+  /// Y = A * X for row-major panels: Y(i, j) = sum_k a_ik X(k, j) for every
+  /// panel column j. One pass over the CSR structure multiplies each stored
+  /// entry against width() contiguous doubles of X, instead of re-streaming
+  /// the matrix once per column as width() independent multiply() calls
+  /// would. Requires X.rows() == cols(), Y.rows() == rows(), equal widths;
+  /// X and Y must not alias. Row-parallel; per element the accumulation
+  /// order over the row's stored entries is exactly multiply()'s, so the
+  /// result is bit-identical to width() independent SpMVs at every thread
+  /// count.
+  void multiply_panel(const Panel& x, Panel& y) const;
+
+  /// Row-range SpMM worker shared by multiply_panel and the fused solver
+  /// sweeps (which fold diagonal terms and accumulations into the same
+  /// parallel pass). For rows [row_begin, row_end) computes
+  ///   Y(i, dst_col + c)  op=  sum_k a_ik X(k, src_col + c),  c = 0..count-1
+  /// where op is assignment when @p accumulate is false and += when true.
+  /// Size/alias requirements as multiply_panel; the column windows must fit
+  /// inside the respective panel widths. Serial — the caller owns the
+  /// parallelism (callable from inside a parallel_for body).
+  void multiply_panel_rows(const Panel& x, Panel& y, std::size_t row_begin,
+                           std::size_t row_end, std::size_t src_col,
+                           std::size_t dst_col, std::size_t count,
+                           bool accumulate) const;
+
+  /// y = A^T * x (row-major traversal with scatter). Large matrices are
+  /// parallelized over a fixed partition of the rows into per-block partial
+  /// buffers followed by a column-parallel pairwise tree reduction in fixed
+  /// block order; both phases are independent of the thread count, so the
+  /// result is bit-identical for every thread count (small matrices run the
+  /// plain serial scatter).
   void multiply_transposed(std::span<const double> x,
                            std::span<double> y) const;
 

@@ -1,0 +1,40 @@
+#include "linalg/panel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace somrm::linalg {
+
+Panel::Panel(std::size_t rows, std::size_t width, double value)
+    : rows_(rows), width_(width), data_(rows * width, value) {}
+
+void Panel::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Panel::fill_col(std::size_t j, double value) {
+  if (j >= width_) throw std::out_of_range("Panel::fill_col: bad column");
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * width_ + j] = value;
+}
+
+void Panel::set_col(std::size_t j, std::span<const double> src) {
+  if (j >= width_) throw std::out_of_range("Panel::set_col: bad column");
+  if (src.size() != rows_)
+    throw std::invalid_argument("Panel::set_col: size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * width_ + j] = src[i];
+}
+
+Vec Panel::col(std::size_t j) const {
+  if (j >= width_) throw std::out_of_range("Panel::col: bad column");
+  Vec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = data_[i * width_ + j];
+  return out;
+}
+
+void Panel::swap(Panel& other) noexcept {
+  std::swap(rows_, other.rows_);
+  std::swap(width_, other.width_);
+  data_.swap(other.data_);
+}
+
+}  // namespace somrm::linalg

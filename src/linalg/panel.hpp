@@ -1,0 +1,89 @@
+// somrm/linalg/panel.hpp
+//
+// Contiguous multi-vector panel for the randomization sweeps.
+//
+// The Theorem-3 recursion carries n+1 moment iterates U^(0..n)(k) through
+// every sweep step. Stored as separate vectors, each CSR pass touches one
+// iterate and the matrix structure is re-streamed once per moment order.
+// A Panel stores the iterates row-major as P[state][moment] — one
+// width-(n+1) row per state — so a single CSR pass can load each matrix
+// entry once and multiply it against n+1 contiguous doubles
+// (CsrMatrix::multiply_panel). Rows are owned by exactly one state, which
+// keeps the row-range parallelism of linalg::parallel_for writer-disjoint.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace somrm::linalg {
+
+/// Row-major dense panel: rows() x width() doubles, row i contiguous at
+/// data() + i * width(). Width is fixed at construction.
+class Panel {
+ public:
+  /// Empty 0x0 panel.
+  Panel() = default;
+
+  /// rows x width panel with every element set to @p value.
+  Panel(std::size_t rows, std::size_t width, double value = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t width() const { return width_; }
+  /// Total element count rows() * width().
+  std::size_t size() const { return data_.size(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// The whole panel as one contiguous span (row-major).
+  std::span<double> span() { return data_; }
+  std::span<const double> span() const { return data_; }
+
+  /// Pointer to the first element of row @p i (unchecked).
+  double* row_data(std::size_t i) { return data_.data() + i * width_; }
+  const double* row_data(std::size_t i) const {
+    return data_.data() + i * width_;
+  }
+
+  /// Row @p i as a span of width() doubles (unchecked).
+  std::span<double> row(std::size_t i) { return {row_data(i), width_}; }
+  std::span<const double> row(std::size_t i) const {
+    return {row_data(i), width_};
+  }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * width_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * width_ + j];
+  }
+
+  /// Sets every element to @p value.
+  void fill(double value);
+
+  /// Sets column @p j (one element per row) to @p value. Throws
+  /// std::out_of_range on a bad column.
+  void fill_col(std::size_t j, double value);
+
+  /// Copies @p src (length rows()) into column @p j. Throws on size or
+  /// column mismatch.
+  void set_col(std::size_t j, std::span<const double> src);
+
+  /// Returns column @p j as a dense vector of length rows(). Throws
+  /// std::out_of_range on a bad column.
+  Vec col(std::size_t j) const;
+
+  /// O(1) storage swap (the sweep's double-buffer flip).
+  void swap(Panel& other) noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace somrm::linalg

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "linalg/panel.hpp"
 
 namespace somrm::linalg {
 namespace {
@@ -188,6 +192,166 @@ TEST(CsrMatrixTest, MultiplySizeChecks) {
   Vec bad(2, 0.0), good(3, 0.0);
   EXPECT_THROW(m.multiply(bad, good), std::invalid_argument);
   EXPECT_THROW(m.multiply(good, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Panel container + CSR x panel SpMM.
+// ---------------------------------------------------------------------------
+
+// Deterministic pseudo-random sparse matrix (LCG, no <random> machinery) so
+// large-matrix tests are reproducible across runs and platforms.
+CsrMatrix pseudo_random_matrix(std::size_t rows, std::size_t cols,
+                               std::size_t nnz_per_row) {
+  CsrBuilder b(rows, cols);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (i % 37 == 5) continue;  // leave some rows empty
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      const std::size_t j = next() % cols;
+      const double v =
+          (static_cast<double>(next() % 2001) - 1000.0) / 523.0;
+      b.add(i, j, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Panel pseudo_random_panel(std::size_t rows, std::size_t width) {
+  Panel p(rows, width);
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < width; ++j) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      p(i, j) = (static_cast<double>((state >> 33) % 4001) - 2000.0) / 777.0;
+    }
+  return p;
+}
+
+TEST(PanelTest, BasicsAndColumnAccess) {
+  Panel p(3, 2, 1.5);
+  EXPECT_EQ(p.rows(), 3u);
+  EXPECT_EQ(p.width(), 2u);
+  EXPECT_EQ(p.size(), 6u);
+  EXPECT_DOUBLE_EQ(p(2, 1), 1.5);
+
+  p.fill_col(1, -2.0);
+  EXPECT_EQ(p.col(1), (Vec{-2.0, -2.0, -2.0}));
+  EXPECT_EQ(p.col(0), (Vec{1.5, 1.5, 1.5}));
+
+  p.set_col(0, Vec{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.row_data(1)[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.row(1)[1], -2.0);
+
+  Panel q(1, 1, 9.0);
+  p.swap(q);
+  EXPECT_EQ(p.rows(), 1u);
+  EXPECT_DOUBLE_EQ(q(0, 0), 1.0);
+
+  EXPECT_THROW(q.fill_col(5, 0.0), std::out_of_range);
+  EXPECT_THROW(q.col(9), std::out_of_range);
+  EXPECT_THROW(q.set_col(0, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(CsrMatrixTest, MultiplyPanelMatchesIndependentSpmvs) {
+  // The SpMM contract: column j of the output equals multiply() applied to
+  // column j of the input — bit-for-bit, since the per-element accumulation
+  // order (ascending k within a row) is identical.
+  const CsrMatrix m = pseudo_random_matrix(200, 150, 6);
+  const Panel x = pseudo_random_panel(150, 5);
+  Panel y(200, 5);
+  m.multiply_panel(x, y);
+  for (std::size_t j = 0; j < 5; ++j) {
+    Vec ref(200, 0.0);
+    m.multiply(x.col(j), ref);
+    EXPECT_EQ(y.col(j), ref) << "column " << j;
+  }
+}
+
+TEST(CsrMatrixTest, MultiplyPanelWiderThanChunkMatchesIndependentSpmvs) {
+  // Width 40 exceeds the kernel's stack-chunk width (32), exercising the
+  // chunked re-stream path.
+  const CsrMatrix m = pseudo_random_matrix(64, 64, 4);
+  const Panel x = pseudo_random_panel(64, 40);
+  Panel y(64, 40);
+  m.multiply_panel(x, y);
+  for (std::size_t j = 0; j < 40; ++j) {
+    Vec ref(64, 0.0);
+    m.multiply(x.col(j), ref);
+    EXPECT_EQ(y.col(j), ref) << "column " << j;
+  }
+}
+
+TEST(CsrMatrixTest, MultiplyPanelZeroesEmptyRows) {
+  const CsrMatrix m = small_matrix();  // row 1 is empty
+  Panel x(3, 2, 1.0);
+  Panel y(3, 2, 7.0);  // stale garbage that must be overwritten
+  m.multiply_panel(x, y);
+  EXPECT_DOUBLE_EQ(y(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y(2, 1), 7.0);
+}
+
+TEST(CsrMatrixTest, MultiplyPanelWidthOneMatchesMultiply) {
+  // Degenerate width-1 panel is exactly an SpMV.
+  const CsrMatrix m = pseudo_random_matrix(300, 300, 5);
+  const Panel x = pseudo_random_panel(300, 1);
+  Panel y(300, 1);
+  m.multiply_panel(x, y);
+  Vec ref(300, 0.0);
+  m.multiply(x.col(0), ref);
+  EXPECT_EQ(y.col(0), ref);
+}
+
+TEST(CsrMatrixTest, MultiplyPanelRowsWindowedAndAccumulating) {
+  // multiply_panel_rows with shifted source/destination columns and
+  // accumulate=true — the shape the impulse convolution uses.
+  const CsrMatrix m = pseudo_random_matrix(50, 50, 3);
+  const Panel x = pseudo_random_panel(50, 4);
+  Panel y(50, 4, 0.5);
+  m.multiply_panel_rows(x, y, 0, 50, /*src_col=*/1, /*dst_col=*/2,
+                        /*count=*/2, /*accumulate=*/true);
+  for (std::size_t j = 0; j < 2; ++j) {
+    Vec ref(50, 0.0);
+    m.multiply(x.col(1 + j), ref);
+    for (std::size_t i = 0; i < 50; ++i)
+      EXPECT_EQ(y(i, 2 + j), 0.5 + ref[i]) << i << "," << j;
+  }
+  // Untouched columns keep their old contents.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(y(i, 0), 0.5);
+    EXPECT_DOUBLE_EQ(y(i, 1), 0.5);
+  }
+}
+
+TEST(CsrMatrixTest, MultiplyPanelSizeChecks) {
+  const CsrMatrix m = small_matrix();
+  Panel good_x(3, 2), good_y(3, 2);
+  Panel bad_rows(2, 2), bad_width(3, 3);
+  EXPECT_THROW(m.multiply_panel(bad_rows, good_y), std::invalid_argument);
+  EXPECT_THROW(m.multiply_panel(good_x, bad_rows), std::invalid_argument);
+  EXPECT_THROW(m.multiply_panel(good_x, bad_width), std::invalid_argument);
+  EXPECT_THROW(m.multiply_panel_rows(good_x, good_y, 0, 3, 1, 1, 2, false),
+               std::invalid_argument);  // window past the panel edge
+}
+
+TEST(CsrMatrixTest, MultiplyTransposedLargeMatchesTransposedMultiply) {
+  // Above the serial-scatter cutoff (4096 rows) the transposed product runs
+  // the blocked parallel path; its pairwise reduction reorders the sums, so
+  // compare against the explicit transpose with a tolerance.
+  const CsrMatrix m = pseudo_random_matrix(5000, 400, 4);
+  const CsrMatrix mt = m.transposed();
+  const Panel xp = pseudo_random_panel(5000, 1);
+  const Vec x = xp.col(0);
+  Vec y1(400, 0.0), y2(400, 0.0);
+  m.multiply_transposed(x, y1);
+  mt.multiply(x, y2);
+  for (std::size_t c = 0; c < 400; ++c)
+    EXPECT_NEAR(y1[c], y2[c], 1e-12 * (1.0 + std::abs(y2[c]))) << "col " << c;
 }
 
 }  // namespace

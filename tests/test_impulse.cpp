@@ -11,6 +11,7 @@
 #include "core/moment_utils.hpp"
 #include "core/ode_solver.hpp"
 #include "core/randomization.hpp"
+#include "linalg/parallel.hpp"
 #include "prob/normal.hpp"
 #include "sim/impulse_simulator.hpp"
 
@@ -320,6 +321,37 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.5, 2.0, 8.0),   // lambda
                        ::testing::Values(-0.7, 0.3, 1.5),  // impulse mean
                        ::testing::Values(0.2, 1.0)));      // horizon
+
+TEST(ImpulseSolverTest, PanelKernelBitIdenticalToLegacyKernel) {
+  // The panel sweep (including the ascending-l impulse convolution) keeps
+  // the legacy kernel's per-element arithmetic order, so it must match
+  // bit-for-bit at every thread count.
+  const auto model = SecondOrderImpulseMrm::uniform_impulse(
+      symmetric_chain(2.0, Vec{1.0, -0.5}, Vec{0.3, 0.1}), 0.7, 0.2);
+  const ImpulseMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+  opts.epsilon = 1e-10;
+  const std::vector<double> times{0.3, 1.1};
+
+  opts.kernel = SweepKernel::kFusedVectors;
+  const auto reference = solver.solve_multi(times, opts);
+
+  opts.kernel = SweepKernel::kPanel;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    linalg::set_num_threads(threads);
+    const auto panel = solver.solve_multi(times, opts);
+    ASSERT_EQ(panel.size(), reference.size());
+    for (std::size_t ti = 0; ti < reference.size(); ++ti)
+      for (std::size_t j = 0; j <= opts.max_moment; ++j) {
+        EXPECT_EQ(panel[ti].weighted[j], reference[ti].weighted[j])
+            << "threads " << threads << " t " << times[ti] << " moment " << j;
+        for (std::size_t i = 0; i < model.num_states(); ++i)
+          ASSERT_EQ(panel[ti].per_state[j][i], reference[ti].per_state[j][i]);
+      }
+  }
+  linalg::set_num_threads(0);
+}
 
 TEST(ImpulseSimulatorTest, ReproducibleAndValidated) {
   const auto model = SecondOrderImpulseMrm::uniform_impulse(

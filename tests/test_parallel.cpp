@@ -11,8 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/panel.hpp"
 
 namespace somrm::linalg {
 namespace {
@@ -124,6 +128,72 @@ TEST_P(ParallelForThreadsTest, ExceptionPropagatesToCaller) {
       },
       /*grain=*/64);
   EXPECT_EQ(count.load(), 1000u);
+}
+
+// Deterministic pseudo-random matrix/panel builders (LCG) for the kernel
+// thread-invariance checks below.
+CsrMatrix lcg_matrix(std::size_t rows, std::size_t cols,
+                     std::size_t nnz_per_row) {
+  CsrBuilder b(rows, cols);
+  std::uint64_t state = 0xdeadbeefcafef00dull;
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t k = 0; k < nnz_per_row; ++k) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::size_t j = (state >> 33) % cols;
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      b.add(i, j, (static_cast<double>((state >> 33) % 1999) - 999.0) / 311.0);
+    }
+  return std::move(b).build();
+}
+
+Panel lcg_panel(std::size_t rows, std::size_t width) {
+  Panel p(rows, width);
+  std::uint64_t state = 0x1234567890abcdefull;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    p.data()[i] = (static_cast<double>((state >> 33) % 4001) - 2000.0) / 919.0;
+  }
+  return p;
+}
+
+TEST_P(ParallelForThreadsTest, MultiplyPanelBitIdenticalAcrossThreadCounts) {
+  // 5000 rows at width 5 crosses the SpMM grain (4096 / width), so the
+  // thread sweep genuinely changes the parallel split. Row-owned writes +
+  // deterministic per-row accumulation order => EXPECT_EQ, not NEAR.
+  const CsrMatrix m = lcg_matrix(5000, 5000, 6);
+  const Panel x = lcg_panel(5000, 5);
+
+  set_num_threads(1);
+  Panel reference(5000, 5);
+  m.multiply_panel(x, reference);
+
+  set_num_threads(GetParam());
+  Panel y(5000, 5);
+  m.multiply_panel(x, y);
+
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_EQ(y.data()[i], reference.data()[i]) << "flat index " << i;
+}
+
+TEST_P(ParallelForThreadsTest,
+       MultiplyTransposedBitIdenticalAcrossThreadCounts) {
+  // 5000 rows crosses the serial-scatter cutoff (4096), so the blocked
+  // partial-buffer path runs. The row partition is a fixed 8-way split and
+  // the reduction a fixed pairwise tree — both independent of the thread
+  // count — so the result must be bit-identical for 1/2/4/8 threads.
+  const CsrMatrix m = lcg_matrix(5000, 700, 4);
+  const Vec x = lcg_panel(5000, 1).col(0);
+
+  set_num_threads(1);
+  Vec reference(700, 0.0);
+  m.multiply_transposed(x, reference);
+
+  set_num_threads(GetParam());
+  Vec y(700, 0.0);
+  m.multiply_transposed(x, y);
+
+  for (std::size_t c = 0; c < y.size(); ++c)
+    ASSERT_EQ(y[c], reference[c]) << "col " << c;
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForThreadsTest,

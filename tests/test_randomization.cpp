@@ -439,8 +439,81 @@ TEST_P(RandomizationThreadTest, TerminalWeightedBitIdenticalToSingleThread) {
   }
 }
 
+TEST_P(RandomizationThreadTest, PanelKernelBitIdenticalToLegacyKernel) {
+  // The panel SpMM sweep preserves the legacy fused kernel's per-element
+  // accumulation order exactly, so at ANY thread count it must reproduce
+  // the single-threaded legacy result bit-for-bit.
+  const auto model = models::make_onoff_multiplexer(models::table1_params(1.0));
+  const RandomizationMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+  opts.epsilon = 1e-10;
+  const double times[] = {0.1, 1.0, 5.0};
+
+  linalg::set_num_threads(1);
+  opts.kernel = SweepKernel::kFusedVectors;
+  const auto reference = solver.solve_multi(times, opts);
+
+  linalg::set_num_threads(GetParam());
+  opts.kernel = SweepKernel::kPanel;
+  const auto panel = solver.solve_multi(times, opts);
+
+  ASSERT_EQ(panel.size(), reference.size());
+  for (std::size_t ti = 0; ti < reference.size(); ++ti)
+    for (std::size_t j = 0; j <= opts.max_moment; ++j) {
+      EXPECT_EQ(panel[ti].weighted[j], reference[ti].weighted[j])
+          << "t " << times[ti] << " moment " << j;
+      for (std::size_t i = 0; i < model.num_states(); ++i)
+        ASSERT_EQ(panel[ti].per_state[j][i], reference[ti].per_state[j][i])
+            << "t " << times[ti] << " moment " << j << " state " << i;
+    }
+}
+
+TEST_P(RandomizationThreadTest, PanelTerminalWeightedBitIdenticalToLegacy) {
+  const auto model = models::make_onoff_multiplexer(models::table1_params(1.0));
+  const RandomizationMomentSolver solver(model);
+  MomentSolverOptions opts;
+  opts.max_moment = 2;
+  opts.epsilon = 1e-10;
+  Vec weights(model.num_states());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = 1.0 + 0.25 * static_cast<double>(i % 3);
+
+  linalg::set_num_threads(1);
+  opts.kernel = SweepKernel::kFusedVectors;
+  const auto reference = solver.solve_terminal_weighted(1.0, weights, opts);
+
+  linalg::set_num_threads(GetParam());
+  opts.kernel = SweepKernel::kPanel;
+  const auto panel = solver.solve_terminal_weighted(1.0, weights, opts);
+
+  for (std::size_t j = 0; j <= opts.max_moment; ++j) {
+    EXPECT_EQ(panel.weighted[j], reference.weighted[j]) << "moment " << j;
+    for (std::size_t i = 0; i < model.num_states(); ++i)
+      ASSERT_EQ(panel.per_state[j][i], reference.per_state[j][i])
+          << "moment " << j << " state " << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, RandomizationThreadTest,
                          ::testing::Values<std::size_t>(1, 2, 4));
+
+TEST(RandomizationTest, TerminalWeightedFillsErrorBound) {
+  // Regression: solve_terminal_weighted used to leave error_bound at 0.
+  // The Theorem-4 bound applies unchanged (the normalized seed is
+  // elementwise <= h, so Lemma 2's |U^(n)(k)| <= prefactor still holds).
+  const SecondOrderMrm m = varied_model(4, 1.0);
+  const RandomizationMomentSolver solver(m);
+  MomentSolverOptions opts;
+  opts.epsilon = 1e-8;
+  const auto res =
+      solver.solve_terminal_weighted(0.9, linalg::ones(4), opts);
+  EXPECT_GT(res.error_bound, 0.0);
+  EXPECT_LT(res.error_bound, opts.epsilon);
+  // And it matches the plain solve's bound machinery at the same G.
+  const auto plain = solver.solve(0.9, opts);
+  EXPECT_EQ(res.truncation_point, plain.truncation_point);
+}
 
 }  // namespace
 }  // namespace somrm::core
