@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -54,23 +55,87 @@ std::string arg_string(int argc, char** argv, const std::string& name,
   return v ? std::string(v) : fallback;
 }
 
-void JsonWriter::add(BenchRecord record) {
-  if (enabled()) records_.push_back(std::move(record));
+std::string git_sha() {
+#ifdef SOMRM_GIT_SHA
+  return SOMRM_GIT_SHA;
+#else
+  return "unknown";
+#endif
 }
+
+void fill_from_stats(BenchRecord& record, const obs::SolverStats& stats) {
+  record.kernel = stats.kernel;
+  if (stats.threads > 0) record.threads = stats.threads;
+  record.truncation_point = 0;
+  for (std::size_t g : stats.truncation_points)
+    record.truncation_point = std::max(record.truncation_point, g);
+  record.sweep_s = stats.sweep_seconds;
+  record.spmv_gflops = stats.effective_gflops;
+  record.load_imbalance = stats.load_imbalance;
+}
+
+void JsonWriter::add(BenchRecord record) {
+  if (enabled()) {
+    if (record.git_sha.empty()) record.git_sha = bench::git_sha();
+    records_.push_back(std::move(record));
+  }
+}
+
+namespace {
+
+void print_record(std::FILE* f, const BenchRecord& r, bool trailing_comma) {
+  std::fprintf(
+      f,
+      "  {\"bench\": \"%s\", \"states\": %zu, \"threads\": %zu, "
+      "\"wall_s\": %.9g, \"moments\": %zu, \"git_sha\": \"%s\", "
+      "\"kernel\": \"%s\", \"observability\": %s, "
+      "\"truncation_point\": %zu, \"sweep_s\": %.9g, "
+      "\"spmv_gflops\": %.9g, \"load_imbalance\": %.9g}%s\n",
+      r.bench.c_str(), r.states, r.threads, r.wall_s, r.moments,
+      r.git_sha.c_str(), r.kernel.c_str(),
+      r.observability ? "true" : "false", r.truncation_point, r.sweep_s,
+      r.spmv_gflops, r.load_imbalance, trailing_comma ? "," : "");
+}
+
+/// Reads the existing JSON array body (the text between the outer
+/// brackets) so append mode can splice new records after it. Returns an
+/// empty string when the file does not exist (treated as an empty array).
+std::string existing_array_body(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return {};
+  std::string content;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    content.append(buf, got);
+  std::fclose(f);
+  const std::size_t open = content.find('[');
+  const std::size_t close = content.rfind(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open)
+    throw std::runtime_error("JsonWriter: " + path +
+                             " is not a JSON array; cannot append");
+  std::string body = content.substr(open + 1, close - open - 1);
+  // Trim whitespace so "no prior records" is detectable.
+  const std::size_t first = body.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const std::size_t last = body.find_last_not_of(" \t\r\n");
+  return body.substr(first, last - first + 1);
+}
+
+}  // namespace
 
 void JsonWriter::write() const {
   if (!enabled()) return;
+  const std::string body = append_ ? existing_array_body(path_) : "";
   std::FILE* f = std::fopen(path_.c_str(), "w");
   if (!f) throw std::runtime_error("JsonWriter: cannot open " + path_);
   std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const BenchRecord& r = records_[i];
-    std::fprintf(f,
-                 "  {\"bench\": \"%s\", \"states\": %zu, \"threads\": %zu, "
-                 "\"wall_s\": %.9g, \"moments\": %zu}%s\n",
-                 r.bench.c_str(), r.states, r.threads, r.wall_s, r.moments,
-                 i + 1 < records_.size() ? "," : "");
-  }
+  if (!body.empty())
+    std::fprintf(f, "  %s%s\n", body.c_str(),
+                 records_.empty() ? "" : ",");
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    print_record(f, records_[i], i + 1 < records_.size());
   std::fprintf(f, "]\n");
   std::fclose(f);
 }

@@ -12,6 +12,7 @@
 #include "bounds/moment_bounds.hpp"
 #include "core/model.hpp"
 #include "core/randomization.hpp"
+#include "obs/telemetry.hpp"
 
 namespace somrm::bench {
 
@@ -48,34 +49,59 @@ std::size_t arg_size(int argc, char** argv, const std::string& name,
 std::string arg_string(int argc, char** argv, const std::string& name,
                        const std::string& fallback);
 
+/// Git commit the binary was built from (SOMRM_GIT_SHA compile definition,
+/// injected by bench/CMakeLists.txt; "unknown" when not a git checkout).
+std::string git_sha();
+
 /// One machine-readable benchmark measurement. Every harness that supports
 /// `--json <path>` emits records of this shape so perf trajectories can be
-/// tracked across PRs (see BENCH_PR2.json for the committed snapshot).
+/// tracked across PRs (see BENCH_PR2.json / BENCH_PR3.json for the
+/// committed snapshots). The telemetry fields (kernel, truncation_point,
+/// sweep_s, spmv_gflops, load_imbalance) come from the solver's
+/// obs::SolverStats via fill_from_stats(); the timing-derived ones stay
+/// zero when the library was built with -DSOMRM_OBSERVABILITY=OFF.
 struct BenchRecord {
   std::string bench;        ///< benchmark / case name
   std::size_t states = 0;   ///< model size (0 when not applicable)
   std::size_t threads = 0;  ///< solver thread count used
   double wall_s = 0.0;      ///< wall-clock seconds (per iteration)
   std::size_t moments = 0;  ///< max moment order (0 when not applicable)
+  std::string git_sha;      ///< commit of the binary (bench::git_sha())
+  std::string kernel;       ///< sweep kernel that ran ("" when no solve)
+  bool observability = somrm::obs::kEnabled;  ///< telemetry compiled in?
+  std::size_t truncation_point = 0;  ///< Theorem-4 G_max of the sweep
+  double sweep_s = 0.0;              ///< U-recursion sweep seconds
+  double spmv_gflops = 0.0;          ///< effective sweep GFLOP/s
+  double load_imbalance = 0.0;       ///< 1 - busy/(threads * sweep wall)
 };
 
-/// Collects BenchRecords and writes them as a JSON array of objects
-/// `{"bench", "states", "threads", "wall_s", "moments"}`. A writer built
-/// with an empty path is disabled: add() and write() become no-ops, so
-/// call sites need no branching on whether --json was given.
+/// Copies the solver-telemetry fields of @p stats into @p record (kernel,
+/// threads, truncation point, sweep seconds, effective GFLOP/s, load
+/// imbalance). Leaves the bench identity fields alone.
+void fill_from_stats(BenchRecord& record, const obs::SolverStats& stats);
+
+/// Collects BenchRecords and writes them as a JSON array of objects.
+/// A writer built with an empty path is disabled: add() and write() become
+/// no-ops, so call sites need no branching on whether --json was given.
+/// With append = true (the `--json-append` flag), write() merges the new
+/// records into an existing JSON array at the path instead of replacing it
+/// — that is how ON/OFF overhead pairs land in one BENCH_PR3.json.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+  explicit JsonWriter(std::string path, bool append = false)
+      : path_(std::move(path)), append_(append) {}
 
   bool enabled() const { return !path_.empty(); }
   void add(BenchRecord record);
 
   /// Writes all collected records to the path. Throws std::runtime_error
-  /// when the file cannot be opened.
+  /// when the file cannot be opened (or, in append mode, when the existing
+  /// file is not a JSON array).
   void write() const;
 
  private:
   std::string path_;
+  bool append_ = false;
   std::vector<BenchRecord> records_;
 };
 

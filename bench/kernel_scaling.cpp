@@ -7,8 +7,9 @@
 //  * a multi-time solve shares one sweep instead of paying per time point.
 
 // Flags beyond google-benchmark's own: `--json <path>` writes every run as
-// a machine-readable {bench, states, threads, wall_s, moments} record via
-// bench_common's JsonWriter (see EXPERIMENTS.md).
+// a machine-readable BenchRecord via bench_common's JsonWriter;
+// `--json-append <path>` merges the runs into an existing snapshot instead
+// of replacing it (see EXPERIMENTS.md).
 
 #include <benchmark/benchmark.h>
 
@@ -239,13 +240,16 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull out --json before benchmark::Initialize, which rejects flags it
-  // does not know.
+  // Pull out --json / --json-append before benchmark::Initialize, which
+  // rejects flags it does not know.
   const std::string json_path =
       somrm::bench::arg_string(argc, argv, "--json", "");
+  const std::string json_append_path =
+      somrm::bench::arg_string(argc, argv, "--json-append", "");
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+    const std::string arg(argv[i]);
+    if ((arg == "--json" || arg == "--json-append") && i + 1 < argc) {
       ++i;
       continue;
     }
@@ -256,7 +260,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
 
-  somrm::bench::JsonWriter writer(json_path);
+  somrm::bench::JsonWriter writer(
+      !json_append_path.empty() ? json_append_path : json_path,
+      /*append=*/!json_append_path.empty());
   JsonCapturingReporter reporter(writer);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   writer.write();

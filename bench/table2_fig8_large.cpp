@@ -11,9 +11,11 @@
 // G_max-length sweep.
 //
 // Flags: --states N (default 200000), --epsilon, --moments,
-// --kernel panel|legacy (sweep kernel selection, default panel), and
-// --json <path> to append a machine-readable
-// {bench, states, threads, wall_s, moments} record of the solve.
+// --kernel panel|legacy (sweep kernel selection, default panel),
+// --json <path> to write a machine-readable BenchRecord of the solve
+// (--json-append <path> merges into an existing snapshot instead — how the
+// ON/OFF observability pair lands in one BENCH_PR3.json), and --stats 1 to
+// print the solver telemetry summary (obs::report) after the table.
 
 #include <cstdio>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "core/scaling.hpp"
 #include "linalg/parallel.hpp"
 #include "models/onoff.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace somrm;
@@ -74,9 +77,23 @@ int main(int argc, char** argv) {
               "%zu moment vectors (matches the section-6 count)\n",
               m, model.num_states(), n + 1);
 
-  bench::JsonWriter writer(bench::arg_string(argc, argv, "--json", ""));
-  writer.add({"table2_fig8_large[" + kernel + "]", model.num_states(),
-              somrm::linalg::num_threads(), seconds, n});
+  if (bench::arg_size(argc, argv, "--stats", 0) != 0)
+    std::printf("%s", obs::report(results.back().stats).c_str());
+
+  const std::string append_path =
+      bench::arg_string(argc, argv, "--json-append", "");
+  bench::JsonWriter writer(
+      !append_path.empty() ? append_path
+                           : bench::arg_string(argc, argv, "--json", ""),
+      /*append=*/!append_path.empty());
+  bench::BenchRecord record{};
+  record.bench = "table2_fig8_large[" + kernel + "]";
+  record.states = model.num_states();
+  record.threads = somrm::linalg::num_threads();
+  record.wall_s = seconds;
+  record.moments = n;
+  bench::fill_from_stats(record, results.back().stats);
+  writer.add(std::move(record));
   writer.write();
   return 0;
 }

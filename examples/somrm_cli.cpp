@@ -1,12 +1,15 @@
 // somrm_cli — analyze a model file without writing any C++.
 //
 //   somrm_cli <model.somrm> [--time t]... [--moments n] [--epsilon e]
-//             [--bounds x] [--simulate reps]
+//             [--bounds x] [--simulate reps] [--stats]
 //
 // Loads the text model (see src/io/model_io.hpp for the format), runs the
 // randomization moment solver (impulse-aware when the file has impulse
 // directives), and optionally prints moment-based CDF bounds at a point
-// and/or a Monte Carlo cross-check.
+// and/or a Monte Carlo cross-check. --stats prints the solver telemetry
+// summary (kernel, Theorem-4 truncation points, phase timings; timings are
+// zero when built with -DSOMRM_OBSERVABILITY=OFF). Set SOMRM_TRACE=<path>
+// to capture a Chrome/Perfetto trace of the solve.
 //
 // Run without arguments to see the format and a demo model.
 
@@ -22,6 +25,7 @@
 #include "core/moment_utils.hpp"
 #include "core/randomization.hpp"
 #include "io/model_io.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/impulse_simulator.hpp"
 #include "sim/simulator.hpp"
 
@@ -44,7 +48,8 @@ impulse 0 1 -1.5 0.25
 void usage() {
   std::printf(
       "usage: somrm_cli <model.somrm> [--time t]... [--moments n]\n"
-      "                 [--epsilon e] [--bounds x] [--simulate reps]\n\n"
+      "                 [--epsilon e] [--bounds x] [--simulate reps]\n"
+      "                 [--stats]\n\n"
       "model file format example:\n%s",
       kDemoModel);
 }
@@ -64,6 +69,7 @@ int main(int argc, char** argv) {
   double epsilon = 1e-10;
   double bounds_at = std::nan("");
   std::size_t simulate = 0;
+  bool print_stats = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
       bounds_at = std::strtod(next(), nullptr);
     } else if (flag == "--simulate") {
       simulate = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (flag == "--stats") {
+      print_stats = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n\n", flag.c_str());
       usage();
@@ -131,6 +139,9 @@ int main(int argc, char** argv) {
       std::printf("  %16.8g", r.weighted[j]);
     std::printf("  %8zu\n", r.truncation_point);
   }
+
+  if (print_stats)
+    std::printf("\n%s", obs::report(results.back().stats).c_str());
 
   if (!std::isnan(bounds_at)) {
     const double t = times.back();

@@ -6,8 +6,10 @@
 
 #include "core/moment_utils.hpp"
 #include "core/scaling.hpp"
+#include "core/solver_telemetry.hpp"
 #include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
+#include "obs/trace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 
@@ -89,11 +91,11 @@ MomentResult ImpulseMomentSolver::solve(
 
 std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     std::span<const double> times, const MomentSolverOptions& options) const {
-  for (double t : times)
-    if (!(t >= 0.0))
-      throw std::invalid_argument("solve_multi: times must be >= 0");
-  if (!(options.epsilon > 0.0))
-    throw std::invalid_argument("solve_multi: epsilon must be positive");
+  validate_solver_inputs(times, options, "ImpulseMomentSolver::solve_multi");
+
+  const std::int64_t total_t0 = obs::now_ns();
+  obs::TraceScope solve_scope("impulse.solve_multi", "solver", "times",
+                              static_cast<double>(times.size()));
 
   const std::size_t n = options.max_moment;
   const std::size_t num_states = model_.num_states();
@@ -130,6 +132,11 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     }
   }
 
+  obs::SolverStats stats;
+  stats.threads = linalg::num_threads();
+  stats.panel_width = n + 1;
+  stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
+
   std::vector<MomentResult> results(times.size());
   for (std::size_t i = 0; i < times.size(); ++i) {
     results[i].time = times[i];
@@ -141,6 +148,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
 
   // Degenerate chain: no transitions, hence no impulses either.
   if (scaled.q == 0.0) {
+    stats.kernel = "degenerate";
+    stats.panel_width = 0;
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       MomentResult& out = results[ti];
       out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
@@ -154,6 +163,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       for (std::size_t j = 0; j <= n; ++j)
         out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
     }
+    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+    for (MomentResult& r : results) r.stats = stats;
     return results;
   }
 
@@ -161,25 +172,46 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       n > 0 ? build_impulse_matrices(model_, n, scaled.q, scaled.d)
             : std::vector<linalg::CsrMatrix>{};
 
+  const std::int64_t trunc_t0 = obs::now_ns();
   std::vector<std::size_t> trunc(times.size(), 0);
   std::size_t g_max = 0;
+  stats.truncation_points.assign(n + 1, 0);
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
     std::size_t g = 0;
-    for (std::size_t j = 0; j <= n; ++j)
-      g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+    for (std::size_t j = 0; j <= n; ++j) {
+      const std::size_t gj = truncation_point(qt, j, scaled.d, options.epsilon);
+      stats.truncation_points[j] = std::max(stats.truncation_points[j], gj);
+      g = std::max(g, gj);
+    }
     trunc[ti] = g;
     results[ti].truncation_point = g;
     g_max = std::max(g_max, g);
   }
+  stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
 
   // Per-time-point Poisson weight tables (one lgamma each) instead of one
   // lgamma-based pmf per (k, time point) pair in the sweep.
+  const std::int64_t window_t0 = obs::now_ns();
   std::vector<prob::PoissonWindow> windows(times.size());
+  stats.window_widths.assign(times.size(), 0);
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
     if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
+    stats.window_widths[ti] = windows[ti].weights.size();
+    obs::trace_counter("poisson.window_width",
+                       static_cast<double>(windows[ti].weights.size()));
   }
+  stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
+
+  // Section-6-style sweep cost: per step Q' streams against the n iterated
+  // lanes (j = 1..n; the j = 0 ones column is invariant) and each impulse
+  // matrix A~_l against the n+1-l lanes of its convolution band.
+  stats.sweep_steps = g_max;
+  std::size_t flops_per_step = 2 * scaled.q_prime.nnz() * n;
+  for (std::size_t l = 1; l <= n && !impulse_mats.empty(); ++l)
+    flops_per_step += 2 * impulse_mats[l - 1].nnz() * (n + 1 - l);
+  stats.sweep_flops = g_max * flops_per_step;
 
   struct ActiveWeight {
     std::size_t ti;
@@ -196,6 +228,7 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
   // weighted accumulation) matches the kFusedVectors kernel exactly, so
   // results are bit-identical to it at every thread count.
   if (options.kernel == SweepKernel::kPanel) {
+    stats.kernel = "impulse_panel";
     linalg::Panel u(num_states, n + 1, 0.0);
     linalg::Panel u_next(num_states, n + 1, 0.0);
     u.fill_col(0, 1.0);
@@ -212,6 +245,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     }
 
     const std::size_t width = n + 1;
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
     for (std::size_t k = 1; k <= g_max; ++k) {
       active.clear();
       for (std::size_t ti = 0; ti < times.size(); ++ti) {
@@ -219,6 +254,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
         const double w = windows[ti].weight(k);
         if (w != 0.0) active.push_back(ActiveWeight{ti, w});
       }
+      stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
 
       linalg::parallel_for(
           num_states,
@@ -256,9 +293,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
                            acc[aw.ti].span().subspan(lo, len));
           },
           /*grain=*/1024);
+      detail::record_sweep_step(k_t0, k, active.size());
       u.swap(u_next);
     }
+    detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
+    const std::int64_t finalize_t0 = obs::now_ns();
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       MomentResult& out = results[ti];
       std::vector<linalg::Vec> sums(n + 1);
@@ -284,9 +324,13 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       for (std::size_t j = 0; j <= n; ++j)
         out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
     }
+    stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
+    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+    for (MomentResult& r : results) r.stats = stats;
     return results;
   }
 
+  stats.kernel = "impulse_fused_vectors";
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
   std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
@@ -299,6 +343,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
   }
 
+  const std::int64_t sweep_t0 = obs::now_ns();
+  const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
   for (std::size_t k = 1; k <= g_max; ++k) {
     active.clear();
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
@@ -306,6 +352,8 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       const double w = windows[ti].weight(k);
       if (w != 0.0) active.push_back(ActiveWeight{ti, w});
     }
+    stats.active_weight_sum += active.size();
+    const std::int64_t k_t0 = obs::now_ns();
 
     // Fused, row-parallel generalized recursion step: the rate/variance
     // terms, the impulse convolution sum_{l=1..j} A~_l U^(j-l), and the
@@ -370,9 +418,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
           }
         },
         /*grain=*/1024);
+    detail::record_sweep_step(k_t0, k, active.size());
     for (std::size_t j = 1; j <= n; ++j) std::swap(u[j], u_next[j]);
   }
+  detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
+  const std::int64_t finalize_t0 = obs::now_ns();
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     MomentResult& out = results[ti];
     double factor = 1.0;
@@ -396,6 +447,9 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     for (std::size_t j = 0; j <= n; ++j)
       out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
   }
+  stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
+  stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+  for (MomentResult& r : results) r.stats = stats;
   return results;
 }
 

@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "core/moment_utils.hpp"
+#include "core/solver_telemetry.hpp"
 #include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
+#include "obs/trace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 
@@ -335,6 +337,25 @@ void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
 
 }  // namespace
 
+void validate_solver_inputs(std::span<const double> times,
+                            const MomentSolverOptions& options,
+                            const char* caller) {
+  const auto fail = [caller](const std::string& what) {
+    throw std::invalid_argument(std::string(caller) + ": " + what);
+  };
+  if (times.empty()) fail("time list must not be empty");
+  for (double t : times) {
+    if (!(t >= 0.0) || !std::isfinite(t))
+      fail("t must be finite and >= 0 (got " + std::to_string(t) + ")");
+  }
+  if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon))
+    fail("epsilon must be finite and positive (got " +
+         std::to_string(options.epsilon) + ")");
+  if (!std::isfinite(options.center))
+    fail("center must be finite (got " + std::to_string(options.center) +
+         ")");
+}
+
 RandomizationMomentSolver::RandomizationMomentSolver(SecondOrderMrm model)
     : model_(std::move(model)) {}
 
@@ -385,11 +406,11 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
   if (!(w_max > 0.0))
     throw std::invalid_argument(
         "solve_terminal_weighted: weights must not be all zero");
-  if (!(t >= 0.0))
-    throw std::invalid_argument("solve_terminal_weighted: t must be >= 0");
-  if (!(options.epsilon > 0.0))
-    throw std::invalid_argument(
-        "solve_terminal_weighted: epsilon must be positive");
+  const double time_list[] = {t};
+  validate_solver_inputs(time_list, options, "solve_terminal_weighted");
+
+  const std::int64_t total_t0 = obs::now_ns();
+  obs::TraceScope solve_scope("solve_terminal_weighted", "solver");
 
   const std::size_t n = options.max_moment;
   const ScaledModel scaled =
@@ -401,10 +422,15 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
   out.d = scaled.d;
   out.shift = scaled.shift;
   out.center = options.center;
+  out.stats.threads = linalg::num_threads();
+  out.stats.panel_width = n + 1;
+  out.stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
 
   // Degenerate chain: Z(t) = Z(0), so the weight just multiplies the
   // closed-form Brownian moments.
   if (scaled.q == 0.0) {
+    out.stats.kernel = "degenerate";
+    out.stats.panel_width = 0;
     out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
     for (std::size_t i = 0; i < num_states; ++i) {
       const auto m = prob::brownian_raw_moments(
@@ -415,29 +441,44 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
     out.weighted.resize(n + 1);
     for (std::size_t j = 0; j <= n; ++j)
       out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
+    out.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
     return out;
   }
 
+  const std::int64_t trunc_t0 = obs::now_ns();
   const double qt = scaled.q * t;
   std::size_t g = 0;
-  for (std::size_t j = 0; j <= n; ++j)
-    g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+  out.stats.truncation_points.assign(n + 1, 0);
+  for (std::size_t j = 0; j <= n; ++j) {
+    out.stats.truncation_points[j] =
+        truncation_point(qt, j, scaled.d, options.epsilon);
+    g = std::max(g, out.stats.truncation_points[j]);
+  }
   out.truncation_point = g;
+  out.stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
   // Theorem 4 applies unchanged: the normalized seed w/w_max is <= h, so
   // Lemma 2's majorant still dominates the iterates.
   out.error_bound = theorem4_error_bound(qt, n, scaled.d, g);
 
   // Per-time-point Poisson weight table (single time point here): one
   // lgamma instead of one per sweep step.
+  const std::int64_t window_t0 = obs::now_ns();
   const prob::PoissonWindow window =
       qt > 0.0 ? prob::poisson_weight_window(qt, g) : prob::PoissonWindow{};
   const double w0 = qt > 0.0 ? window.weight(0) : 1.0;
+  out.stats.window_widths.assign(1, window.weights.size());
+  out.stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
+  out.stats.sweep_steps = g;
+  // The terminal-weighted seed is not invariant, so all n+1 lanes iterate
+  // (j_lo = 0).
+  out.stats.sweep_flops = 2 * g * scaled.q_prime.nnz() * (n + 1);
 
   // Seed U^(0)(0) with the scaled weights; unlike solve(), U^(0) is not
   // invariant (Q' w != w in general) so the j = 0 row is iterated too
   // (j_lo = 0).
   std::vector<linalg::Vec> sums;
   if (options.kernel == SweepKernel::kPanel) {
+    out.stats.kernel = "panel";
     linalg::Panel u(num_states, n + 1, 0.0);
     for (std::size_t i = 0; i < num_states; ++i)
       u(i, 0) = terminal_weights[i] / w_max;
@@ -447,6 +488,8 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
       for (std::size_t i = 0; i < num_states; ++i)
         acc[0](i, 0) += w0 * u(i, 0);
 
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
     std::vector<ActiveWeight> active;
     for (std::size_t k = 1; k <= g; ++k) {
       active.clear();
@@ -454,10 +497,15 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
         const double w = window.weight(k);
         if (w != 0.0) active.push_back(ActiveWeight{0, w});
       }
+      out.stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
       fused_panel_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+      detail::record_sweep_step(k_t0, k, active.size());
     }
+    detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
     sums = panel_to_vectors(acc[0]);
   } else {
+    out.stats.kernel = "fused_vectors";
     std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
     for (std::size_t i = 0; i < num_states; ++i)
       u[0][i] = terminal_weights[i] / w_max;
@@ -466,6 +514,8 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
         1, std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
     if (w0 != 0.0) linalg::axpy(w0, u[0], acc[0][0]);
 
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
     std::vector<ActiveWeight> active;
     for (std::size_t k = 1; k <= g; ++k) {
       active.clear();
@@ -473,29 +523,42 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
         const double w = window.weight(k);
         if (w != 0.0) active.push_back(ActiveWeight{0, w});
       }
+      out.stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
       fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+      detail::record_sweep_step(k_t0, k, active.size());
     }
+    detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
     sums = std::move(acc[0]);
   }
 
   // Undo the weight normalization along with the usual j! d^j factor.
+  const std::int64_t finalize_t0 = obs::now_ns();
   finalize_result(model_, scaled, t, /*prefactor=*/w_max, std::move(sums),
                   out);
+  out.stats.finalize_seconds =
+      obs::seconds_between(finalize_t0, obs::now_ns());
+  out.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
   return out;
 }
 
 std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     std::span<const double> times, const MomentSolverOptions& options) const {
-  for (double t : times)
-    if (!(t >= 0.0))
-      throw std::invalid_argument("solve_multi: times must be >= 0");
-  if (!(options.epsilon > 0.0))
-    throw std::invalid_argument("solve_multi: epsilon must be positive");
+  validate_solver_inputs(times, options, "solve_multi");
+
+  const std::int64_t total_t0 = obs::now_ns();
+  obs::TraceScope solve_scope("solve_multi", "solver", "times",
+                              static_cast<double>(times.size()));
 
   const std::size_t n = options.max_moment;
   const std::size_t num_states = model_.num_states();
   const ScaledModel scaled =
       scale_model(model_, options.scale_policy, options.center);
+
+  obs::SolverStats stats;
+  stats.threads = linalg::num_threads();
+  stats.panel_width = n + 1;
+  stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
 
   std::vector<MomentResult> results(times.size());
   for (std::size_t i = 0; i < times.size(); ++i) {
@@ -510,6 +573,8 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
   // Z(0) = i the reward is exactly a Brownian motion with (r_i, sigma_i^2)
   // and the moments are the closed-form normal moments.
   if (scaled.q == 0.0) {
+    stats.kernel = "degenerate";
+    stats.panel_width = 0;
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       MomentResult& out = results[ti];
       out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
@@ -523,37 +588,57 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
       for (std::size_t j = 0; j <= n; ++j)
         out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
     }
+    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+    for (MomentResult& r : results) r.stats = stats;
     return results;
   }
 
   // Theorem-4 truncation per time point: honour epsilon for every moment
-  // order 0..n, so take the max of the per-order G values.
+  // order 0..n, so take the max of the per-order G values. The per-order
+  // maxima over the time points land in stats.truncation_points.
+  const std::int64_t trunc_t0 = obs::now_ns();
   std::vector<std::size_t> trunc(times.size(), 0);
+  stats.truncation_points.assign(n + 1, 0);
   std::size_t g_max = 0;
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
     std::size_t g = 0;
-    for (std::size_t j = 0; j <= n; ++j)
-      g = std::max(g, truncation_point(qt, j, scaled.d, options.epsilon));
+    for (std::size_t j = 0; j <= n; ++j) {
+      const std::size_t gj = truncation_point(qt, j, scaled.d, options.epsilon);
+      stats.truncation_points[j] = std::max(stats.truncation_points[j], gj);
+      g = std::max(g, gj);
+    }
     trunc[ti] = g;
     results[ti].truncation_point = g;
     results[ti].error_bound = theorem4_error_bound(qt, n, scaled.d, g);
     g_max = std::max(g_max, g);
   }
+  stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
 
   // Per-time-point Poisson weight tables, one lgamma each (mode-centered
   // multiplicative recurrence with left truncation) — the old code paid one
   // lgamma per (k, time point) pair inside the sweep.
+  const std::int64_t window_t0 = obs::now_ns();
   std::vector<prob::PoissonWindow> windows(times.size());
+  stats.window_widths.assign(times.size(), 0);
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     const double qt = scaled.q * times[ti];
     if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
+    stats.window_widths[ti] = windows[ti].weights.size();
+    obs::trace_counter("poisson.window_width",
+                       static_cast<double>(windows[ti].weights.size()));
   }
+  stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
+  stats.sweep_steps = g_max;
+  // Lanes actually iterated per CSR pass: the j = 0 column is invariant
+  // (j_lo = 1), so n lanes of dot products per stored entry per step.
+  stats.sweep_flops = 2 * g_max * scaled.q_prime.nnz() * n;
 
   // U^(j)(0): U^(0) = h, higher orders zero. U^(0)(k) stays h for all k
   // because Q' is stochastic, so the j = 0 lane of the recursion is skipped
   // (j_lo = 1).
   if (options.kernel == SweepKernel::kPanel) {
+    stats.kernel = "panel";
     linalg::Panel u(num_states, n + 1, 0.0);
     linalg::Panel u_next(num_states, n + 1, 0.0);
     u.fill_col(0, 1.0);
@@ -570,6 +655,8 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
           acc[ti](i, 0) += w0 * u(i, 0);
     }
 
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
     std::vector<ActiveWeight> active;
     active.reserve(times.size());
     for (std::size_t k = 1; k <= g_max; ++k) {
@@ -579,14 +666,24 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
         const double w = windows[ti].weight(k);
         if (w != 0.0) active.push_back(ActiveWeight{ti, w});
       }
+      stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
       fused_panel_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
+      detail::record_sweep_step(k_t0, k, active.size());
     }
+    detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
+    const std::int64_t finalize_t0 = obs::now_ns();
     for (std::size_t ti = 0; ti < times.size(); ++ti)
       finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
                       panel_to_vectors(acc[ti]), results[ti]);
+    stats.finalize_seconds =
+        obs::seconds_between(finalize_t0, obs::now_ns());
+    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+    for (MomentResult& r : results) r.stats = stats;
     return results;
   }
+  stats.kernel = "fused_vectors";
 
   std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
   u[0] = linalg::ones(num_states);
@@ -601,6 +698,8 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
   }
 
+  const std::int64_t sweep_t0 = obs::now_ns();
+  const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
   std::vector<ActiveWeight> active;
   active.reserve(times.size());
   for (std::size_t k = 1; k <= g_max; ++k) {
@@ -610,12 +709,20 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
       const double w = windows[ti].weight(k);
       if (w != 0.0) active.push_back(ActiveWeight{ti, w});
     }
+    stats.active_weight_sum += active.size();
+    const std::int64_t k_t0 = obs::now_ns();
     fused_recursion_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
+    detail::record_sweep_step(k_t0, k, active.size());
   }
+  detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
+  const std::int64_t finalize_t0 = obs::now_ns();
   for (std::size_t ti = 0; ti < times.size(); ++ti)
     finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
                     std::move(acc[ti]), results[ti]);
+  stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
+  stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+  for (MomentResult& r : results) r.stats = stats;
   return results;
 }
 

@@ -50,6 +50,7 @@
 #include "core/model.hpp"
 #include "core/scaling.hpp"
 #include "linalg/vec.hpp"
+#include "obs/telemetry.hpp"
 
 namespace somrm::core {
 
@@ -107,7 +108,23 @@ struct MomentResult {
   double shift = 0.0;
   /// The centering used: moments are of B(t) - center * time.
   double center = 0.0;
+  /// Per-solve telemetry: kernel, Theorem-4 G per moment order, Poisson
+  /// window widths, sweep phase timings and throughput. The structural
+  /// fields are always filled; timings are zero when the library was built
+  /// with -DSOMRM_OBSERVABILITY=OFF. For a multi-time solve every result
+  /// carries the shared sweep's stats.
+  obs::SolverStats stats;
 };
+
+/// Validates solver inputs shared by the randomization solvers, throwing
+/// std::invalid_argument with a message naming @p caller and the offending
+/// value: the time list must be non-empty with every t finite and >= 0,
+/// epsilon finite and positive, and center finite. Called up front by
+/// solve_multi / solve / solve_terminal_weighted (and the impulse solver)
+/// so bad options fail fast instead of surfacing as downstream NaNs.
+void validate_solver_inputs(std::span<const double> times,
+                            const MomentSolverOptions& options,
+                            const char* caller);
 
 class RandomizationMomentSolver {
  public:

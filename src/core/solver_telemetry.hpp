@@ -1,0 +1,64 @@
+// somrm/core/solver_telemetry.hpp
+//
+// Internal sweep-telemetry helpers shared by the randomization and impulse
+// moment solvers: per-k step timing + trace events, and the derivation of
+// the timing fields of obs::SolverStats from the sweep wall time and the
+// parallel.busy counter delta. Every function collapses to an inline no-op
+// when the library is built with -DSOMRM_OBSERVABILITY=OFF.
+//
+// Not part of the public API — include only from src/core/*.cpp.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace somrm::core::detail {
+
+inline obs::Metric& sweep_step_metric() {
+  static obs::Metric& m = obs::metric("sweep.step");
+  return m;
+}
+
+inline obs::Metric& parallel_busy_metric() {
+  static obs::Metric& m = obs::metric("parallel.busy");
+  return m;
+}
+
+/// Times one sweep step and emits the per-k trace event. Call with the
+/// now_ns() reading taken just before the step.
+inline void record_sweep_step(std::int64_t k_t0, std::size_t k,
+                              std::size_t active_count) {
+  if constexpr (!obs::kEnabled) return;
+  const std::int64_t dt = obs::now_ns() - k_t0;
+  sweep_step_metric().add(1, dt);
+  obs::trace_complete("sweep.step", "sweep", k_t0, dt, "k",
+                      static_cast<double>(k), "active",
+                      static_cast<double>(active_count));
+}
+
+/// Fills the timing-derived sweep fields from the sweep wall time and the
+/// parallel.busy delta captured around the sweep loop.
+inline void finish_sweep_stats(obs::SolverStats& stats, std::int64_t sweep_t0,
+                               std::int64_t busy0_ns) {
+  if constexpr (!obs::kEnabled) return;
+  const std::int64_t sweep_ns = obs::now_ns() - sweep_t0;
+  stats.sweep_seconds = static_cast<double>(sweep_ns) * 1e-9;
+  stats.busy_seconds =
+      static_cast<double>(parallel_busy_metric().total_ns() - busy0_ns) * 1e-9;
+  const double capacity =
+      static_cast<double>(stats.threads) * stats.sweep_seconds;
+  stats.load_imbalance =
+      capacity > 0.0
+          ? std::clamp(1.0 - stats.busy_seconds / capacity, 0.0, 1.0)
+          : 0.0;
+  stats.effective_gflops =
+      sweep_ns > 0
+          ? static_cast<double>(stats.sweep_flops) / static_cast<double>(sweep_ns)
+          : 0.0;
+}
+
+}  // namespace somrm::core::detail

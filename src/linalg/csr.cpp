@@ -5,8 +5,35 @@
 #include <stdexcept>
 
 #include "linalg/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
+
+// SpMV/SpMM telemetry: rows and stored entries streamed by the public
+// matvec entry points, the multiply-accumulate count (2 flops each), and
+// the call count + wall time. obs::report() derives effective GFLOP/s from
+// spmv.flops / spmv.calls time. The fused solver sweeps bypass these entry
+// points and account their traffic analytically in SolverStats instead.
+// All of this is an inline no-op under SOMRM_OBSERVABILITY=OFF.
+struct SpmvMetrics {
+  somrm::obs::Metric& calls = somrm::obs::metric("spmv.calls");
+  somrm::obs::Metric& rows = somrm::obs::metric("spmv.rows");
+  somrm::obs::Metric& nnz = somrm::obs::metric("spmv.nnz");
+  somrm::obs::Metric& flops = somrm::obs::metric("spmv.flops");
+
+  void record(std::size_t matrix_rows, std::size_t matrix_nnz,
+              std::size_t width, std::int64_t ns) {
+    calls.add(1, ns);
+    rows.add(static_cast<std::int64_t>(matrix_rows));
+    nnz.add(static_cast<std::int64_t>(matrix_nnz));
+    flops.add(static_cast<std::int64_t>(2 * matrix_nnz * width));
+  }
+};
+
+SpmvMetrics& spmv_metrics() {
+  static SpmvMetrics m;
+  return m;
+}
 // Minimum rows per parallel range for the matvecs: generator rows carry only
 // a handful of non-zeros, so anything below a few thousand rows is cheaper
 // to run inline than to hand to the pool.
@@ -150,6 +177,7 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  const std::int64_t t0 = obs::now_ns();
   parallel_for(
       rows_,
       [&](std::size_t row_begin, std::size_t row_end) {
@@ -161,12 +189,14 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
         }
       },
       kMatvecGrain);
+  spmv_metrics().record(rows_, nnz(), 1, obs::now_ns() - t0);
 }
 
 void CsrMatrix::multiply_add(double alpha, std::span<const double> x,
                              std::span<double> y) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("CsrMatrix::multiply_add: size mismatch");
+  const std::int64_t t0 = obs::now_ns();
   parallel_for(
       rows_,
       [&](std::size_t row_begin, std::size_t row_end) {
@@ -178,6 +208,7 @@ void CsrMatrix::multiply_add(double alpha, std::span<const double> x,
         }
       },
       kMatvecGrain);
+  spmv_metrics().record(rows_, nnz(), 1, obs::now_ns() - t0);
 }
 
 void CsrMatrix::multiply_panel(const Panel& x, Panel& y) const {
@@ -185,6 +216,7 @@ void CsrMatrix::multiply_panel(const Panel& x, Panel& y) const {
     throw std::invalid_argument("CsrMatrix::multiply_panel: size mismatch");
   const std::size_t width = x.width();
   if (width == 0) return;
+  const std::int64_t t0 = obs::now_ns();
   // Per-row cost scales with the width, so the grain shrinks accordingly.
   const std::size_t grain = std::max<std::size_t>(1, kMatvecGrain / width);
   parallel_for(
@@ -194,6 +226,7 @@ void CsrMatrix::multiply_panel(const Panel& x, Panel& y) const {
                             /*dst_col=*/0, width, /*accumulate=*/false);
       },
       grain);
+  spmv_metrics().record(rows_, nnz(), width, obs::now_ns() - t0);
 }
 
 namespace {
@@ -327,6 +360,7 @@ void CsrMatrix::multiply_transposed(std::span<const double> x,
                                     std::span<double> y) const {
   if (x.size() != rows_ || y.size() != cols_)
     throw std::invalid_argument("CsrMatrix::multiply_transposed: size mismatch");
+  const std::int64_t t0 = obs::now_ns();
   if (rows_ < kTransposeSerialRows) {
     std::fill(y.begin(), y.end(), 0.0);
     for (std::size_t r = 0; r < rows_; ++r) {
@@ -335,6 +369,7 @@ void CsrMatrix::multiply_transposed(std::span<const double> x,
       for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
         y[col_idx_[k]] += values_[k] * xr;
     }
+    spmv_metrics().record(rows_, nnz(), 1, obs::now_ns() - t0);
     return;
   }
   // Scatter phase: each fixed row block accumulates into its own buffer
@@ -364,6 +399,7 @@ void CsrMatrix::multiply_transposed(std::span<const double> x,
           y[c] = tree_sum_col(partial, 0, partial.size(), c);
       },
       kMatvecGrain);
+  spmv_metrics().record(rows_, nnz(), 1, obs::now_ns() - t0);
 }
 
 CsrMatrix CsrMatrix::transposed() const {

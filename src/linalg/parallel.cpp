@@ -8,9 +8,24 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/telemetry.hpp"
+
 namespace somrm::linalg {
 
 namespace {
+
+/// Busy-time accounting for the load-imbalance gauge: every range a thread
+/// executes adds its wall time to parallel.busy; the submitting side times
+/// the whole job into parallel.jobs. idle = threads * job wall - busy.
+/// Inline no-ops when SOMRM_OBSERVABILITY=OFF.
+obs::Metric& busy_metric() {
+  static obs::Metric& m = obs::metric("parallel.busy");
+  return m;
+}
+obs::Metric& jobs_metric() {
+  static obs::Metric& m = obs::metric("parallel.jobs");
+  return m;
+}
 
 /// Persistent pool of workers executing one range-job at a time. The job is
 /// published under the mutex with a generation counter; workers and the
@@ -180,7 +195,16 @@ void parallel_for(std::size_t total,
   const std::size_t max_parts = (total + grain - 1) / grain;
   const std::size_t parts = std::min(threads, max_parts);
   if (parts <= 1 || t_inside_parallel_for) {
+    if (t_inside_parallel_for) {
+      // Nested call: the enclosing job already accounts this thread's time.
+      body(0, total);
+      return;
+    }
+    const std::int64_t t0 = obs::now_ns();
     body(0, total);
+    const std::int64_t dt = obs::now_ns() - t0;
+    busy_metric().add(1, dt);
+    jobs_metric().add(1, dt);
     return;
   }
 
@@ -199,16 +223,20 @@ void parallel_for(std::size_t total,
   }
 
   t_inside_parallel_for = true;
+  const std::int64_t job_t0 = obs::now_ns();
   try {
     pool->run(ranges, [&body](std::size_t begin, std::size_t end) {
       t_inside_parallel_for = true;
+      const std::int64_t t0 = obs::now_ns();
       body(begin, end);
+      busy_metric().add(1, obs::now_ns() - t0);
     });
   } catch (...) {
     t_inside_parallel_for = false;
     throw;
   }
   t_inside_parallel_for = false;
+  jobs_metric().add(1, obs::now_ns() - job_t0);
 }
 
 }  // namespace somrm::linalg

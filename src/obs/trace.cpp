@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#if SOMRM_OBSERVABILITY
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace somrm::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  char ph;  // 'X' complete, 'i' instant, 'C' counter
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;
+  std::uint32_t tid;
+  const char* key0;
+  double value0;
+  const char* key1;
+  double value1;
+};
+
+/// Global trace state. Leaked so atexit flushing and late thread exits can
+/// still reach it during shutdown.
+struct TraceState {
+  std::mutex mutex;
+  std::string path;                       // "" = disabled
+  std::atomic<bool> enabled{false};
+  std::vector<std::vector<Event>*> live;  // registered thread buffers
+  std::vector<Event> orphaned;            // buffers of exited threads
+  std::vector<Event> flushed;  // drained by earlier write_trace() calls
+  std::uint32_t next_tid = 0;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState* s = [] {
+    auto* st = new TraceState();
+    if (const char* env = std::getenv("SOMRM_TRACE")) {
+      if (*env != '\0') {
+        st->path = env;
+        st->enabled.store(true, std::memory_order_relaxed);
+        st->atexit_registered = true;
+        std::atexit([] { write_trace(); });
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  ThreadBuffer() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    tid = s.next_tid++;
+    events.reserve(1024);
+    s.live.push_back(&events);
+  }
+  ~ThreadBuffer() {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.orphaned.insert(s.orphaned.end(), events.begin(), events.end());
+    s.live.erase(std::find(s.live.begin(), s.live.end(), &events));
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer t;
+  return t;
+}
+
+void push_event(Event e) {
+  ThreadBuffer& buf = thread_buffer();
+  e.tid = buf.tid;
+  buf.events.push_back(e);
+}
+
+void register_atexit_locked(TraceState& s) {
+  if (!s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit([] { write_trace(); });
+  }
+}
+
+void write_json_escaped(std::FILE* f, const char* str) {
+  for (const char* p = str; *p; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\')
+      std::fprintf(f, "\\%c", c);
+    else if (static_cast<unsigned char>(c) < 0x20)
+      std::fprintf(f, "\\u%04x", c);
+    else
+      std::fputc(c, f);
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_path(const std::string& path) {
+  write_trace();  // flush buffered events to the previous path, if any
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.path = path;
+  s.flushed.clear();  // a new path starts a fresh trace
+  s.enabled.store(!path.empty(), std::memory_order_relaxed);
+  if (!path.empty()) register_atexit_locked(s);
+}
+
+std::string trace_path() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.path;
+}
+
+void trace_complete(const char* name, const char* cat, std::int64_t ts_ns,
+                    std::int64_t dur_ns, const char* key0, double value0,
+                    const char* key1, double value1) {
+  if (!trace_enabled()) return;
+  push_event(Event{name, cat, 'X', ts_ns, dur_ns, 0, key0, value0, key1,
+                   value1});
+}
+
+void trace_instant(const char* name, const char* cat, const char* key0,
+                   double value0) {
+  if (!trace_enabled()) return;
+  push_event(Event{name, cat, 'i', now_ns(), 0, 0, key0, value0, nullptr,
+                   0.0});
+}
+
+void trace_counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  push_event(Event{name, "counter", 'C', now_ns(), 0, 0, "value", value,
+               nullptr, 0.0});
+}
+
+void write_trace() {
+  TraceState& s = state();
+  std::vector<Event> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.path;
+    if (path.empty()) return;
+    // Drain every buffer into the cumulative flushed list, then write the
+    // whole list: repeated flushes (explicit + the atexit one) each rewrite
+    // the complete trace instead of the most recent increment only.
+    s.flushed.insert(s.flushed.end(), s.orphaned.begin(), s.orphaned.end());
+    s.orphaned.clear();
+    for (std::vector<Event>* buf : s.live) {
+      s.flushed.insert(s.flushed.end(), buf->begin(), buf->end());
+      buf->clear();
+    }
+    events = s.flushed;
+  }
+  // NOTE: concurrent event recording during a flush is the caller's race to
+  // avoid (flush between solves, or at exit); the buffers themselves are
+  // only touched under the registration mutex here, and recording threads
+  // are inside the solver's parallel regions, which do not overlap flushes.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.tid < b.tid;
+                   });
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return;  // tracing is best-effort; never fail the solve
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  // Thread-name metadata so Perfetto labels the tracks.
+  std::uint32_t max_tid = 0;
+  for (const Event& e : events) max_tid = std::max(max_tid, e.tid);
+  for (std::uint32_t t = 0; t <= max_tid && !events.empty(); ++t) {
+    std::fprintf(f,
+                 "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": \"%s%u\"}}",
+                 first ? "" : ",\n", t, t == 0 ? "somrm-main-" : "somrm-worker-",
+                 t);
+    first = false;
+  }
+  for (const Event& e : events) {
+    std::fprintf(f, "%s{\"name\": \"", first ? "" : ",\n");
+    first = false;
+    write_json_escaped(f, e.name);
+    std::fprintf(f, "\", \"cat\": \"");
+    write_json_escaped(f, e.cat);
+    std::fprintf(f, "\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u",
+                 e.ph, static_cast<double>(e.ts_ns) * 1e-3, e.tid);
+    if (e.ph == 'X')
+      std::fprintf(f, ", \"dur\": %.3f", static_cast<double>(e.dur_ns) * 1e-3);
+    if (e.ph == 'i') std::fprintf(f, ", \"s\": \"t\"");
+    if (e.key0 != nullptr || e.key1 != nullptr) {
+      std::fprintf(f, ", \"args\": {");
+      if (e.key0 != nullptr) {
+        std::fprintf(f, "\"");
+        write_json_escaped(f, e.key0);
+        std::fprintf(f, "\": %.17g", e.value0);
+      }
+      if (e.key1 != nullptr) {
+        std::fprintf(f, "%s\"", e.key0 != nullptr ? ", " : "");
+        write_json_escaped(f, e.key1);
+        std::fprintf(f, "\": %.17g", e.value1);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+}
+
+}  // namespace somrm::obs
+
+#endif  // SOMRM_OBSERVABILITY

@@ -1,0 +1,116 @@
+// somrm/obs/trace.hpp
+//
+// Chrome trace_event / Perfetto-compatible JSON trace writer.
+//
+// Runtime enablement: set SOMRM_TRACE=<path> in the environment (read once
+// at first use) or call set_trace_path(). Events buffer per thread (no
+// locking on the hot path beyond one relaxed flag load when disabled) and
+// are merged, sorted by timestamp, and written as
+//   {"traceEvents": [ {"name": .., "ph": "X", "ts": .., "dur": ..}, .. ]}
+// by write_trace() — registered atexit, so instrumented binaries need no
+// explicit flush. Load the file at https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// All name/category/argument-key strings must be string literals (or
+// otherwise outlive the process): events store the pointers.
+//
+// Under -DSOMRM_OBSERVABILITY=OFF everything here is an inline no-op and
+// SOMRM_TRACE is ignored.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/telemetry.hpp"  // SOMRM_OBSERVABILITY default + now_ns()
+
+namespace somrm::obs {
+
+#if SOMRM_OBSERVABILITY
+
+/// True when a trace path is configured. One relaxed atomic load — cheap
+/// enough to guard per-iteration call sites.
+bool trace_enabled();
+
+/// Enables tracing to @p path ("" disables). Flushes any buffered events
+/// to the previous path first. Also the hook SOMRM_TRACE resolves to.
+void set_trace_path(const std::string& path);
+
+/// Currently configured path ("" when disabled).
+std::string trace_path();
+
+/// Records a complete event ("ph":"X") spanning [ts_ns, ts_ns + dur_ns),
+/// timestamps from now_ns(). Up to two numeric args; pass nullptr keys to
+/// omit. No-op when tracing is disabled.
+void trace_complete(const char* name, const char* cat, std::int64_t ts_ns,
+                    std::int64_t dur_ns, const char* key0 = nullptr,
+                    double value0 = 0.0, const char* key1 = nullptr,
+                    double value1 = 0.0);
+
+/// Records an instant event ("ph":"i", thread scope).
+void trace_instant(const char* name, const char* cat,
+                   const char* key0 = nullptr, double value0 = 0.0);
+
+/// Records a counter sample ("ph":"C") — Perfetto renders these as a
+/// stacked track per name.
+void trace_counter(const char* name, double value);
+
+/// RAII complete-event scope: records begin on construction, emits the
+/// complete event on destruction. Captures enablement at construction so
+/// a scope spanning a set_trace_path() call stays consistent.
+class TraceScope {
+ public:
+  TraceScope(const char* name, const char* cat, const char* key0 = nullptr,
+             double value0 = 0.0)
+      : name_(name),
+        cat_(cat),
+        key0_(key0),
+        value0_(value0),
+        enabled_(trace_enabled()),
+        start_(enabled_ ? now_ns() : 0) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (enabled_)
+      trace_complete(name_, cat_, start_, now_ns() - start_, key0_, value0_);
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  const char* key0_;
+  double value0_;
+  bool enabled_;
+  std::int64_t start_;
+};
+
+/// Merges all thread buffers and rewrites the JSON file for the configured
+/// path with every event recorded since the path was set (tracing stays
+/// enabled; repeated flushes each write the complete cumulative trace).
+/// No-op when disabled. Registered atexit on first enablement.
+void write_trace();
+
+#else  // SOMRM_OBSERVABILITY == 0
+
+inline bool trace_enabled() { return false; }
+inline void set_trace_path(const std::string&) {}
+inline std::string trace_path() { return {}; }
+inline void trace_complete(const char*, const char*, std::int64_t,
+                           std::int64_t, const char* = nullptr, double = 0.0,
+                           const char* = nullptr, double = 0.0) {}
+inline void trace_instant(const char*, const char*, const char* = nullptr,
+                          double = 0.0) {}
+inline void trace_counter(const char*, double) {}
+
+class TraceScope {
+ public:
+  TraceScope(const char*, const char*, const char* = nullptr, double = 0.0) {}
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+};
+
+inline void write_trace() {}
+
+#endif  // SOMRM_OBSERVABILITY
+
+}  // namespace somrm::obs

@@ -47,6 +47,8 @@
 #include "models/birth_death.hpp"
 #include "models/onoff.hpp"
 #include "models/reliability.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 #include "prob/rng.hpp"

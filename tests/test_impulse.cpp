@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/impulse_randomization.hpp"
@@ -62,6 +63,26 @@ TEST(ImpulseModelTest, ValidationRejectsBadMatrices) {
                                      CsrMatrix::from_triplets(3, 3, {}),
                                      CsrMatrix::from_triplets(2, 2, {})),
                std::invalid_argument);
+}
+
+// The impulse solver routes through the shared validate_solver_inputs, so
+// bad times/options fail fast with the same caller-tagged messages as the
+// plain solver.
+TEST(ImpulseValidationTest, RejectsBadSolverInputs) {
+  auto base = symmetric_chain(1.0, Vec{0.0, 0.0}, Vec{0.0, 0.0});
+  const SecondOrderImpulseMrm model(base, CsrMatrix::from_triplets(2, 2, {}),
+                                    CsrMatrix::from_triplets(2, 2, {}));
+  const ImpulseMomentSolver solver(model);
+  EXPECT_THROW(solver.solve_multi({}), std::invalid_argument);
+  EXPECT_THROW(solver.solve(-0.5), std::invalid_argument);
+  EXPECT_THROW(solver.solve(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  MomentSolverOptions bad;
+  bad.epsilon = -1.0;
+  EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument);
+  bad.epsilon = 1e-9;
+  bad.center = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument);
 }
 
 TEST(ImpulseModelTest, UniformImpulseBuilderCoversAllTransitions) {

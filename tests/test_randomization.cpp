@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -305,6 +307,58 @@ TEST(RandomizationTest, InputValidation) {
   EXPECT_THROW(solver.solve(-1.0), std::invalid_argument);
   MomentSolverOptions bad;
   bad.epsilon = 0.0;
+  EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument);
+}
+
+// One test per validate_solver_inputs rejection, each checking that the
+// message names the caller and the constraint (so a bad option fails fast
+// with an actionable error instead of a downstream NaN).
+TEST(RandomizationValidationTest, RejectsEmptyTimeList) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  try {
+    solver.solve_multi({});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("solve_multi"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("must not be empty"),
+              std::string::npos);
+  }
+}
+
+TEST(RandomizationValidationTest, RejectsNegativeTime) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  const double times[] = {0.5, -0.25};
+  try {
+    solver.solve_multi(times);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(">= 0"), std::string::npos);
+  }
+}
+
+TEST(RandomizationValidationTest, RejectsNonFiniteTime) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  EXPECT_THROW(solver.solve(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(solver.solve(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(RandomizationValidationTest, RejectsNonPositiveEpsilon) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  MomentSolverOptions bad;
+  for (double eps : {0.0, -1e-9, std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    bad.epsilon = eps;
+    EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument)
+        << "epsilon = " << eps;
+  }
+}
+
+TEST(RandomizationValidationTest, RejectsNonFiniteCenter) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  MomentSolverOptions bad;
+  bad.center = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(solver.solve(1.0, bad), std::invalid_argument);
 }
 

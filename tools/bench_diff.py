@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and flag wall-clock regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both files are JSON arrays of BenchRecord objects as written by
+bench_common's JsonWriter (``--json`` / ``--json-append`` on the bench
+harnesses). Records are matched by the identity tuple
+(bench, states, threads, moments); for each pair the relative wall-clock
+change is printed, and the exit code is non-zero when any matched record
+regressed by more than the threshold (default 10%).
+
+Records present in only one file are reported but do not affect the exit
+code — adding a benchmark must not fail the diff that introduces it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path: str) -> dict[tuple, dict]:
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON array of bench records")
+    records = {}
+    for rec in data:
+        key = (
+            rec.get("bench", ""),
+            rec.get("states", 0),
+            rec.get("threads", 0),
+            rec.get("moments", 0),
+        )
+        # Duplicate identity (e.g. appended re-runs): keep the last record,
+        # which is the most recent measurement.
+        records[key] = rec
+    return records
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two bench JSON snapshots; non-zero exit on "
+        "wall-clock regression beyond the threshold."
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative wall_s regression that fails the diff "
+        "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_records(args.baseline)
+    cand = load_records(args.candidate)
+
+    matched = sorted(base.keys() & cand.keys())
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+
+    regressions = []
+    print(f"{'bench':50s} {'base_s':>12s} {'cand_s':>12s} {'delta':>8s}")
+    for key in matched:
+        b = float(base[key].get("wall_s", 0.0))
+        c = float(cand[key].get("wall_s", 0.0))
+        name = f"{key[0]}[N={key[1]},T={key[2]},n={key[3]}]"
+        if b <= 0.0:
+            print(f"{name:50s} {b:12.6g} {c:12.6g}    (no baseline time)")
+            continue
+        delta = (c - b) / b
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:50s} {b:12.6g} {c:12.6g} {delta:+8.1%}{marker}")
+
+    for key in only_base:
+        print(f"only in baseline:  {key[0]}[N={key[1]},T={key[2]},n={key[3]}]")
+    for key in only_cand:
+        print(f"only in candidate: {key[0]}[N={key[1]},T={key[2]},n={key[3]}]")
+
+    if not matched:
+        print("error: no records matched between the two snapshots",
+              file=sys.stderr)
+        return 2
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+
+    print(f"\nOK: {len(matched)} matched record(s), none regressed beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
