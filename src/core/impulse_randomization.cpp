@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/moment_utils.hpp"
 #include "core/scaling.hpp"
 #include "core/solver_telemetry.hpp"
@@ -131,6 +132,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       scaled.d = d_impulse;
     }
   }
+  // Re-probe after the impulse d-enlargement: growing d only shrinks the
+  // R'/S' diagonals, so the Lemma-2 bounds must still hold under kSafe.
+  check::check_scaled_model(
+      scaled,
+      /*enforce_reward_bounds=*/options.scale_policy == DriftScalePolicy::kSafe,
+      "ImpulseMomentSolver::solve_multi");
 
   obs::SolverStats stats;
   stats.threads = linalg::num_threads();
@@ -171,6 +178,17 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
   const auto impulse_mats =
       n > 0 ? build_impulse_matrices(model_, n, scaled.q, scaled.d)
             : std::vector<linalg::CsrMatrix>{};
+  // Iterate non-negativity only holds when every operand of the recursion
+  // is non-negative: shift-mode R' plus non-negative impulse-moment
+  // matrices (odd normal moments with negative mean break the latter).
+  const bool subtraction_free =
+      check::kChecked &&
+      std::all_of(scaled.r_prime.begin(), scaled.r_prime.end(),
+                  [](double r) { return r >= 0.0; }) &&
+      std::all_of(impulse_mats.begin(), impulse_mats.end(),
+                  [](const linalg::CsrMatrix& a) {
+                    return a.is_nonnegative(0.0);
+                  });
 
   const std::int64_t trunc_t0 = obs::now_ns();
   std::vector<std::size_t> trunc(times.size(), 0);
@@ -186,6 +204,26 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     }
     trunc[ti] = g;
     results[ti].truncation_point = g;
+    if constexpr (check::kChecked) {
+      // Theorem-4 analogue with the impulse prefactor (4 d qt)^n: the
+      // realized tail bound must be monotone in G and below epsilon at the
+      // chosen G.
+      const auto impulse_bound = [&](std::size_t gg) {
+        const double nn = static_cast<double>(n);
+        const double log_prefactor =
+            n == 0 ? std::log(2.0)
+                   : nn * (std::log(4.0) + std::log(scaled.d) + std::log(qt));
+        return std::exp(log_prefactor +
+                        prob::log_poisson_tail(
+                            qt, gg + 1 >= n ? gg + 1 - n : 0));
+      };
+      if (qt > 0.0) {
+        const double bound_g = impulse_bound(g);
+        check::check_truncation_bound(
+            bound_g, g > 0 ? impulse_bound(g - 1) : bound_g, options.epsilon,
+            g, "ImpulseMomentSolver::solve_multi");
+      }
+    }
     g_max = std::max(g_max, g);
   }
   stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
@@ -295,6 +333,10 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
           /*grain=*/1024);
       detail::record_sweep_step(k_t0, k, active.size());
       u.swap(u_next);
+      if constexpr (check::kChecked)
+        check::check_sweep_panel(u, k, /*j_lo=*/1, subtraction_free,
+                                 /*apply_majorant=*/false,
+                                 "ImpulseMomentSolver::solve_multi");
     }
     detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
@@ -323,6 +365,15 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       out.weighted.resize(n + 1);
       for (std::size_t j = 0; j <= n; ++j)
         out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
+      if constexpr (check::kChecked) {
+        if (n >= 2) {
+          const double delta = std::abs(scaled.shift) * times[ti];
+          check::check_moment_consistency(
+              out.per_state[1], out.per_state[2],
+              options.epsilon * (1.0 + delta) * (1.0 + delta),
+              "ImpulseMomentSolver::solve_multi");
+        }
+      }
     }
     stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
     stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
@@ -420,6 +471,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
         /*grain=*/1024);
     detail::record_sweep_step(k_t0, k, active.size());
     for (std::size_t j = 1; j <= n; ++j) std::swap(u[j], u_next[j]);
+    if constexpr (check::kChecked) {
+      for (std::size_t j = 1; j <= n; ++j)
+        check::check_sweep_column(u[j], k, j, subtraction_free,
+                                  /*apply_majorant=*/false,
+                                  "ImpulseMomentSolver::solve_multi");
+    }
   }
   detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
@@ -446,6 +503,15 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     out.weighted.resize(n + 1);
     for (std::size_t j = 0; j <= n; ++j)
       out.weighted[j] = linalg::dot(base.initial(), out.per_state[j]);
+    if constexpr (check::kChecked) {
+      if (n >= 2) {
+        const double delta = std::abs(scaled.shift) * times[ti];
+        check::check_moment_consistency(
+            out.per_state[1], out.per_state[2],
+            options.epsilon * (1.0 + delta) * (1.0 + delta),
+            "ImpulseMomentSolver::solve_multi");
+      }
+    }
   }
   stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
   stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());

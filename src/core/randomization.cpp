@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "core/moment_utils.hpp"
 #include "core/solver_telemetry.hpp"
 #include "linalg/panel.hpp"
@@ -298,13 +299,28 @@ std::vector<linalg::Vec> panel_to_vectors(const linalg::Panel& p) {
   return out;
 }
 
+/// True when the scaled recursion is numerically subtraction-free (all
+/// R' >= 0, i.e. shift-mode scaling; S' is non-negative by construction),
+/// which is when the checked build may assert iterate non-negativity.
+/// Only evaluated in checked builds.
+bool is_subtraction_free(const ScaledModel& scaled) {
+  return check::kChecked &&
+         std::all_of(scaled.r_prime.begin(), scaled.r_prime.end(),
+                     [](double r) { return r >= 0.0; });
+}
+
 /// Finishes a MomentResult from the accumulated scaled sums: applies
 /// @p prefactor times the n! d^n factor, undoes the drift shift, and
 /// weights by pi. The prefactor is 1 for the plain solve and w_max for the
-/// terminal-weighted solve (undoing the seed normalization).
+/// terminal-weighted solve (undoing the seed normalization). @p epsilon is
+/// the Theorem-4 budget of the solve, used to scale the checked-build
+/// moment-consistency tolerance; @p jensen_applies must be false for
+/// terminal-weighted output, where V^(j) = E[B^j w(Z(t))] and Cauchy-
+/// Schwarz only yields V2 >= V1^2 for weights bounded by 1.
 void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
-                     double t, double prefactor,
-                     std::vector<linalg::Vec> scaled_sums, MomentResult& out) {
+                     double t, double prefactor, double epsilon,
+                     bool jensen_applies, std::vector<linalg::Vec> scaled_sums,
+                     MomentResult& out) {
   const std::size_t n = scaled_sums.size() - 1;
   const std::size_t num_states = model.num_states();
 
@@ -333,6 +349,18 @@ void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
   out.weighted.resize(n + 1);
   for (std::size_t j = 0; j <= n; ++j)
     out.weighted[j] = linalg::dot(model.initial(), out.per_state[j]);
+
+  if constexpr (check::kChecked) {
+    if (jensen_applies && out.per_state.size() >= 3) {
+      // The truncation error is epsilon per moment in scaled units; the
+      // prefactor and the shift transform amplify it.
+      const double delta = std::abs(scaled.shift) * t;
+      const double eff_eps =
+          epsilon * std::max(prefactor, 1.0) * (1.0 + delta) * (1.0 + delta);
+      check::check_moment_consistency(out.per_state[1], out.per_state[2],
+                                      eff_eps, "finalize_result");
+    }
+  }
 }
 
 }  // namespace
@@ -459,6 +487,13 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
   // Theorem 4 applies unchanged: the normalized seed w/w_max is <= h, so
   // Lemma 2's majorant still dominates the iterates.
   out.error_bound = theorem4_error_bound(qt, n, scaled.d, g);
+  if constexpr (check::kChecked) {
+    check::check_truncation_bound(
+        out.error_bound,
+        g > 0 ? theorem4_error_bound(qt, n, scaled.d, g - 1) : out.error_bound,
+        options.epsilon, g, "solve_terminal_weighted");
+  }
+  const bool subtraction_free = is_subtraction_free(scaled);
 
   // Per-time-point Poisson weight table (single time point here): one
   // lgamma instead of one per sweep step.
@@ -500,6 +535,10 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
       out.stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
       fused_panel_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+      if constexpr (check::kChecked)
+        check::check_sweep_panel(u, k, /*j_lo=*/0, subtraction_free,
+                                 /*apply_majorant=*/true,
+                                 "solve_terminal_weighted");
       detail::record_sweep_step(k_t0, k, active.size());
     }
     detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
@@ -526,6 +565,12 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
       out.stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
       fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
+      if constexpr (check::kChecked) {
+        for (std::size_t j = 0; j <= n; ++j)
+          check::check_sweep_column(u[j], k, j, subtraction_free,
+                                    /*apply_majorant=*/true,
+                                    "solve_terminal_weighted");
+      }
       detail::record_sweep_step(k_t0, k, active.size());
     }
     detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
@@ -534,8 +579,8 @@ MomentResult RandomizationMomentSolver::solve_terminal_weighted(
 
   // Undo the weight normalization along with the usual j! d^j factor.
   const std::int64_t finalize_t0 = obs::now_ns();
-  finalize_result(model_, scaled, t, /*prefactor=*/w_max, std::move(sums),
-                  out);
+  finalize_result(model_, scaled, t, /*prefactor=*/w_max, options.epsilon,
+                  /*jensen_applies=*/false, std::move(sums), out);
   out.stats.finalize_seconds =
       obs::seconds_between(finalize_t0, obs::now_ns());
   out.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
@@ -611,9 +656,17 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     trunc[ti] = g;
     results[ti].truncation_point = g;
     results[ti].error_bound = theorem4_error_bound(qt, n, scaled.d, g);
+    if constexpr (check::kChecked) {
+      check::check_truncation_bound(
+          results[ti].error_bound,
+          g > 0 ? theorem4_error_bound(qt, n, scaled.d, g - 1)
+                : results[ti].error_bound,
+          options.epsilon, g, "solve_multi");
+    }
     g_max = std::max(g_max, g);
   }
   stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
+  const bool subtraction_free = is_subtraction_free(scaled);
 
   // Per-time-point Poisson weight tables, one lgamma each (mode-centered
   // multiplicative recurrence with left truncation) — the old code paid one
@@ -669,6 +722,9 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
       stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
       fused_panel_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
+      if constexpr (check::kChecked)
+        check::check_sweep_panel(u, k, /*j_lo=*/1, subtraction_free,
+                                 /*apply_majorant=*/true, "solve_multi");
       detail::record_sweep_step(k_t0, k, active.size());
     }
     detail::finish_sweep_stats(stats, sweep_t0, busy0);
@@ -676,6 +732,7 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     const std::int64_t finalize_t0 = obs::now_ns();
     for (std::size_t ti = 0; ti < times.size(); ++ti)
       finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
+                      options.epsilon, /*jensen_applies=*/true,
                       panel_to_vectors(acc[ti]), results[ti]);
     stats.finalize_seconds =
         obs::seconds_between(finalize_t0, obs::now_ns());
@@ -712,6 +769,11 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
     stats.active_weight_sum += active.size();
     const std::int64_t k_t0 = obs::now_ns();
     fused_recursion_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
+    if constexpr (check::kChecked) {
+      for (std::size_t j = 0; j <= n; ++j)
+        check::check_sweep_column(u[j], k, j, subtraction_free,
+                                  /*apply_majorant=*/true, "solve_multi");
+    }
     detail::record_sweep_step(k_t0, k, active.size());
   }
   detail::finish_sweep_stats(stats, sweep_t0, busy0);
@@ -719,6 +781,7 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
   const std::int64_t finalize_t0 = obs::now_ns();
   for (std::size_t ti = 0; ti < times.size(); ++ti)
     finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
+                    options.epsilon, /*jensen_applies=*/true,
                     std::move(acc[ti]), results[ti]);
   stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
   stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/invariants.hpp"
+
 namespace somrm::core {
 
 ScaledModel scale_model(const SecondOrderMrm& model, DriftScalePolicy policy,
@@ -34,6 +36,8 @@ ScaledModel scale_model(const SecondOrderMrm& model, DriftScalePolicy policy,
     out.q_prime = linalg::CsrMatrix::identity(n);
     out.r_prime = linalg::zeros(n);
     out.s_prime = linalg::zeros(n);
+    check::check_scaled_model(out, /*enforce_reward_bounds=*/true,
+                              "scale_model");
     return out;
   }
 
@@ -58,6 +62,12 @@ ScaledModel scale_model(const SecondOrderMrm& model, DriftScalePolicy policy,
       out.s_prime[i] = model.variances()[i] / qd2;
     }
   }
+  // Lemma-2 sub-stochasticity holds by construction only for kSafe; kPaper
+  // is allowed to break the reward bounds (see DESIGN.md), so only the
+  // structural parts (Q' stochastic, finite diagonals) are enforced there.
+  check::check_scaled_model(
+      out, /*enforce_reward_bounds=*/policy == DriftScalePolicy::kSafe,
+      "scale_model");
   return out;
 }
 

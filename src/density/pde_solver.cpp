@@ -1,8 +1,10 @@
 #include "density/pde_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/tridiag.hpp"
@@ -91,6 +93,27 @@ DensityResult density_via_pde(const core::SecondOrderMrm& model, double t,
                                       0.5 * model.variances()[i], dx, h,
                                       options.theta, m));
 
+  // Checked-build invariants. Non-negativity is only a theorem when the
+  // explicit half of the theta scheme is itself non-negative
+  // (1 + (1-theta) h cd >= 0 per state; the implicit half is always an
+  // M-matrix) — Crank-Nicolson with coarse steps may legitimately
+  // undershoot, so the sign check is gated on that condition. The mass
+  // probe uses max_i of the per-component mass: the reaction step replaces
+  // each component mass with a convex combination (e^{Qh/2} is
+  // row-stochastic) and absorbing boundaries only remove mass, so the max
+  // must never grow.
+  [[maybe_unused]] bool positivity_preserving = true;
+  [[maybe_unused]] double prev_max_mass = 0.0;
+  [[maybe_unused]] double density_scale = 0.0;
+  if constexpr (check::kChecked) {
+    for (const AdSystem& s : systems)
+      positivity_preserving = positivity_preserving && s.exp_diag[0] >= 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      prev_max_mass =
+          std::max(prev_max_mass, linalg::sum(state.per_state[i]) * dx);
+    density_scale = prob::normal_pdf(0.0, 0.0, s0 * s0);
+  }
+
   std::vector<double> col(n), col_out(n), rhs(m);
   for (std::size_t step = 0; step < options.num_time_steps; ++step) {
     // Half reaction: per grid point, mix components with exp(Q h/2).
@@ -124,6 +147,25 @@ DensityResult density_via_pde(const core::SecondOrderMrm& model, double t,
     }
 
     apply_reaction();
+
+    if constexpr (check::kChecked) {
+      double step_max_mass = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const double> ui(state.per_state[i]);
+        SOMRM_CHECK_FINITE(ui, "pde density");
+        if (positivity_preserving)
+          SOMRM_CHECK_NONNEGATIVE(ui, 1e-12 * density_scale, "pde density");
+        step_max_mass =
+            std::max(step_max_mass, linalg::sum(state.per_state[i]) * dx);
+      }
+      SOMRM_CHECK(
+          step_max_mass <= prev_max_mass * (1.0 + 1e-9) + 1e-12,
+          "pde.mass_monotone",
+          check::fmt("component mass grew at step ", step, ": ",
+                     step_max_mass, " > ", prev_max_mass,
+                     " (absorbing boundaries must not create mass)"));
+      prev_max_mass = step_max_mass;
+    }
   }
 
   state.weighted.assign(m, 0.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/invariants.hpp"
 #include "linalg/parallel.hpp"
 #include "obs/telemetry.hpp"
 
@@ -134,6 +135,10 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
             "CsrMatrix: row columns must be sorted and duplicate-free");
     }
   }
+  // Checked-build poison sweep: a NaN/Inf smuggled into any matrix (model
+  // generator, uniformized DTMC, impulse-moment matrix) would propagate
+  // silently through every sweep step.
+  SOMRM_CHECK_FINITE(std::span<const double>(values_), "CsrMatrix values");
 }
 
 CsrMatrix CsrMatrix::identity(std::size_t n) {

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/invariants.hpp"
 #include "linalg/vec.hpp"
 
 namespace somrm::linalg {
@@ -43,22 +44,36 @@ class Panel {
   std::span<double> span() { return data_; }
   std::span<const double> span() const { return data_; }
 
-  /// Pointer to the first element of row @p i (unchecked).
-  double* row_data(std::size_t i) { return data_.data() + i * width_; }
+  /// Pointer to the first element of row @p i (bounds-checked only under
+  /// SOMRM_CHECKED).
+  double* row_data(std::size_t i) {
+    SOMRM_CHECK(i < rows_, "panel.bounds",
+                check::fmt("row ", i, " out of range (rows = ", rows_, ")"));
+    return data_.data() + i * width_;
+  }
   const double* row_data(std::size_t i) const {
+    SOMRM_CHECK(i < rows_, "panel.bounds",
+                check::fmt("row ", i, " out of range (rows = ", rows_, ")"));
     return data_.data() + i * width_;
   }
 
-  /// Row @p i as a span of width() doubles (unchecked).
+  /// Row @p i as a span of width() doubles (bounds-checked only under
+  /// SOMRM_CHECKED).
   std::span<double> row(std::size_t i) { return {row_data(i), width_}; }
   std::span<const double> row(std::size_t i) const {
     return {row_data(i), width_};
   }
 
   double& operator()(std::size_t i, std::size_t j) {
+    SOMRM_CHECK(i < rows_ && j < width_, "panel.bounds",
+                check::fmt("(", i, ", ", j, ") out of range (", rows_, " x ",
+                           width_, ")"));
     return data_[i * width_ + j];
   }
   double operator()(std::size_t i, std::size_t j) const {
+    SOMRM_CHECK(i < rows_ && j < width_, "panel.bounds",
+                check::fmt("(", i, ", ", j, ") out of range (", rows_, " x ",
+                           width_, ")"));
     return data_[i * width_ + j];
   }
 

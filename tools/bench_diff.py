@@ -13,6 +13,9 @@ regressed by more than the threshold (default 10%).
 
 Records present in only one file are reported but do not affect the exit
 code — adding a benchmark must not fail the diff that introduces it.
+
+Exit codes: 0 no regression, 1 regression beyond the threshold, 2 input
+error (missing/malformed snapshot, or no records matched).
 """
 
 from __future__ import annotations
@@ -22,13 +25,31 @@ import json
 import sys
 
 
+class SnapshotError(Exception):
+    """A snapshot file is missing, unreadable, or not a bench-record array."""
+
+
 def load_records(path: str) -> dict[tuple, dict]:
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as err:
+        raise SnapshotError(f"{path}: cannot read snapshot: {err}") from err
+    except json.JSONDecodeError as err:
+        raise SnapshotError(
+            f"{path}: not valid JSON (line {err.lineno}, column {err.colno}: "
+            f"{err.msg}); expected an array written by --json/--json-append"
+        ) from err
     if not isinstance(data, list):
-        raise SystemExit(f"{path}: expected a JSON array of bench records")
+        raise SnapshotError(
+            f"{path}: expected a JSON array of bench records, got "
+            f"{type(data).__name__}")
     records = {}
-    for rec in data:
+    for i, rec in enumerate(data):
+        if not isinstance(rec, dict):
+            raise SnapshotError(
+                f"{path}: record {i} is {type(rec).__name__}, expected an "
+                "object with bench/states/threads/moments keys")
         key = (
             rec.get("bench", ""),
             rec.get("states", 0),
@@ -57,8 +78,12 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    base = load_records(args.baseline)
-    cand = load_records(args.candidate)
+    try:
+        base = load_records(args.baseline)
+        cand = load_records(args.candidate)
+    except SnapshotError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
     matched = sorted(base.keys() & cand.keys())
     only_base = sorted(base.keys() - cand.keys())

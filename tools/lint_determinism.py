@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Determinism lint for the somrm sources.
+
+The moment solver is specified to be bit-reproducible for a fixed thread
+count (DESIGN.md section 8). That property is easy to lose through a
+handful of innocuous-looking C++ idioms, so this lint rejects them at CI
+time instead of waiting for a flaky numerical diff:
+
+  no-unordered-iteration   std::unordered_{map,set} in src/ — hash-table
+                           iteration order is unspecified and varies
+                           across libstdc++ versions, so any numeric
+                           output derived from it is nondeterministic.
+  no-raw-entropy           rand(), srand(), std::rand(), or time(...) in
+                           src/ — hidden global entropy / wall-clock
+                           inputs. Seeded std::mt19937* engines are fine.
+  no-adhoc-fp-reduction    std::accumulate / std::reduce over floats
+                           outside src/linalg/ — floating-point
+                           reductions must go through the fixed-order
+                           helpers in linalg (sum/dot/parallel_reduce) so
+                           the association order is pinned.
+  no-shared-capture        `x += ...` inside a parallel_for body where x
+                           is not declared in the body — a by-reference
+                           captured accumulator is both a data race and
+                           an order-dependent FP sum.
+
+False positives can be waived per line with a trailing
+`// lint:allow(<rule-name>)` comment; the waiver must name the rule.
+
+Exit codes: 0 clean, 1 violations found, 2 usage / IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "no-unordered-iteration",
+    "no-raw-entropy",
+    "no-adhoc-fp-reduction",
+    "no-shared-capture",
+)
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+RAW_ENTROPY_RE = re.compile(r"(?<![\w:])(?:std::)?(?:rand|srand|time)\s*\(")
+FP_REDUCTION_RE = re.compile(r"\bstd::(?:accumulate|reduce)\s*[<(]")
+PARALLEL_FOR_RE = re.compile(r"\bparallel_for(?:_reduce)?\s*\(")
+COMPOUND_ADD_RE = re.compile(r"(?<![-+<>=!*/&|^%])\b([A-Za-z_]\w*)\s*\+=")
+LOCAL_DECL_RE = re.compile(
+    r"\b(?:double|float|int|long|std::size_t|size_t|auto)\s+([A-Za-z_]\w*)\s*[={(]"
+)
+
+
+def strip_noise(line: str) -> str:
+    """Drop string literals and the trailing // comment so pattern matches
+    only fire on code. (Block comments are handled by the caller.)"""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+class Violation:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw_line)
+    return bool(m) and m.group(1) == rule
+
+
+def find_parallel_bodies(lines: list[str]) -> list[tuple[int, int]]:
+    """Return (start, end) 0-based line ranges of parallel_for(...) call
+    bodies, matched by brace balance from the call site."""
+    bodies = []
+    i = 0
+    while i < len(lines):
+        code = strip_noise(lines[i])
+        if PARALLEL_FOR_RE.search(code):
+            depth = 0
+            seen_brace = False
+            j = i
+            while j < len(lines):
+                for ch in strip_noise(lines[j]):
+                    if ch == "{":
+                        depth += 1
+                        seen_brace = True
+                    elif ch == "}":
+                        depth -= 1
+                if seen_brace and depth <= 0:
+                    break
+                j += 1
+            bodies.append((i, min(j, len(lines) - 1)))
+            i = j + 1
+        else:
+            i += 1
+    return bodies
+
+
+def lint_file(path: Path, src_root: Path) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"lint_determinism: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+    # Blank out /* ... */ block comments, preserving line structure.
+    text = re.sub(
+        r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group(0)), text,
+        flags=re.S)
+    lines = text.splitlines()
+    rel = path.relative_to(src_root.parent)
+    in_linalg = "linalg" in path.parts
+
+    out: list[Violation] = []
+    for idx, raw in enumerate(lines, start=1):
+        code = strip_noise(raw)
+        if UNORDERED_RE.search(code) and not allowed(raw, "no-unordered-iteration"):
+            out.append(Violation(
+                rel, idx, "no-unordered-iteration",
+                "std::unordered_* iteration order is unspecified; use "
+                "std::map/std::vector or add // lint:allow(no-unordered-iteration)"))
+        if RAW_ENTROPY_RE.search(code) and not allowed(raw, "no-raw-entropy"):
+            out.append(Violation(
+                rel, idx, "no-raw-entropy",
+                "rand()/srand()/time() inject hidden global state; use a "
+                "seeded <random> engine"))
+        if (not in_linalg and FP_REDUCTION_RE.search(code)
+                and not allowed(raw, "no-adhoc-fp-reduction")):
+            out.append(Violation(
+                rel, idx, "no-adhoc-fp-reduction",
+                "floating-point reductions must use the fixed-order helpers "
+                "in linalg (sum/dot/parallel_reduce), not std::accumulate/"
+                "std::reduce"))
+
+    for start, end in find_parallel_bodies(lines):
+        declared: set[str] = set()
+        for idx in range(start, end + 1):
+            code = strip_noise(lines[idx])
+            declared.update(LOCAL_DECL_RE.findall(code))
+            for m in COMPOUND_ADD_RE.finditer(code):
+                name = m.group(1)
+                if name in declared:
+                    continue
+                if allowed(lines[idx], "no-shared-capture"):
+                    continue
+                out.append(Violation(
+                    rel, idx + 1, "no-shared-capture",
+                    f"'{name} +=' inside a parallel_for body but '{name}' is "
+                    "not declared in the body: a captured accumulator is a "
+                    "data race and an order-dependent FP sum; use "
+                    "parallel_reduce or a per-chunk local"))
+    return out
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="source tree to lint (default: <repo>/src next to this script)")
+    args = parser.parse_args(argv)
+
+    src_root = Path(args.root) if args.root else (
+        Path(__file__).resolve().parent.parent / "src")
+    if not src_root.is_dir():
+        print(f"lint_determinism: source root {src_root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    files = sorted(
+        p for p in src_root.rglob("*")
+        if p.suffix in {".hpp", ".cpp", ".h", ".cc"} and p.is_file())
+    if not files:
+        print(f"lint_determinism: no C++ sources under {src_root}",
+              file=sys.stderr)
+        return 2
+
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path, src_root))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_determinism: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a content-hash cache.
+
+Runs clang-tidy (using the project .clang-tidy and a compile_commands.json)
+over every .cpp under src/, but skips files whose *inputs* are unchanged
+since the last clean run. The cache key for a TU is the SHA-256 of:
+
+  * the TU's own bytes,
+  * the bytes of every project header it includes (transitively, resolved
+    against src/),
+  * the .clang-tidy config,
+  * the clang-tidy version string.
+
+so editing a header re-lints every TU that includes it, and bumping the
+config or the tool re-lints everything. Files that produce diagnostics are
+never cached, so re-runs keep reporting them until they are fixed.
+
+Usage:
+  tools/run_clang_tidy_cached.py --build-dir build [--cache-dir .tidy-cache]
+                                 [--clang-tidy clang-tidy-18] [files...]
+
+Exit codes: 0 clean, 1 diagnostics reported, 2 environment error
+(clang-tidy or compile_commands.json missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def project_includes(path: Path, src_root: Path, seen: set[Path]) -> None:
+    """Collect the transitive project-header closure of @p path into seen."""
+    if path in seen or not path.is_file():
+        return
+    seen.add(path)
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return
+    for inc in INCLUDE_RE.findall(text):
+        for base in (src_root, path.parent):
+            cand = (base / inc).resolve()
+            if cand.is_file():
+                project_includes(cand, src_root, seen)
+                break
+
+
+def cache_key(tu: Path, src_root: Path, config_bytes: bytes,
+              tool_version: bytes) -> str:
+    h = hashlib.sha256()
+    h.update(tool_version)
+    h.update(config_bytes)
+    closure: set[Path] = set()
+    project_includes(tu, src_root, closure)
+    for dep in sorted(closure):
+        h.update(str(dep).encode())
+        h.update(dep.read_bytes())
+    return h.hexdigest()
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--cache-dir", default=".tidy-cache",
+                        help="directory for per-file result stamps")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable to use")
+    parser.add_argument("files", nargs="*",
+                        help="explicit TUs to check (default: src/**/*.cpp)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    src_root = root / "src"
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print(f"run_clang_tidy_cached: {args.clang_tidy} not found on PATH",
+              file=sys.stderr)
+        return 2
+    build_dir = Path(args.build_dir)
+    if not (build_dir / "compile_commands.json").is_file():
+        print(f"run_clang_tidy_cached: {build_dir}/compile_commands.json "
+              "missing (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    config_bytes = (root / ".clang-tidy").read_bytes()
+    tool_version = subprocess.run(
+        [tidy, "--version"], capture_output=True, text=True,
+        check=True).stdout.encode()
+
+    if args.files:
+        tus = [Path(f).resolve() for f in args.files]
+    else:
+        tus = sorted(src_root.rglob("*.cpp"))
+
+    cache_dir = Path(args.cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = 0
+    skipped = 0
+    for tu in tus:
+        key = cache_key(tu, src_root, config_bytes, tool_version)
+        stamp = cache_dir / f"{tu.stem}-{key[:24]}.ok"
+        if stamp.is_file():
+            skipped += 1
+            continue
+        print(f"clang-tidy {tu.relative_to(root)}", flush=True)
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet", str(tu)],
+            capture_output=True, text=True)
+        output = (proc.stdout + proc.stderr).strip()
+        has_diag = proc.returncode != 0 or re.search(
+            r"(warning|error):", proc.stdout)
+        if has_diag:
+            print(output)
+            failed += 1
+        else:
+            # Drop stale stamps for this TU, then record the clean run.
+            for old in cache_dir.glob(f"{tu.stem}-*.ok"):
+                old.unlink()
+            stamp.write_text(json.dumps({"tu": str(tu), "key": key}) + "\n")
+
+    total = len(tus)
+    print(f"run_clang_tidy_cached: {total - failed - skipped} checked, "
+          f"{skipped} cached, {failed} with diagnostics")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py input handling and regression detection.
+
+Run directly (python3 tools/test_bench_diff.py) or via ctest (label
+`lint`). Uses only the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+BENCH_DIFF = TOOLS / "bench_diff.py"
+
+
+def record(bench: str, wall_s: float, **kw) -> dict:
+    rec = {"bench": bench, "states": 64, "threads": 1, "moments": 2,
+           "wall_s": wall_s}
+    rec.update(kw)
+    return rec
+
+
+def run_diff(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(BENCH_DIFF), *argv],
+        capture_output=True, text=True)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name: str, payload) -> str:
+        path = self.dir / name
+        if isinstance(payload, str):
+            path.write_text(payload, encoding="utf-8")
+        else:
+            path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_missing_baseline_exits_2_with_message(self) -> None:
+        cand = self.write("cand.json", [record("sweep", 1.0)])
+        proc = run_diff(str(self.dir / "nope.json"), cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read snapshot", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_malformed_json_exits_2_with_message(self) -> None:
+        base = self.write("base.json", "{not json")
+        cand = self.write("cand.json", [record("sweep", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not valid JSON", proc.stderr)
+        self.assertIn("line 1", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_non_array_payload_exits_2(self) -> None:
+        base = self.write("base.json", {"bench": "sweep"})
+        cand = self.write("cand.json", [record("sweep", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("expected a JSON array", proc.stderr)
+
+    def test_non_object_record_exits_2(self) -> None:
+        base = self.write("base.json", [record("sweep", 1.0), "oops"])
+        cand = self.write("cand.json", [record("sweep", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("record 1", proc.stderr)
+
+    def test_no_overlap_exits_2(self) -> None:
+        base = self.write("base.json", [record("a", 1.0)])
+        cand = self.write("cand.json", [record("b", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no records matched", proc.stderr)
+
+    def test_regression_exits_1(self) -> None:
+        base = self.write("base.json", [record("sweep", 1.0)])
+        cand = self.write("cand.json", [record("sweep", 1.5)])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_within_threshold_exits_0(self) -> None:
+        base = self.write("base.json", [record("sweep", 1.0)])
+        cand = self.write("cand.json", [record("sweep", 1.05)])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("none regressed", proc.stdout)
+
+    def test_improvement_exits_0(self) -> None:
+        base = self.write("base.json", [record("sweep", 2.0)])
+        cand = self.write("cand.json", [record("sweep", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_unmatched_records_reported_but_pass(self) -> None:
+        base = self.write("base.json",
+                          [record("sweep", 1.0), record("old", 1.0)])
+        cand = self.write("cand.json",
+                          [record("sweep", 1.0), record("new", 1.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("only in baseline", proc.stdout)
+        self.assertIn("only in candidate", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
