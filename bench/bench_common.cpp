@@ -72,6 +72,10 @@ void fill_from_stats(BenchRecord& record, const obs::SolverStats& stats) {
   record.sweep_s = stats.sweep_seconds;
   record.spmv_gflops = stats.effective_gflops;
   record.load_imbalance = stats.load_imbalance;
+  record.cache_hits = stats.cache_hits;
+  record.cache_misses = stats.cache_misses;
+  record.cache_evictions = stats.cache_evictions;
+  record.cache_coalesced = stats.cache_coalesced;
 }
 
 void JsonWriter::add(BenchRecord record) {
@@ -90,11 +94,14 @@ void print_record(std::FILE* f, const BenchRecord& r, bool trailing_comma) {
       "\"wall_s\": %.9g, \"moments\": %zu, \"git_sha\": \"%s\", "
       "\"kernel\": \"%s\", \"observability\": %s, "
       "\"truncation_point\": %zu, \"sweep_s\": %.9g, "
-      "\"spmv_gflops\": %.9g, \"load_imbalance\": %.9g}%s\n",
+      "\"spmv_gflops\": %.9g, \"load_imbalance\": %.9g, "
+      "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+      "\"cache_evictions\": %zu, \"cache_coalesced\": %zu}%s\n",
       r.bench.c_str(), r.states, r.threads, r.wall_s, r.moments,
       r.git_sha.c_str(), r.kernel.c_str(),
       r.observability ? "true" : "false", r.truncation_point, r.sweep_s,
-      r.spmv_gflops, r.load_imbalance, trailing_comma ? "," : "");
+      r.spmv_gflops, r.load_imbalance, r.cache_hits, r.cache_misses,
+      r.cache_evictions, r.cache_coalesced, trailing_comma ? "," : "");
 }
 
 /// Reads the existing JSON array body (the text between the outer

@@ -73,6 +73,12 @@ struct BenchRecord {
   double sweep_s = 0.0;              ///< U-recursion sweep seconds
   double spmv_gflops = 0.0;          ///< effective sweep GFLOP/s
   double load_imbalance = 0.0;       ///< 1 - busy/(threads * sweep wall)
+  // SolveSession sweep-cache counters (batched_queries bench; all zero for
+  // benches that solve directly without a session cache).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_coalesced = 0;
 };
 
 /// Copies the solver-telemetry fields of @p stats into @p record (kernel,

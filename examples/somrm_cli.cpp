@@ -1,7 +1,8 @@
 // somrm_cli — analyze a model file without writing any C++.
 //
 //   somrm_cli <model.somrm> [--time t]... [--moments n] [--epsilon e]
-//             [--bounds x] [--simulate reps] [--stats]
+//             [--bounds x] [--simulate reps] [--batch queries.txt]
+//             [--stats]
 //
 // Loads the text model (see src/io/model_io.hpp for the format), runs the
 // randomization moment solver (impulse-aware when the file has impulse
@@ -10,6 +11,17 @@
 // summary (kernel, Theorem-4 truncation points, phase timings; timings are
 // zero when built with -DSOMRM_OBSERVABILITY=OFF). Set SOMRM_TRACE=<path>
 // to capture a Chrome/Perfetto trace of the solve.
+//
+// --batch answers many queries through one core::SolveSession, so queries
+// that share the model run ONE randomization sweep instead of one per
+// query (impulse models are not supported in batch mode). Query file: one
+// query per line, `#` comments; each line is
+//
+//   <time> [n=<order>] [pi=<state>:<prob>,...] [w=<state>:<weight>,...]
+//
+// where pi overrides the initial distribution (sparse; unlisted states get
+// 0) and w asks for terminal-weighted moments. With --stats the session
+// cache counters (hits / misses / coalesced) are included in the summary.
 //
 // Run without arguments to see the format and a demo model.
 
@@ -20,10 +32,15 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
 #include "bounds/moment_bounds.hpp"
 #include "core/impulse_randomization.hpp"
 #include "core/moment_utils.hpp"
 #include "core/randomization.hpp"
+#include "core/solve_session.hpp"
 #include "io/model_io.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/impulse_simulator.hpp"
@@ -49,9 +66,144 @@ void usage() {
   std::printf(
       "usage: somrm_cli <model.somrm> [--time t]... [--moments n]\n"
       "                 [--epsilon e] [--bounds x] [--simulate reps]\n"
-      "                 [--stats]\n\n"
-      "model file format example:\n%s",
+      "                 [--batch queries.txt] [--stats]\n\n"
+      "model file format example:\n%s\n"
+      "batch query file: one `<time> [n=<order>] [pi=<i>:<p>,...] "
+      "[w=<i>:<v>,...]` per line\n",
       kDemoModel);
+}
+
+/// One parsed --batch line: a time point plus the optional order / initial
+/// distribution / terminal-weight overrides.
+struct BatchLine {
+  double time = 0.0;
+  std::size_t order = somrm::core::SessionQuery::kSessionMax;
+  somrm::linalg::Vec initial;           // empty = model's initial
+  somrm::linalg::Vec terminal_weights;  // empty = plain moments
+};
+
+[[noreturn]] void batch_fail(std::size_t line, const std::string& what) {
+  std::fprintf(stderr, "batch query file, line %zu: %s\n", line,
+               what.c_str());
+  std::exit(2);
+}
+
+/// Parses "i:v,i:v,..." into a dense size-num_states vector (unlisted
+/// entries are zero).
+somrm::linalg::Vec parse_sparse_vector(const std::string& spec,
+                                       std::size_t num_states,
+                                       std::size_t line) {
+  somrm::linalg::Vec out(num_states, 0.0);
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    std::size_t state = 0;
+    double value = 0.0;
+    char colon = 0;
+    std::stringstream es(entry);
+    if (!(es >> state >> colon >> value) || colon != ':')
+      batch_fail(line, "bad entry '" + entry + "' (want <state>:<value>)");
+    if (state >= num_states)
+      batch_fail(line, "state " + std::to_string(state) + " out of range (" +
+                           std::to_string(num_states) + " states)");
+    out[state] = value;
+  }
+  return out;
+}
+
+std::vector<BatchLine> parse_batch_file(const std::string& path,
+                                        std::size_t num_states) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open batch query file %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<BatchLine> out;
+  std::string text;
+  for (std::size_t lineno = 1; std::getline(in, text); ++lineno) {
+    const std::size_t hash = text.find('#');
+    if (hash != std::string::npos) text.erase(hash);
+    std::stringstream line(text);
+    BatchLine q;
+    if (!(line >> q.time)) continue;  // blank/comment line
+    std::string token;
+    while (line >> token) {
+      if (token.rfind("n=", 0) == 0) {
+        q.order = static_cast<std::size_t>(
+            std::strtoull(token.c_str() + 2, nullptr, 10));
+      } else if (token.rfind("pi=", 0) == 0) {
+        q.initial = parse_sparse_vector(token.substr(3), num_states, lineno);
+      } else if (token.rfind("w=", 0) == 0) {
+        q.terminal_weights =
+            parse_sparse_vector(token.substr(2), num_states, lineno);
+      } else {
+        batch_fail(lineno, "unknown token '" + token + "'");
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "batch query file %s has no queries\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Answers all --batch queries through one SolveSession (shared sweep per
+/// distinct terminal-weight vector) and prints one row per query.
+int run_batch(const somrm::core::SecondOrderMrm& model,
+              const std::vector<BatchLine>& lines,
+              const somrm::core::MomentSolverOptions& opts,
+              bool print_stats) {
+  using namespace somrm;
+
+  // The session's time grid: sorted unique times over all queries.
+  std::vector<double> grid;
+  grid.reserve(lines.size());
+  for (const BatchLine& q : lines) grid.push_back(q.time);
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  std::vector<core::SessionQuery> queries;
+  queries.reserve(lines.size());
+  for (const BatchLine& q : lines) {
+    core::SessionQuery sq;
+    sq.time_index = static_cast<std::size_t>(
+        std::lower_bound(grid.begin(), grid.end(), q.time) - grid.begin());
+    sq.max_moment = q.order;
+    sq.initial = q.initial;
+    sq.terminal_weights = q.terminal_weights;
+    queries.push_back(std::move(sq));
+  }
+
+  const core::SolveSession session(model, grid, opts);
+  const auto results = session.query_batch(queries);
+
+  std::printf("%6s %10s %3s %10s", "query", "t", "n", "kind");
+  for (std::size_t j = 1; j <= opts.max_moment; ++j)
+    std::printf("  %16s", ("E[B^" + std::to_string(j) + "]").c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%6zu %10.5g %3zu %10s", i, r.time, r.weighted.size() - 1,
+                queries[i].terminal_weights.empty() ? "plain" : "weighted");
+    for (std::size_t j = 1; j <= opts.max_moment; ++j) {
+      if (j < r.weighted.size())
+        std::printf("  %16.8g", r.weighted[j]);
+      else
+        std::printf("  %16s", "-");
+    }
+    std::printf("\n");
+  }
+
+  const core::SweepCacheStats cs = session.cache_stats();
+  std::printf("\n%zu queries, %zu time point(s), %zu sweep(s) run "
+              "(%zu cache hit(s))\n",
+              results.size(), grid.size(), cs.misses, cs.hits);
+  if (print_stats)
+    std::printf("\n%s", obs::report(results.back().stats).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -70,6 +222,7 @@ int main(int argc, char** argv) {
   double bounds_at = std::nan("");
   std::size_t simulate = 0;
   bool print_stats = false;
+  std::string batch_path;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
@@ -89,6 +242,8 @@ int main(int argc, char** argv) {
       bounds_at = std::strtod(next(), nullptr);
     } else if (flag == "--simulate") {
       simulate = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (flag == "--batch") {
+      batch_path = next();
     } else if (flag == "--stats") {
       print_stats = true;
     } else {
@@ -119,6 +274,29 @@ int main(int argc, char** argv) {
   core::MomentSolverOptions opts;
   opts.max_moment = max_moment;
   opts.epsilon = epsilon;
+
+  if (!batch_path.empty()) {
+    if (impulsive) {
+      std::fprintf(stderr,
+                   "--batch does not support impulse models (the session "
+                   "sweep has no impulse path)\n");
+      return 2;
+    }
+    const auto lines = parse_batch_file(batch_path, file.model.num_states());
+    // The session solves at the largest order any query asks for; lower
+    // orders are served from the same sweep.
+    core::MomentSolverOptions session_opts = opts;
+    for (const BatchLine& q : lines)
+      if (q.order != core::SessionQuery::kSessionMax)
+        session_opts.max_moment =
+            std::max(session_opts.max_moment, q.order);
+    try {
+      return run_batch(file.model, lines, session_opts, print_stats);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "batch solve failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   const auto solve_at = [&](std::span<const double> ts) {
     return impulsive

@@ -291,14 +291,6 @@ void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
   for (std::size_t j = j_lo; j <= n; ++j) std::swap(u[j], u_next[j]);
 }
 
-/// Extracts the accumulated panel back into one vector per moment order
-/// (the layout finalize_result and MomentResult use).
-std::vector<linalg::Vec> panel_to_vectors(const linalg::Panel& p) {
-  std::vector<linalg::Vec> out(p.width());
-  for (std::size_t j = 0; j < p.width(); ++j) out[j] = p.col(j);
-  return out;
-}
-
 /// True when the scaled recursion is numerically subtraction-free (all
 /// R' >= 0, i.e. shift-mode scaling; S' is non-negative by construction),
 /// which is when the checked build may assert iterate non-negativity.
@@ -311,33 +303,37 @@ bool is_subtraction_free(const ScaledModel& scaled) {
 
 /// Finishes a MomentResult from the accumulated scaled sums: applies
 /// @p prefactor times the n! d^n factor, undoes the drift shift, and
-/// weights by pi. The prefactor is 1 for the plain solve and w_max for the
-/// terminal-weighted solve (undoing the seed normalization). @p epsilon is
-/// the Theorem-4 budget of the solve, used to scale the checked-build
-/// moment-consistency tolerance; @p jensen_applies must be false for
-/// terminal-weighted output, where V^(j) = E[B^j w(Z(t))] and Cauchy-
-/// Schwarz only yields V2 >= V1^2 for weights bounded by 1.
-void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
+/// weights by @p initial. The prefactor is 1 for the plain solve and w_max
+/// for the terminal-weighted solve (undoing the seed normalization).
+/// @p epsilon is the Theorem-4 budget of the solve, used to scale the
+/// checked-build moment-consistency tolerance; @p jensen_applies must be
+/// false for terminal-weighted output, where V^(j) = E[B^j w(Z(t))] and
+/// Cauchy-Schwarz only yields V2 >= V1^2 for weights bounded by 1. Takes
+/// the scaling scalars rather than the model/ScaledModel pair so the
+/// retained-sweep finalize (which has no ScaledModel) runs the exact same
+/// code — per element the arithmetic chain is shared, which is what makes
+/// the session path bit-identical to the direct solvers.
+void finalize_result(std::span<const double> initial, double d, double shift,
                      double t, double prefactor, double epsilon,
                      bool jensen_applies, std::vector<linalg::Vec> scaled_sums,
                      MomentResult& out) {
   const std::size_t n = scaled_sums.size() - 1;
-  const std::size_t num_states = model.num_states();
+  const std::size_t num_states = scaled_sums[0].size();
 
   // V_check^(j) = prefactor * j! d^j * scaled_sums[j]  (moments of the
   // shifted model).
   double factor = prefactor;  // prefactor * j! d^j
   for (std::size_t j = 0; j <= n; ++j) {
-    if (j > 0) factor *= static_cast<double>(j) * scaled.d;
+    if (j > 0) factor *= static_cast<double>(j) * d;
     linalg::scale(factor, scaled_sums[j]);
   }
 
   // Undo the drift shift per initial state: B(t) = B_check(t) + shift * t.
-  if (scaled.shift == 0.0) {
+  if (shift == 0.0) {
     out.per_state = std::move(scaled_sums);
   } else {
     out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
-    const double delta = scaled.shift * t;
+    const double delta = shift * t;
     std::vector<double> raw(n + 1);
     for (std::size_t i = 0; i < num_states; ++i) {
       for (std::size_t j = 0; j <= n; ++j) raw[j] = scaled_sums[j][i];
@@ -348,19 +344,240 @@ void finalize_result(const SecondOrderMrm& model, const ScaledModel& scaled,
 
   out.weighted.resize(n + 1);
   for (std::size_t j = 0; j <= n; ++j)
-    out.weighted[j] = linalg::dot(model.initial(), out.per_state[j]);
+    out.weighted[j] = linalg::dot(initial, out.per_state[j]);
 
   if constexpr (check::kChecked) {
     if (jensen_applies && out.per_state.size() >= 3) {
       // The truncation error is epsilon per moment in scaled units; the
       // prefactor and the shift transform amplify it.
-      const double delta = std::abs(scaled.shift) * t;
+      const double delta = std::abs(shift) * t;
       const double eff_eps =
           epsilon * std::max(prefactor, 1.0) * (1.0 + delta) * (1.0 + delta);
       check::check_moment_consistency(out.per_state[1], out.per_state[2],
                                       eff_eps, "finalize_result");
     }
   }
+}
+
+/// The shared sweep body behind solve_multi, solve_terminal_weighted and
+/// sweep_retained: scales the model, computes per-time truncation points
+/// and Poisson windows, runs the fused recursion with the per-time weighted
+/// accumulation, and returns the retained panels. @p terminal_weights empty
+/// selects the plain sweep (invariant ones seed, j_lo = 1); non-empty
+/// selects the terminal-weighted sweep (normalized w seed, j_lo = 0).
+/// @p caller names the solve in checked-build probe messages.
+RetainedSweep run_sweep(const SecondOrderMrm& model,
+                        std::span<const double> times,
+                        const MomentSolverOptions& options,
+                        std::span<const double> terminal_weights,
+                        const char* caller) {
+  const std::int64_t total_t0 = obs::now_ns();
+  const std::size_t n = options.max_moment;
+  const std::size_t num_states = model.num_states();
+  const bool weighted = !terminal_weights.empty();
+  const double w_max = weighted ? linalg::max_elem(terminal_weights) : 1.0;
+  const ScaledModel scaled =
+      scale_model(model, options.scale_policy, options.center);
+
+  RetainedSweep sweep;
+  sweep.times.assign(times.begin(), times.end());
+  sweep.max_moment = n;
+  sweep.epsilon = options.epsilon;
+  sweep.center = options.center;
+  sweep.q = scaled.q;
+  sweep.d = scaled.d;
+  sweep.shift = scaled.shift;
+  sweep.terminal_weighted = weighted;
+  sweep.prefactor = weighted ? w_max : 1.0;
+
+  obs::SolverStats& stats = sweep.stats;
+  stats.threads = linalg::num_threads();
+  stats.panel_width = n + 1;
+  stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
+
+  // Degenerate chain: no transitions ever happen, so conditioned on
+  // Z(0) = i the reward is exactly a Brownian motion with (r_i, sigma_i^2)
+  // and the moments are the closed-form normal moments (times the terminal
+  // weight, which only sees the frozen state Z(t) = Z(0) = i). The panels
+  // hold FINAL per-state values; finalize only contracts with pi.
+  if (scaled.q == 0.0) {
+    sweep.degenerate = true;
+    sweep.prefactor = 1.0;
+    stats.kernel = "degenerate";
+    stats.panel_width = 0;
+    sweep.acc.assign(times.size(), linalg::Panel(num_states, n + 1, 0.0));
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      for (std::size_t i = 0; i < num_states; ++i) {
+        const auto m = prob::brownian_raw_moments(
+            model.drifts()[i] - options.center, model.variances()[i],
+            times[ti], n);
+        const double wi = weighted ? terminal_weights[i] : 1.0;
+        for (std::size_t j = 0; j <= n; ++j) sweep.acc[ti](i, j) = m[j] * wi;
+      }
+    }
+    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+    return sweep;
+  }
+
+  // Theorem-4 truncation per time point: honour epsilon for every moment
+  // order 0..n, so take the max of the per-order G values. The per-order
+  // maxima over the time points land in stats.truncation_points.
+  const std::int64_t trunc_t0 = obs::now_ns();
+  std::vector<std::size_t>& trunc = sweep.truncation_points;
+  trunc.assign(times.size(), 0);
+  sweep.error_bounds.assign(times.size(), 0.0);
+  stats.truncation_points.assign(n + 1, 0);
+  std::size_t g_max = 0;
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    std::size_t g = 0;
+    for (std::size_t j = 0; j <= n; ++j) {
+      const std::size_t gj = RandomizationMomentSolver::truncation_point(
+          qt, j, scaled.d, options.epsilon);
+      stats.truncation_points[j] = std::max(stats.truncation_points[j], gj);
+      g = std::max(g, gj);
+    }
+    trunc[ti] = g;
+    // Theorem 4 applies to the weighted sweep unchanged: the normalized
+    // seed w/w_max is <= h, so Lemma 2's majorant still dominates.
+    sweep.error_bounds[ti] = theorem4_error_bound(qt, n, scaled.d, g);
+    if constexpr (check::kChecked) {
+      check::check_truncation_bound(
+          sweep.error_bounds[ti],
+          g > 0 ? theorem4_error_bound(qt, n, scaled.d, g - 1)
+                : sweep.error_bounds[ti],
+          options.epsilon, g, caller);
+    }
+    g_max = std::max(g_max, g);
+  }
+  stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
+  const bool subtraction_free = is_subtraction_free(scaled);
+
+  // Per-time-point Poisson weight tables, one lgamma each (mode-centered
+  // multiplicative recurrence with left truncation) — the old code paid one
+  // lgamma per (k, time point) pair inside the sweep.
+  const std::int64_t window_t0 = obs::now_ns();
+  std::vector<prob::PoissonWindow> windows(times.size());
+  stats.window_widths.assign(times.size(), 0);
+  for (std::size_t ti = 0; ti < times.size(); ++ti) {
+    const double qt = scaled.q * times[ti];
+    if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
+    stats.window_widths[ti] = windows[ti].weights.size();
+    obs::trace_counter("poisson.window_width",
+                       static_cast<double>(windows[ti].weights.size()));
+  }
+  stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
+  stats.sweep_steps = g_max;
+  // Lanes actually iterated per CSR pass: the plain sweep's j = 0 column is
+  // invariant (j_lo = 1), so n lanes; the weighted seed is not invariant,
+  // so all n+1 lanes iterate (j_lo = 0).
+  const std::size_t j_lo = weighted ? 0 : 1;
+  stats.sweep_flops =
+      2 * g_max * scaled.q_prime.nnz() * (weighted ? n + 1 : n);
+
+  const auto seed_value = [&](std::size_t i) {
+    return weighted ? terminal_weights[i] / w_max : 1.0;
+  };
+
+  if (options.kernel == SweepKernel::kPanel) {
+    stats.kernel = "panel";
+    linalg::Panel u(num_states, n + 1, 0.0);
+    linalg::Panel u_next(num_states, n + 1, 0.0);
+    for (std::size_t i = 0; i < num_states; ++i) u(i, 0) = seed_value(i);
+    if (!weighted) u_next.fill_col(0, 1.0);  // invariant column survives swaps
+    sweep.acc.assign(times.size(), linalg::Panel(num_states, n + 1, 0.0));
+    std::vector<linalg::Panel>& acc = sweep.acc;
+
+    // k = 0 contribution.
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      const double qt = scaled.q * times[ti];
+      const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+      if (w0 != 0.0)
+        for (std::size_t i = 0; i < num_states; ++i)
+          acc[ti](i, 0) += w0 * u(i, 0);
+    }
+
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
+    std::vector<ActiveWeight> active;
+    active.reserve(times.size());
+    for (std::size_t k = 1; k <= g_max; ++k) {
+      active.clear();
+      for (std::size_t ti = 0; ti < times.size(); ++ti) {
+        if (k > trunc[ti]) continue;
+        const double w = windows[ti].weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{ti, w});
+      }
+      stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
+      fused_panel_step(scaled, n, j_lo, u, u_next, active, acc);
+      if constexpr (check::kChecked)
+        check::check_sweep_panel(u, k, j_lo, subtraction_free,
+                                 /*apply_majorant=*/true, caller);
+      detail::record_sweep_step(k_t0, k, active.size());
+    }
+    detail::finish_sweep_stats(stats, sweep_t0, busy0);
+  } else {
+    stats.kernel = "fused_vectors";
+    std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
+    for (std::size_t i = 0; i < num_states; ++i) u[0][i] = seed_value(i);
+    std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
+    std::vector<std::vector<linalg::Vec>> acc(
+        times.size(),
+        std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
+
+    // k = 0 contribution.
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      const double qt = scaled.q * times[ti];
+      const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
+      if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
+    }
+
+    const std::int64_t sweep_t0 = obs::now_ns();
+    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
+    std::vector<ActiveWeight> active;
+    active.reserve(times.size());
+    for (std::size_t k = 1; k <= g_max; ++k) {
+      active.clear();
+      for (std::size_t ti = 0; ti < times.size(); ++ti) {
+        if (k > trunc[ti]) continue;
+        const double w = windows[ti].weight(k);
+        if (w != 0.0) active.push_back(ActiveWeight{ti, w});
+      }
+      stats.active_weight_sum += active.size();
+      const std::int64_t k_t0 = obs::now_ns();
+      fused_recursion_step(scaled, n, j_lo, u, u_next, active, acc);
+      if constexpr (check::kChecked) {
+        for (std::size_t j = 0; j <= n; ++j)
+          check::check_sweep_column(u[j], k, j, subtraction_free,
+                                    /*apply_majorant=*/true, caller);
+      }
+      detail::record_sweep_step(k_t0, k, active.size());
+    }
+    detail::finish_sweep_stats(stats, sweep_t0, busy0);
+
+    // Retain panels regardless of kernel: the vector->panel copy preserves
+    // every bit, so the finalize path is kernel-agnostic.
+    sweep.acc.assign(times.size(), linalg::Panel(num_states, n + 1, 0.0));
+    for (std::size_t ti = 0; ti < times.size(); ++ti)
+      for (std::size_t j = 0; j <= n; ++j)
+        sweep.acc[ti].set_col(j, acc[ti][j]);
+  }
+
+  stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+  return sweep;
+}
+
+/// Validates a terminal-weight vector against the model, throwing with the
+/// caller's name (shared by solve_terminal_weighted and sweep_retained).
+void validate_terminal_weights(std::span<const double> weights,
+                               std::size_t num_states, const char* caller) {
+  const auto fail = [caller](const char* what) {
+    throw std::invalid_argument(std::string(caller) + ": " + what);
+  };
+  if (weights.size() != num_states) fail("weight vector size mismatch");
+  if (!linalg::is_nonnegative(weights)) fail("weights must be non-negative");
+  if (!(linalg::max_elem(weights) > 0.0)) fail("weights must not be all zero");
 }
 
 }  // namespace
@@ -375,6 +592,15 @@ void validate_solver_inputs(std::span<const double> times,
   for (double t : times) {
     if (!(t >= 0.0) || !std::isfinite(t))
       fail("t must be finite and >= 0 (got " + std::to_string(t) + ")");
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] == times[i - 1])
+      fail("duplicate time point (got " + std::to_string(times[i]) +
+           " twice); time points must be strictly increasing");
+    if (times[i] < times[i - 1])
+      fail("time points must be sorted ascending (got " +
+           std::to_string(times[i]) + " after " +
+           std::to_string(times[i - 1]) + ")");
   }
   if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon))
     fail("epsilon must be finite and positive (got " +
@@ -423,167 +649,95 @@ MomentResult RandomizationMomentSolver::solve(
 MomentResult RandomizationMomentSolver::solve_terminal_weighted(
     double t, std::span<const double> terminal_weights,
     const MomentSolverOptions& options) const {
-  const std::size_t num_states = model_.num_states();
-  if (terminal_weights.size() != num_states)
-    throw std::invalid_argument(
-        "solve_terminal_weighted: weight vector size mismatch");
-  if (!linalg::is_nonnegative(terminal_weights))
-    throw std::invalid_argument(
-        "solve_terminal_weighted: weights must be non-negative");
-  const double w_max = linalg::max_elem(terminal_weights);
-  if (!(w_max > 0.0))
-    throw std::invalid_argument(
-        "solve_terminal_weighted: weights must not be all zero");
+  validate_terminal_weights(terminal_weights, model_.num_states(),
+                            "solve_terminal_weighted");
   const double time_list[] = {t};
   validate_solver_inputs(time_list, options, "solve_terminal_weighted");
 
   const std::int64_t total_t0 = obs::now_ns();
   obs::TraceScope solve_scope("solve_terminal_weighted", "solver");
 
-  const std::size_t n = options.max_moment;
-  const ScaledModel scaled =
-      scale_model(model_, options.scale_policy, options.center);
+  RetainedSweep sweep = run_sweep(model_, time_list, options, terminal_weights,
+                                  "solve_terminal_weighted");
 
-  MomentResult out;
-  out.time = t;
-  out.q = scaled.q;
-  out.d = scaled.d;
-  out.shift = scaled.shift;
-  out.center = options.center;
-  out.stats.threads = linalg::num_threads();
-  out.stats.panel_width = n + 1;
-  out.stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
-
-  // Degenerate chain: Z(t) = Z(0), so the weight just multiplies the
-  // closed-form Brownian moments.
-  if (scaled.q == 0.0) {
-    out.stats.kernel = "degenerate";
-    out.stats.panel_width = 0;
-    out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
-    for (std::size_t i = 0; i < num_states; ++i) {
-      const auto m = prob::brownian_raw_moments(
-          model_.drifts()[i] - options.center, model_.variances()[i], t, n);
-      for (std::size_t j = 0; j <= n; ++j)
-        out.per_state[j][i] = m[j] * terminal_weights[i];
-    }
-    out.weighted.resize(n + 1);
-    for (std::size_t j = 0; j <= n; ++j)
-      out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
-    out.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
-    return out;
-  }
-
-  const std::int64_t trunc_t0 = obs::now_ns();
-  const double qt = scaled.q * t;
-  std::size_t g = 0;
-  out.stats.truncation_points.assign(n + 1, 0);
-  for (std::size_t j = 0; j <= n; ++j) {
-    out.stats.truncation_points[j] =
-        truncation_point(qt, j, scaled.d, options.epsilon);
-    g = std::max(g, out.stats.truncation_points[j]);
-  }
-  out.truncation_point = g;
-  out.stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
-  // Theorem 4 applies unchanged: the normalized seed w/w_max is <= h, so
-  // Lemma 2's majorant still dominates the iterates.
-  out.error_bound = theorem4_error_bound(qt, n, scaled.d, g);
-  if constexpr (check::kChecked) {
-    check::check_truncation_bound(
-        out.error_bound,
-        g > 0 ? theorem4_error_bound(qt, n, scaled.d, g - 1) : out.error_bound,
-        options.epsilon, g, "solve_terminal_weighted");
-  }
-  const bool subtraction_free = is_subtraction_free(scaled);
-
-  // Per-time-point Poisson weight table (single time point here): one
-  // lgamma instead of one per sweep step.
-  const std::int64_t window_t0 = obs::now_ns();
-  const prob::PoissonWindow window =
-      qt > 0.0 ? prob::poisson_weight_window(qt, g) : prob::PoissonWindow{};
-  const double w0 = qt > 0.0 ? window.weight(0) : 1.0;
-  out.stats.window_widths.assign(1, window.weights.size());
-  out.stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
-  out.stats.sweep_steps = g;
-  // The terminal-weighted seed is not invariant, so all n+1 lanes iterate
-  // (j_lo = 0).
-  out.stats.sweep_flops = 2 * g * scaled.q_prime.nnz() * (n + 1);
-
-  // Seed U^(0)(0) with the scaled weights; unlike solve(), U^(0) is not
-  // invariant (Q' w != w in general) so the j = 0 row is iterated too
-  // (j_lo = 0).
-  std::vector<linalg::Vec> sums;
-  if (options.kernel == SweepKernel::kPanel) {
-    out.stats.kernel = "panel";
-    linalg::Panel u(num_states, n + 1, 0.0);
-    for (std::size_t i = 0; i < num_states; ++i)
-      u(i, 0) = terminal_weights[i] / w_max;
-    linalg::Panel u_next(num_states, n + 1, 0.0);
-    std::vector<linalg::Panel> acc(1, linalg::Panel(num_states, n + 1, 0.0));
-    if (w0 != 0.0)
-      for (std::size_t i = 0; i < num_states; ++i)
-        acc[0](i, 0) += w0 * u(i, 0);
-
-    const std::int64_t sweep_t0 = obs::now_ns();
-    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
-    std::vector<ActiveWeight> active;
-    for (std::size_t k = 1; k <= g; ++k) {
-      active.clear();
-      if (qt > 0.0) {
-        const double w = window.weight(k);
-        if (w != 0.0) active.push_back(ActiveWeight{0, w});
-      }
-      out.stats.active_weight_sum += active.size();
-      const std::int64_t k_t0 = obs::now_ns();
-      fused_panel_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
-      if constexpr (check::kChecked)
-        check::check_sweep_panel(u, k, /*j_lo=*/0, subtraction_free,
-                                 /*apply_majorant=*/true,
-                                 "solve_terminal_weighted");
-      detail::record_sweep_step(k_t0, k, active.size());
-    }
-    detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
-    sums = panel_to_vectors(acc[0]);
-  } else {
-    out.stats.kernel = "fused_vectors";
-    std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
-    for (std::size_t i = 0; i < num_states; ++i)
-      u[0][i] = terminal_weights[i] / w_max;
-    std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
-    std::vector<std::vector<linalg::Vec>> acc(
-        1, std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
-    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[0][0]);
-
-    const std::int64_t sweep_t0 = obs::now_ns();
-    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
-    std::vector<ActiveWeight> active;
-    for (std::size_t k = 1; k <= g; ++k) {
-      active.clear();
-      if (qt > 0.0) {
-        const double w = window.weight(k);
-        if (w != 0.0) active.push_back(ActiveWeight{0, w});
-      }
-      out.stats.active_weight_sum += active.size();
-      const std::int64_t k_t0 = obs::now_ns();
-      fused_recursion_step(scaled, n, /*j_lo=*/0, u, u_next, active, acc);
-      if constexpr (check::kChecked) {
-        for (std::size_t j = 0; j <= n; ++j)
-          check::check_sweep_column(u[j], k, j, subtraction_free,
-                                    /*apply_majorant=*/true,
-                                    "solve_terminal_weighted");
-      }
-      detail::record_sweep_step(k_t0, k, active.size());
-    }
-    detail::finish_sweep_stats(out.stats, sweep_t0, busy0);
-    sums = std::move(acc[0]);
-  }
-
-  // Undo the weight normalization along with the usual j! d^j factor.
   const std::int64_t finalize_t0 = obs::now_ns();
-  finalize_result(model_, scaled, t, /*prefactor=*/w_max, options.epsilon,
-                  /*jensen_applies=*/false, std::move(sums), out);
+  MomentResult out = finalize_from_sweep(sweep, 0, model_.initial(),
+                                         options.max_moment);
   out.stats.finalize_seconds =
       obs::seconds_between(finalize_t0, obs::now_ns());
   out.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+  return out;
+}
+
+RetainedSweep RandomizationMomentSolver::sweep_retained(
+    std::span<const double> times, const MomentSolverOptions& options,
+    std::span<const double> terminal_weights) const {
+  if (!terminal_weights.empty())
+    validate_terminal_weights(terminal_weights, model_.num_states(),
+                              "sweep_retained");
+  validate_solver_inputs(times, options, "sweep_retained");
+  return run_sweep(model_, times, options, terminal_weights, "sweep_retained");
+}
+
+std::size_t RetainedSweep::byte_size() const {
+  std::size_t bytes = sizeof(RetainedSweep);
+  bytes += times.capacity() * sizeof(double);
+  bytes += truncation_points.capacity() * sizeof(std::size_t);
+  bytes += error_bounds.capacity() * sizeof(double);
+  bytes += stats.truncation_points.capacity() * sizeof(std::size_t);
+  bytes += stats.window_widths.capacity() * sizeof(std::size_t);
+  for (const linalg::Panel& p : acc)
+    bytes += p.rows() * p.width() * sizeof(double) + sizeof(linalg::Panel);
+  return bytes;
+}
+
+MomentResult finalize_from_sweep(const RetainedSweep& sweep,
+                                 std::size_t time_index,
+                                 std::span<const double> initial,
+                                 std::size_t max_moment) {
+  if (time_index >= sweep.times.size())
+    throw std::invalid_argument(
+        "finalize_from_sweep: time index " + std::to_string(time_index) +
+        " out of range (sweep holds " + std::to_string(sweep.times.size()) +
+        " time points)");
+  if (max_moment > sweep.max_moment)
+    throw std::invalid_argument(
+        "finalize_from_sweep: moment order " + std::to_string(max_moment) +
+        " exceeds the sweep's max_moment " +
+        std::to_string(sweep.max_moment));
+  if (initial.size() != sweep.num_states())
+    throw std::invalid_argument(
+        "finalize_from_sweep: initial vector size mismatch (got " +
+        std::to_string(initial.size()) + ", sweep has " +
+        std::to_string(sweep.num_states()) + " states)");
+
+  const std::size_t n = max_moment;
+  const linalg::Panel& acc = sweep.acc[time_index];
+  MomentResult out;
+  out.time = sweep.times[time_index];
+  out.q = sweep.q;
+  out.d = sweep.d;
+  out.shift = sweep.shift;
+  out.center = sweep.center;
+  out.stats = sweep.stats;
+
+  if (sweep.degenerate) {
+    // Closed-form panels already hold final per-state values.
+    out.per_state.resize(n + 1);
+    for (std::size_t j = 0; j <= n; ++j) out.per_state[j] = acc.col(j);
+    out.weighted.resize(n + 1);
+    for (std::size_t j = 0; j <= n; ++j)
+      out.weighted[j] = linalg::dot(initial, out.per_state[j]);
+    return out;
+  }
+
+  out.truncation_point = sweep.truncation_points[time_index];
+  out.error_bound = sweep.error_bounds[time_index];
+  std::vector<linalg::Vec> sums(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) sums[j] = acc.col(j);
+  finalize_result(initial, sweep.d, sweep.shift, out.time, sweep.prefactor,
+                  sweep.epsilon, /*jensen_applies=*/!sweep.terminal_weighted,
+                  std::move(sums), out);
   return out;
 }
 
@@ -595,197 +749,18 @@ std::vector<MomentResult> RandomizationMomentSolver::solve_multi(
   obs::TraceScope solve_scope("solve_multi", "solver", "times",
                               static_cast<double>(times.size()));
 
-  const std::size_t n = options.max_moment;
-  const std::size_t num_states = model_.num_states();
-  const ScaledModel scaled =
-      scale_model(model_, options.scale_policy, options.center);
-
-  obs::SolverStats stats;
-  stats.threads = linalg::num_threads();
-  stats.panel_width = n + 1;
-  stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
-
-  std::vector<MomentResult> results(times.size());
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    results[i].time = times[i];
-    results[i].q = scaled.q;
-    results[i].d = scaled.d;
-    results[i].shift = scaled.shift;
-    results[i].center = options.center;
-  }
-
-  // Degenerate chain: no transitions ever happen, so conditioned on
-  // Z(0) = i the reward is exactly a Brownian motion with (r_i, sigma_i^2)
-  // and the moments are the closed-form normal moments.
-  if (scaled.q == 0.0) {
-    stats.kernel = "degenerate";
-    stats.panel_width = 0;
-    for (std::size_t ti = 0; ti < times.size(); ++ti) {
-      MomentResult& out = results[ti];
-      out.per_state.assign(n + 1, linalg::Vec(num_states, 0.0));
-      for (std::size_t i = 0; i < num_states; ++i) {
-        const auto m = prob::brownian_raw_moments(
-            model_.drifts()[i] - options.center, model_.variances()[i],
-            times[ti], n);
-        for (std::size_t j = 0; j <= n; ++j) out.per_state[j][i] = m[j];
-      }
-      out.weighted.resize(n + 1);
-      for (std::size_t j = 0; j <= n; ++j)
-        out.weighted[j] = linalg::dot(model_.initial(), out.per_state[j]);
-    }
-    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
-    for (MomentResult& r : results) r.stats = stats;
-    return results;
-  }
-
-  // Theorem-4 truncation per time point: honour epsilon for every moment
-  // order 0..n, so take the max of the per-order G values. The per-order
-  // maxima over the time points land in stats.truncation_points.
-  const std::int64_t trunc_t0 = obs::now_ns();
-  std::vector<std::size_t> trunc(times.size(), 0);
-  stats.truncation_points.assign(n + 1, 0);
-  std::size_t g_max = 0;
-  for (std::size_t ti = 0; ti < times.size(); ++ti) {
-    const double qt = scaled.q * times[ti];
-    std::size_t g = 0;
-    for (std::size_t j = 0; j <= n; ++j) {
-      const std::size_t gj = truncation_point(qt, j, scaled.d, options.epsilon);
-      stats.truncation_points[j] = std::max(stats.truncation_points[j], gj);
-      g = std::max(g, gj);
-    }
-    trunc[ti] = g;
-    results[ti].truncation_point = g;
-    results[ti].error_bound = theorem4_error_bound(qt, n, scaled.d, g);
-    if constexpr (check::kChecked) {
-      check::check_truncation_bound(
-          results[ti].error_bound,
-          g > 0 ? theorem4_error_bound(qt, n, scaled.d, g - 1)
-                : results[ti].error_bound,
-          options.epsilon, g, "solve_multi");
-    }
-    g_max = std::max(g_max, g);
-  }
-  stats.truncation_seconds = obs::seconds_between(trunc_t0, obs::now_ns());
-  const bool subtraction_free = is_subtraction_free(scaled);
-
-  // Per-time-point Poisson weight tables, one lgamma each (mode-centered
-  // multiplicative recurrence with left truncation) — the old code paid one
-  // lgamma per (k, time point) pair inside the sweep.
-  const std::int64_t window_t0 = obs::now_ns();
-  std::vector<prob::PoissonWindow> windows(times.size());
-  stats.window_widths.assign(times.size(), 0);
-  for (std::size_t ti = 0; ti < times.size(); ++ti) {
-    const double qt = scaled.q * times[ti];
-    if (qt > 0.0) windows[ti] = prob::poisson_weight_window(qt, trunc[ti]);
-    stats.window_widths[ti] = windows[ti].weights.size();
-    obs::trace_counter("poisson.window_width",
-                       static_cast<double>(windows[ti].weights.size()));
-  }
-  stats.window_seconds = obs::seconds_between(window_t0, obs::now_ns());
-  stats.sweep_steps = g_max;
-  // Lanes actually iterated per CSR pass: the j = 0 column is invariant
-  // (j_lo = 1), so n lanes of dot products per stored entry per step.
-  stats.sweep_flops = 2 * g_max * scaled.q_prime.nnz() * n;
-
-  // U^(j)(0): U^(0) = h, higher orders zero. U^(0)(k) stays h for all k
-  // because Q' is stochastic, so the j = 0 lane of the recursion is skipped
-  // (j_lo = 1).
-  if (options.kernel == SweepKernel::kPanel) {
-    stats.kernel = "panel";
-    linalg::Panel u(num_states, n + 1, 0.0);
-    linalg::Panel u_next(num_states, n + 1, 0.0);
-    u.fill_col(0, 1.0);
-    u_next.fill_col(0, 1.0);  // invariant ones column survives the swaps
-    std::vector<linalg::Panel> acc(times.size(),
-                                   linalg::Panel(num_states, n + 1, 0.0));
-
-    // k = 0 contribution.
-    for (std::size_t ti = 0; ti < times.size(); ++ti) {
-      const double qt = scaled.q * times[ti];
-      const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
-      if (w0 != 0.0)
-        for (std::size_t i = 0; i < num_states; ++i)
-          acc[ti](i, 0) += w0 * u(i, 0);
-    }
-
-    const std::int64_t sweep_t0 = obs::now_ns();
-    const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
-    std::vector<ActiveWeight> active;
-    active.reserve(times.size());
-    for (std::size_t k = 1; k <= g_max; ++k) {
-      active.clear();
-      for (std::size_t ti = 0; ti < times.size(); ++ti) {
-        if (k > trunc[ti]) continue;
-        const double w = windows[ti].weight(k);
-        if (w != 0.0) active.push_back(ActiveWeight{ti, w});
-      }
-      stats.active_weight_sum += active.size();
-      const std::int64_t k_t0 = obs::now_ns();
-      fused_panel_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
-      if constexpr (check::kChecked)
-        check::check_sweep_panel(u, k, /*j_lo=*/1, subtraction_free,
-                                 /*apply_majorant=*/true, "solve_multi");
-      detail::record_sweep_step(k_t0, k, active.size());
-    }
-    detail::finish_sweep_stats(stats, sweep_t0, busy0);
-
-    const std::int64_t finalize_t0 = obs::now_ns();
-    for (std::size_t ti = 0; ti < times.size(); ++ti)
-      finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
-                      options.epsilon, /*jensen_applies=*/true,
-                      panel_to_vectors(acc[ti]), results[ti]);
-    stats.finalize_seconds =
-        obs::seconds_between(finalize_t0, obs::now_ns());
-    stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
-    for (MomentResult& r : results) r.stats = stats;
-    return results;
-  }
-  stats.kernel = "fused_vectors";
-
-  std::vector<linalg::Vec> u(n + 1, linalg::zeros(num_states));
-  u[0] = linalg::ones(num_states);
-  std::vector<linalg::Vec> u_next(n + 1, linalg::zeros(num_states));
-  std::vector<std::vector<linalg::Vec>> acc(
-      times.size(), std::vector<linalg::Vec>(n + 1, linalg::zeros(num_states)));
-
-  // k = 0 contribution.
-  for (std::size_t ti = 0; ti < times.size(); ++ti) {
-    const double qt = scaled.q * times[ti];
-    const double w0 = qt > 0.0 ? windows[ti].weight(0) : 1.0;
-    if (w0 != 0.0) linalg::axpy(w0, u[0], acc[ti][0]);
-  }
-
-  const std::int64_t sweep_t0 = obs::now_ns();
-  const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
-  std::vector<ActiveWeight> active;
-  active.reserve(times.size());
-  for (std::size_t k = 1; k <= g_max; ++k) {
-    active.clear();
-    for (std::size_t ti = 0; ti < times.size(); ++ti) {
-      if (k > trunc[ti]) continue;
-      const double w = windows[ti].weight(k);
-      if (w != 0.0) active.push_back(ActiveWeight{ti, w});
-    }
-    stats.active_weight_sum += active.size();
-    const std::int64_t k_t0 = obs::now_ns();
-    fused_recursion_step(scaled, n, /*j_lo=*/1, u, u_next, active, acc);
-    if constexpr (check::kChecked) {
-      for (std::size_t j = 0; j <= n; ++j)
-        check::check_sweep_column(u[j], k, j, subtraction_free,
-                                  /*apply_majorant=*/true, "solve_multi");
-    }
-    detail::record_sweep_step(k_t0, k, active.size());
-  }
-  detail::finish_sweep_stats(stats, sweep_t0, busy0);
+  RetainedSweep sweep = run_sweep(model_, times, options, {}, "solve_multi");
 
   const std::int64_t finalize_t0 = obs::now_ns();
+  std::vector<MomentResult> results;
+  results.reserve(times.size());
   for (std::size_t ti = 0; ti < times.size(); ++ti)
-    finalize_result(model_, scaled, times[ti], /*prefactor=*/1.0,
-                    options.epsilon, /*jensen_applies=*/true,
-                    std::move(acc[ti]), results[ti]);
-  stats.finalize_seconds = obs::seconds_between(finalize_t0, obs::now_ns());
-  stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
-  for (MomentResult& r : results) r.stats = stats;
+    results.push_back(finalize_from_sweep(sweep, ti, model_.initial(),
+                                          options.max_moment));
+  sweep.stats.finalize_seconds =
+      obs::seconds_between(finalize_t0, obs::now_ns());
+  sweep.stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
+  for (MomentResult& r : results) r.stats = sweep.stats;
   return results;
 }
 

@@ -49,6 +49,7 @@
 
 #include "core/model.hpp"
 #include "core/scaling.hpp"
+#include "linalg/panel.hpp"
 #include "linalg/vec.hpp"
 #include "obs/telemetry.hpp"
 
@@ -118,13 +119,78 @@ struct MomentResult {
 
 /// Validates solver inputs shared by the randomization solvers, throwing
 /// std::invalid_argument with a message naming @p caller and the offending
-/// value: the time list must be non-empty with every t finite and >= 0,
-/// epsilon finite and positive, and center finite. Called up front by
-/// solve_multi / solve / solve_terminal_weighted (and the impulse solver)
-/// so bad options fail fast instead of surfacing as downstream NaNs.
+/// value: the time list must be non-empty, strictly increasing (duplicate
+/// or unsorted time points would silently build redundant Poisson weight
+/// windows and break the per-time truncation bookkeeping) with every t
+/// finite and >= 0, epsilon finite and positive, and center finite. Called
+/// up front by solve_multi / solve / solve_terminal_weighted / SolveSession
+/// (and the impulse solver) so bad options fail fast instead of surfacing
+/// as downstream NaNs.
 void validate_solver_inputs(std::span<const double> times,
                             const MomentSolverOptions& options,
                             const char* caller);
+
+/// The retained product of one U-recursion sweep: the Poisson-weighted
+/// accumulator panels acc[ti](i, j) = sum_k Pois(k; q t_ti) U^(j)(k)_i in
+/// SCALED units (the j! d^j factor, the seed normalization and the drift
+/// shift are NOT yet applied), plus every scalar finalize_from_sweep needs
+/// to turn them into a MomentResult. The panels are independent of the
+/// initial vector pi — pi only enters through the final contraction — so a
+/// single retained sweep answers every (pi, moment order <= max_moment)
+/// query on its time grid. This is what SolveSession caches.
+struct RetainedSweep {
+  /// The solve key: time grid and options the sweep was run with.
+  std::vector<double> times;
+  std::size_t max_moment = 0;
+  double epsilon = 0.0;
+  double center = 0.0;
+  /// Scaling constants of the sweep (see core/scaling.hpp).
+  double q = 0.0;
+  double d = 0.0;
+  double shift = 0.0;
+  /// Seed normalization to undo at finalize: w_max for a terminal-weighted
+  /// sweep, 1 for the plain sweep (and for the degenerate closed form,
+  /// whose panels already hold final values).
+  double prefactor = 1.0;
+  /// True when the sweep was seeded with terminal weights w (the Jensen
+  /// consistency probe of checked builds does not apply then).
+  bool terminal_weighted = false;
+  /// True for the q == 0 closed form: acc holds the FINAL per-state moments
+  /// (Brownian closed form, weights already applied) and finalize only
+  /// contracts with pi.
+  bool degenerate = false;
+  /// Theorem-4 truncation point and achieved error bound per time point
+  /// (computed at max_moment; empty for the degenerate closed form).
+  std::vector<std::size_t> truncation_points;
+  std::vector<double> error_bounds;
+  /// One num_states x (max_moment + 1) panel per time point.
+  std::vector<linalg::Panel> acc;
+  /// Sweep-phase telemetry (scale/truncation/window/sweep timings); finalize
+  /// and total timings are filled per query by the callers.
+  obs::SolverStats stats;
+
+  std::size_t num_states() const { return acc.empty() ? 0 : acc[0].rows(); }
+  /// Approximate heap footprint, used for the SweepCache byte budget.
+  std::size_t byte_size() const;
+};
+
+/// Finalizes one (time point, initial vector, moment order) query from a
+/// retained sweep: extracts the first @p max_moment + 1 accumulator
+/// columns, applies the prefactor * j! d^j factor, undoes the drift shift,
+/// and contracts with @p initial. The arithmetic chain is exactly the one
+/// solve_multi / solve_terminal_weighted run, so for max_moment ==
+/// sweep.max_moment the result is bit-identical to an independent solve;
+/// for a lower order it is bit-identical to the independent solve at the
+/// SWEEP's max_moment truncated to the first max_moment + 1 entries (the
+/// binomial shift transform is lower-triangular, so lower orders do not
+/// depend on higher ones). truncation_point / error_bound always report the
+/// sweep's max-order values. Throws std::invalid_argument on an
+/// out-of-range time index, order > sweep.max_moment, or an initial vector
+/// of the wrong size.
+MomentResult finalize_from_sweep(const RetainedSweep& sweep,
+                                 std::size_t time_index,
+                                 std::span<const double> initial,
+                                 std::size_t max_moment);
 
 class RandomizationMomentSolver {
  public:
@@ -153,6 +219,17 @@ class RandomizationMomentSolver {
   MomentResult solve_terminal_weighted(
       double t, std::span<const double> terminal_weights,
       const MomentSolverOptions& options = {}) const;
+
+  /// Runs the U-recursion sweep once over @p times and returns the retained
+  /// accumulator panels instead of finalized results — the shareable,
+  /// pi-independent part of solve_multi (empty @p terminal_weights) or of
+  /// solve_terminal_weighted (non-empty weights, validated like
+  /// solve_terminal_weighted). Both solve paths are implemented on top of
+  /// this, so finalize_from_sweep(sweep_retained(...)) is bit-identical to
+  /// them at every thread count. SolveSession caches the returned value.
+  RetainedSweep sweep_retained(
+      std::span<const double> times, const MomentSolverOptions& options = {},
+      std::span<const double> terminal_weights = {}) const;
 
   /// Theorem 4: smallest G with
   ///   2 d^n n! (qt)^n sum_{k=G+n+1..inf} Pois(k; qt) < epsilon.

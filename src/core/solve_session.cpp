@@ -1,0 +1,352 @@
+#include "core/solve_session.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+
+namespace somrm::core {
+
+namespace {
+
+/// 128-bit content hash built from two decorrelated 64-bit FNV-1a lanes.
+/// Deterministic across runs and platforms of equal endianness; used only
+/// as a cache key, so collisions merely alias cache entries and the lanes'
+/// independence makes that astronomically unlikely for real models.
+class Fnv128 {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      a_ = (a_ ^ p[i]) * kPrime;
+      b_ = (b_ ^ p[i]) * kPrime;
+    }
+  }
+
+  void update_u64(std::uint64_t v) { update(&v, sizeof v); }
+
+  void update_doubles(std::span<const double> xs) {
+    update_u64(xs.size());
+    if (!xs.empty()) update(xs.data(), xs.size() * sizeof(double));
+  }
+
+  void update_sizes(std::span<const std::size_t> xs) {
+    update_u64(xs.size());
+    for (std::size_t x : xs) update_u64(static_cast<std::uint64_t>(x));
+  }
+
+  std::string hex() const {
+    char buf[2 * 16 + 1];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(a_),
+                  static_cast<unsigned long long>(b_));
+    return buf;
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t a_ = 14695981039346656037ULL;
+  // Second lane: offset basis perturbed by a golden-ratio constant so the
+  // lanes decorrelate despite sharing the multiplier.
+  std::uint64_t b_ = 14695981039346656037ULL ^ 0x9e3779b97f4a7c15ULL;
+};
+
+/// Content hash of everything the sweep reads from the model: the generator
+/// CSR structure and values, drifts, and variances. The initial vector is
+/// deliberately EXCLUDED — the retained panels are pi-independent, so
+/// models differing only in pi must share cache entries.
+std::string model_fingerprint(const SecondOrderMrm& model) {
+  const linalg::CsrMatrix& q = model.generator().matrix();
+  Fnv128 h;
+  h.update_u64(model.num_states());
+  h.update_sizes(q.row_ptr());
+  h.update_sizes(q.col_idx());
+  h.update_doubles(q.values());
+  h.update_doubles(model.drifts());
+  h.update_doubles(model.variances());
+  return h.hex();
+}
+
+std::string weights_hash(std::span<const double> weights) {
+  Fnv128 h;
+  h.update_doubles(weights);
+  return h.hex();
+}
+
+/// Serializes the solve key (everything besides the model content and the
+/// weights that selects a distinct sweep) into the cache-key string. Doubles
+/// go in by bit pattern: 0.1 and 0.1000000000000001 are different sweeps.
+std::string solve_key(std::span<const double> times,
+                      const MomentSolverOptions& options) {
+  Fnv128 h;
+  h.update_doubles(times);
+  h.update_u64(options.max_moment);
+  h.update_doubles(std::span<const double>(&options.epsilon, 1));
+  h.update_doubles(std::span<const double>(&options.center, 1));
+  h.update_u64(static_cast<std::uint64_t>(options.scale_policy));
+  h.update_u64(static_cast<std::uint64_t>(options.kernel));
+  return h.hex();
+}
+
+/// Mirrors SecondOrderMrm's initial-vector validation so a session rejects
+/// exactly what with_initial would, with a session-flavoured message.
+void validate_query_initial(std::span<const double> initial,
+                            std::size_t num_states) {
+  if (initial.size() != num_states)
+    throw std::invalid_argument(
+        "SolveSession: query initial vector size mismatch (got " +
+        std::to_string(initial.size()) + ", model has " +
+        std::to_string(num_states) + " states)");
+  double total = 0.0;
+  for (double p : initial) {
+    if (!std::isfinite(p) || p < -1e-12)
+      throw std::invalid_argument(
+          "SolveSession: query initial probabilities must be finite and "
+          "non-negative");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9)
+    throw std::invalid_argument(
+        "SolveSession: query initial distribution must sum to 1");
+}
+
+void validate_query_weights(std::span<const double> weights,
+                            std::size_t num_states) {
+  if (weights.size() != num_states)
+    throw std::invalid_argument(
+        "SolveSession: query terminal-weight vector size mismatch (got " +
+        std::to_string(weights.size()) + ", model has " +
+        std::to_string(num_states) + " states)");
+  if (!linalg::is_nonnegative(weights))
+    throw std::invalid_argument(
+        "SolveSession: query terminal weights must be non-negative");
+  if (!(linalg::max_elem(weights) > 0.0))
+    throw std::invalid_argument(
+        "SolveSession: query terminal weights must not be all zero");
+}
+
+obs::Metric& cache_hit_metric() {
+  static obs::Metric& m = obs::metric("session.cache.hit");
+  return m;
+}
+obs::Metric& cache_miss_metric() {
+  static obs::Metric& m = obs::metric("session.cache.miss");
+  return m;
+}
+obs::Metric& cache_evict_metric() {
+  static obs::Metric& m = obs::metric("session.cache.evict");
+  return m;
+}
+obs::Metric& cache_coalesced_metric() {
+  static obs::Metric& m = obs::metric("session.cache.coalesced");
+  return m;
+}
+
+}  // namespace
+
+SweepCache::SweepCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+SweepCache::EntryPtr SweepCache::get_or_compute(
+    const std::string& key, const std::function<RetainedSweep()>& compute) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    ++counters_.hits;
+    cache_hit_metric().add(1);
+    return it->second.value;
+  }
+  auto in = inflight_.find(key);
+  if (in != inflight_.end()) {
+    // Coalesce: someone is already computing this key. Wait outside the
+    // lock; the future's value is the shared sweep (or its exception).
+    std::shared_future<EntryPtr> fut = in->second;
+    ++counters_.coalesced;
+    cache_coalesced_metric().add(1);
+    lock.unlock();
+    return fut.get();
+  }
+  ++counters_.misses;
+  cache_miss_metric().add(1);
+  std::promise<EntryPtr> promise;
+  inflight_.emplace(key, promise.get_future().share());
+  lock.unlock();
+
+  EntryPtr value;
+  try {
+    value = std::make_shared<const RetainedSweep>(compute());
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    lock.lock();
+    inflight_.erase(key);
+    throw;
+  }
+  promise.set_value(value);
+
+  lock.lock();
+  inflight_.erase(key);
+  const std::size_t bytes = value->byte_size();
+  lru_.push_front(key);
+  entries_[key] = Slot{value, bytes, lru_.begin()};
+  bytes_ += bytes;
+  evict_locked();
+  return value;
+}
+
+void SweepCache::evict_locked() {
+  while (bytes_ > byte_budget_ && entries_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+    cache_evict_metric().add(1);
+  }
+}
+
+SweepCacheStats SweepCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SweepCacheStats out = counters_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  out.byte_budget = byte_budget_;
+  return out;
+}
+
+std::size_t SweepCache::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return byte_budget_;
+}
+
+void SweepCache::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  byte_budget_ = bytes;
+  evict_locked();
+}
+
+void SweepCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+const std::shared_ptr<SweepCache>& SweepCache::global() {
+  static const std::shared_ptr<SweepCache>* cache =
+      new std::shared_ptr<SweepCache>(std::make_shared<SweepCache>());
+  return *cache;
+}
+
+SolveSession::SolveSession(SecondOrderMrm model, std::vector<double> times,
+                           MomentSolverOptions options,
+                           std::shared_ptr<SweepCache> cache)
+    : solver_(std::move(model)),
+      times_(std::move(times)),
+      options_(options),
+      cache_(cache ? std::move(cache) : SweepCache::global()) {
+  validate_solver_inputs(times_, options_, "SolveSession");
+  base_key_ = model_fingerprint(solver_.model()) + "|" +
+              solve_key(times_, options_);
+}
+
+SweepCache::EntryPtr SolveSession::retained(std::span<const double> weights,
+                                            std::string* weights_key) const {
+  std::string key = base_key_;
+  if (weights.empty())
+    key += "|plain";
+  else
+    key += "|w=" + weights_hash(weights);
+  if (weights_key) *weights_key = key;
+  return cache_->get_or_compute(
+      key, [&] { return solver_.sweep_retained(times_, options_, weights); });
+}
+
+MomentResult SolveSession::query_impl(
+    const SessionQuery& q,
+    std::map<std::string, std::shared_ptr<const MomentResult>>* reuse) const {
+  const std::int64_t total_t0 = obs::now_ns();
+  const std::size_t num_states = solver_.model().num_states();
+  const std::size_t order =
+      q.max_moment == SessionQuery::kSessionMax ? options_.max_moment
+                                                : q.max_moment;
+  if (q.time_index >= times_.size())
+    throw std::invalid_argument(
+        "SolveSession: query time index " + std::to_string(q.time_index) +
+        " out of range (session grid has " + std::to_string(times_.size()) +
+        " time points)");
+  if (order > options_.max_moment)
+    throw std::invalid_argument(
+        "SolveSession: query moment order " + std::to_string(order) +
+        " exceeds the session max_moment " +
+        std::to_string(options_.max_moment));
+  if (!q.initial.empty()) validate_query_initial(q.initial, num_states);
+  if (!q.terminal_weights.empty())
+    validate_query_weights(q.terminal_weights, num_states);
+  const std::span<const double> initial =
+      q.initial.empty() ? std::span<const double>(solver_.model().initial())
+                        : std::span<const double>(q.initial);
+
+  std::string weights_key;
+  const SweepCache::EntryPtr sweep =
+      retained(q.terminal_weights, &weights_key);
+
+  static obs::Metric& finalize_metric = obs::metric("session.query.finalize");
+  const std::int64_t finalize_t0 = obs::now_ns();
+  MomentResult out;
+  if (reuse) {
+    // Batch mode: per (weights, time, order) the unscale/shift finalize is
+    // materialized once; queries differing only in pi pay one dot product
+    // per moment order. Recomputing `weighted` from the shared per_state
+    // runs the exact contraction finalize_from_sweep runs, so the reuse
+    // path stays bit-identical to the direct one.
+    const std::string finalize_key = weights_key + "#" +
+                                     std::to_string(q.time_index) + "#" +
+                                     std::to_string(order);
+    auto it = reuse->find(finalize_key);
+    if (it == reuse->end()) {
+      auto base = std::make_shared<const MomentResult>(
+          finalize_from_sweep(*sweep, q.time_index, initial, order));
+      (*reuse)[finalize_key] = base;
+      out = *base;
+    } else {
+      out = *it->second;
+      for (std::size_t j = 0; j < out.per_state.size(); ++j)
+        out.weighted[j] = linalg::dot(initial, out.per_state[j]);
+    }
+  } else {
+    out = finalize_from_sweep(*sweep, q.time_index, initial, order);
+  }
+  const std::int64_t done = obs::now_ns();
+  finalize_metric.add(1, done - finalize_t0);
+
+  // Per-query timings on top of the sweep-phase stats, plus the cache's
+  // cumulative counters at query time.
+  out.stats.finalize_seconds = obs::seconds_between(finalize_t0, done);
+  out.stats.total_seconds = obs::seconds_between(total_t0, done);
+  const SweepCacheStats cs = cache_->stats();
+  out.stats.cache_hits = cs.hits;
+  out.stats.cache_misses = cs.misses;
+  out.stats.cache_evictions = cs.evictions;
+  out.stats.cache_coalesced = cs.coalesced;
+  return out;
+}
+
+MomentResult SolveSession::query(const SessionQuery& q) const {
+  return query_impl(q, nullptr);
+}
+
+std::vector<MomentResult> SolveSession::query_batch(
+    std::span<const SessionQuery> queries) const {
+  std::vector<MomentResult> out;
+  out.reserve(queries.size());
+  std::map<std::string, std::shared_ptr<const MomentResult>> reuse;
+  for (const SessionQuery& q : queries) out.push_back(query_impl(q, &reuse));
+  return out;
+}
+
+}  // namespace somrm::core

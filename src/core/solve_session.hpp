@@ -1,0 +1,197 @@
+// somrm/core/solve_session.hpp
+//
+// Batched multi-query serving on top of the randomization solver.
+//
+// Theorem 3's iterates U^(n)(k) depend only on the scaled model
+// (Q', R', S') — not on the time point, the initial vector pi, or the
+// moment order requested. randomization.hpp already shares one sweep across
+// a time grid; this layer shares it across QUERIES: a SolveSession runs the
+// fused panel sweep once per (model, time grid, epsilon, max moment,
+// terminal-weight vector) key, retains the Poisson-weighted accumulator
+// panels (core::RetainedSweep), and answers each query by the cheap
+// finalize_from_sweep contraction — O(N * (n+1)) per query instead of a
+// full O(G * nnz * n) sweep.
+//
+// What shares a sweep, and what does not:
+//  * Different initial vectors pi — ALWAYS share. The retained panels are
+//    pi-independent; pi enters only through the final dot products.
+//  * Different moment orders <= the session max — share. The recursion and
+//    the binomial shift transform are lower-triangular in the order, so the
+//    low-order slice of the max-order sweep is bit-identical to it.
+//  * Different terminal-weight vectors w — one sweep PER DISTINCT w. The
+//    weighted recursion seeds U^(0)(0) = w/w_max, so the iterates
+//    themselves depend on w; answering arbitrary w from one retained sweep
+//    would require retaining the full N x N iterate history. Distinct w
+//    sweeps are cached by content hash, and every pi / order query against
+//    the same w shares that sweep.
+//
+// The SweepCache is thread-safe and keyed by a content hash of the model
+// (generator CSR + drifts + variances; NOT the initial vector, so models
+// differing only in pi share entries) plus the serialized solve key. It
+// holds an LRU list under a byte budget and coalesces concurrent misses on
+// the same key: the first caller computes, everyone else blocks on a
+// shared future and receives the same retained sweep. Telemetry:
+// session.cache.{hit,miss,evict,coalesced} counters and a
+// session.query.finalize timer (obs::metric), plus cumulative cache totals
+// in every returned MomentResult's SolverStats.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/randomization.hpp"
+
+namespace somrm::core {
+
+/// Monotonic counters and occupancy of one SweepCache. Counters are
+/// cumulative over the cache's lifetime; entries/bytes are current.
+struct SweepCacheStats {
+  std::size_t hits = 0;        ///< lookups served from a retained sweep
+  std::size_t misses = 0;      ///< lookups that computed a fresh sweep
+  std::size_t evictions = 0;   ///< entries dropped by the LRU byte budget
+  std::size_t coalesced = 0;   ///< misses that joined an in-flight compute
+  std::size_t entries = 0;     ///< retained sweeps currently held
+  std::size_t bytes = 0;       ///< current footprint (RetainedSweep::byte_size)
+  std::size_t byte_budget = 0; ///< eviction threshold
+};
+
+/// Thread-safe keyed store of retained sweeps with LRU eviction under a
+/// byte budget and request coalescing. Keys are opaque strings (SolveSession
+/// derives them from content hashes); values are immutable shared sweeps,
+/// so an entry evicted while a query still holds it stays valid for that
+/// query. The newest entry is never evicted, so a single sweep larger than
+/// the budget still caches (and evicts everything else).
+class SweepCache {
+ public:
+  /// Default byte budget: 256 MiB of retained panels.
+  static constexpr std::size_t kDefaultByteBudget =
+      std::size_t{256} * 1024 * 1024;
+
+  explicit SweepCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  using EntryPtr = std::shared_ptr<const RetainedSweep>;
+
+  /// Returns the cached sweep for @p key, computing it via @p compute on a
+  /// miss. Concurrent misses on the same key are coalesced: exactly one
+  /// caller runs @p compute, the rest block on its result. If compute
+  /// throws, every coalesced caller sees the exception and the key is left
+  /// uncached (a later call retries).
+  EntryPtr get_or_compute(const std::string& key,
+                          const std::function<RetainedSweep()>& compute);
+
+  SweepCacheStats stats() const;
+  std::size_t byte_budget() const;
+  /// Adjusts the budget, evicting LRU entries if the cache now overflows.
+  void set_byte_budget(std::size_t bytes);
+  /// Drops every cached entry (does not reset the cumulative counters).
+  void clear();
+
+  /// Process-wide default cache, shared by sessions that are not given one.
+  static const std::shared_ptr<SweepCache>& global();
+
+ private:
+  struct Slot {
+    EntryPtr value;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Evicts LRU entries until the footprint fits the budget, keeping at
+  /// least the most recently used entry. Caller holds mutex_.
+  void evict_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
+  std::map<std::string, Slot> entries_;
+  std::map<std::string, std::shared_future<EntryPtr>> inflight_;
+  SweepCacheStats counters_;  // hits/misses/evictions/coalesced only
+};
+
+/// One query against a SolveSession: a time point of the session grid, a
+/// moment order up to the session max, and optionally a custom initial
+/// vector and/or a terminal-weight vector.
+struct SessionQuery {
+  /// Sentinel for max_moment: use the session's max.
+  static constexpr std::size_t kSessionMax = static_cast<std::size_t>(-1);
+
+  /// Index into the session's time grid.
+  std::size_t time_index = 0;
+  /// Highest moment order to return (<= the session's max_moment).
+  std::size_t max_moment = kSessionMax;
+  /// Initial distribution pi; empty = the model's own. Validated like
+  /// SecondOrderMrm's (non-negative up to -1e-12, sums to 1 within 1e-9).
+  linalg::Vec initial;
+  /// Terminal weights w for the solve_terminal_weighted path; empty = the
+  /// plain solve. Must be non-negative with max > 0.
+  linalg::Vec terminal_weights;
+};
+
+/// A batched query engine over one model and one time grid: the sweep runs
+/// (at most) once per distinct terminal-weight vector and is shared by
+/// every query. Results are bit-identical to the corresponding independent
+/// RandomizationMomentSolver::solve / solve_multi / solve_terminal_weighted
+/// call at the session's max_moment — a query with a lower order returns
+/// exactly the first order+1 entries of that call's output (see
+/// finalize_from_sweep). Sessions are cheap; the expensive state lives in
+/// the (shareable) SweepCache. const and thread-safe: concurrent query()
+/// calls coalesce on the cache.
+class SolveSession {
+ public:
+  /// @p times must be strictly increasing (validate_solver_inputs);
+  /// @p cache nullptr selects SweepCache::global().
+  SolveSession(SecondOrderMrm model, std::vector<double> times,
+               MomentSolverOptions options = {},
+               std::shared_ptr<SweepCache> cache = nullptr);
+
+  /// Answers one query. Throws std::invalid_argument on a bad time index,
+  /// order > max_moment, or an invalid initial / weight vector. The
+  /// returned stats carry the sweep-phase timings of the retained sweep,
+  /// THIS query's finalize/total timings, and the cache's cumulative
+  /// counters at query time.
+  MomentResult query(const SessionQuery& q) const;
+
+  /// Answers a batch in input order. Beyond the shared sweeps, queries in
+  /// the same batch that differ only in pi also share the unscale/shift
+  /// finalize work: per (weights, time, order) the per-state moments are
+  /// materialized once and each query pays only its pi contraction.
+  std::vector<MomentResult> query_batch(
+      std::span<const SessionQuery> queries) const;
+
+  const std::vector<double>& times() const { return times_; }
+  const MomentSolverOptions& options() const { return options_; }
+  const SecondOrderMrm& model() const { return solver_.model(); }
+  const std::shared_ptr<SweepCache>& cache() const { return cache_; }
+  SweepCacheStats cache_stats() const { return cache_->stats(); }
+
+  /// The session's cache key prefix: model content hash + solve key. Two
+  /// sessions with bitwise-equal model content (initial vector excluded)
+  /// and equal solve options share cache entries even across distinct
+  /// model/session objects.
+  const std::string& base_key() const { return base_key_; }
+
+ private:
+  MomentResult query_impl(
+      const SessionQuery& q,
+      std::map<std::string, std::shared_ptr<const MomentResult>>* reuse) const;
+  SweepCache::EntryPtr retained(std::span<const double> weights,
+                                std::string* weights_key) const;
+
+  RandomizationMomentSolver solver_;
+  std::vector<double> times_;
+  MomentSolverOptions options_;
+  std::shared_ptr<SweepCache> cache_;
+  std::string base_key_;
+};
+
+}  // namespace somrm::core

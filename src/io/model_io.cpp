@@ -1,5 +1,7 @@
 #include "io/model_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <limits>
@@ -36,12 +38,32 @@ std::size_t parse_state_index(const PendingModel& m, std::istringstream& is,
   return static_cast<std::size_t>(idx);
 }
 
+// Parses one whole token as a double via strtod. istream extraction would
+// reject "nan"/"inf" as malformed; strtod recognizes them, which lets the
+// finiteness check name the real problem. Every quantity in the format
+// (rates, drifts, variances, probabilities, impulse moments) must be
+// finite — a non-finite value passing the parser detonates deep in the
+// solver.
+double parse_token_number(const std::string& token, std::size_t line,
+                          const char* what) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0')
+    throw ParseError(line, std::string("expected a number for ") + what +
+                               ", got '" + token + "'");
+  if (!std::isfinite(v))
+    throw ParseError(line, std::string(what) + " must be finite (got '" +
+                               token + "')");
+  return v;
+}
+
 double parse_number(std::istringstream& is, std::size_t line,
                     const char* what) {
-  double v = 0.0;
-  if (!(is >> v))
+  std::string token;
+  if (!(is >> token))
     throw ParseError(line, std::string("expected a number for ") + what);
-  return v;
+  return parse_token_number(token, line, what);
 }
 
 void expect_end(std::istringstream& is, std::size_t line) {
@@ -123,11 +145,13 @@ ModelFile load_model(std::istream& in) {
       const std::size_t i = parse_state_index(m, is, line, "impulse");
       const std::size_t j = parse_state_index(m, is, line, "impulse");
       const double mean = parse_number(is, line, "impulse mean");
+      // The variance is optional, but a present-yet-malformed token (e.g.
+      // "nan") must be an error, not silently treated as absent.
       double var = 0.0;
-      if (is >> var) {
+      std::string var_token;
+      if (is >> var_token) {
+        var = parse_token_number(var_token, line, "impulse variance");
         if (var < 0.0) throw ParseError(line, "impulse variance must be >= 0");
-      } else {
-        var = 0.0;
       }
       if (i == j) throw ParseError(line, "impulses attach to transitions");
       if (mean != 0.0) m.impulse_means.push_back({i, j, mean});

@@ -219,6 +219,15 @@ std::string report(const SolverStats& stats) {
     os << "  parallel: busy " << format_seconds(stats.busy_seconds)
        << ", load imbalance " << buf << "\n";
   }
+  if (stats.cache_hits + stats.cache_misses + stats.cache_evictions +
+          stats.cache_coalesced >
+      0) {
+    os << "  session cache: " << stats.cache_hits << " hit"
+       << (stats.cache_hits == 1 ? "" : "s") << ", " << stats.cache_misses
+       << " miss" << (stats.cache_misses == 1 ? "" : "es") << ", "
+       << stats.cache_evictions << " evicted, " << stats.cache_coalesced
+       << " coalesced\n";
+  }
   return os.str();
 }
 

@@ -90,6 +90,14 @@ struct SolverStats {
   /// 1 - busy / (threads * sweep wall): 0 = perfectly balanced, -> 1 when
   /// most worker capacity idles (includes serial portions of the sweep).
   double load_imbalance = 0.0;
+
+  // -- batched-serving cache (filled by core::SolveSession queries with the
+  //    session cache's cumulative totals at query time; all zero for direct
+  //    solver calls, which never touch a cache) --
+  std::size_t cache_hits = 0;       ///< queries served from a retained sweep
+  std::size_t cache_misses = 0;     ///< queries that ran a fresh sweep
+  std::size_t cache_evictions = 0;  ///< sweeps dropped by the LRU byte budget
+  std::size_t cache_coalesced = 0;  ///< misses that joined an in-flight sweep
 };
 
 /// One merged metric as returned by snapshot().

@@ -8,11 +8,15 @@ namespace somrm::sim {
 namespace {
 
 /// Pr( max of a Brownian bridge from a0 to a1 with total variance var
-/// exceeds b ). Exactly 1 when either endpoint already reaches b.
+/// exceeds b ). Exactly 1 when either endpoint already reaches b; a sigma=0
+/// segment (var <= 0) is a straight line, which crosses only through its
+/// endpoints — never in between — so the answer is 0 once both endpoints
+/// are below b. The exp() is clamped so callers always see a probability in
+/// [0, 1] even when the exponent degenerates (e.g. subnormal var).
 double bridge_cross_probability(double a0, double a1, double b, double var) {
   if (a0 >= b || a1 >= b) return 1.0;
   if (var <= 0.0) return 0.0;
-  return std::exp(-2.0 * (b - a0) * (b - a1) / var);
+  return std::min(1.0, std::exp(-2.0 * (b - a0) * (b - a1) / var));
 }
 
 /// First-crossing epoch of the barrier b by a Brownian bridge over
@@ -23,6 +27,14 @@ double bridge_cross_probability(double a0, double a1, double b, double var) {
 double localize_crossing(double t0, double dt, double a0, double a1, double b,
                          double s2, double resolution,
                          somrm::prob::Rng& rng) {
+  if (s2 <= 0.0) {
+    // Deterministic segment: the path is the straight line from a0 to a1,
+    // so the first-crossing epoch is exact — no bisection (which would
+    // degenerate: every conditional bridge probability is 0/0).
+    if (a0 >= b) return t0;
+    if (a1 > a0) return t0 + dt * (b - a0) / (a1 - a0);
+    return t0 + dt;  // cannot cross; only reachable on a misuse call
+  }
   while (dt > resolution) {
     const double half = 0.5 * dt;
     // Bridge midpoint: mean (a0+a1)/2, variance s2 * dt / 4.

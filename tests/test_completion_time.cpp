@@ -123,6 +123,40 @@ TEST(CompletionTimeTest, CrossingCanPrecedeEndpoint) {
   EXPECT_NEAR(est.completion_probability, exact, 0.01);
 }
 
+TEST(CompletionTimeTest, MixedZeroAndPositiveVarianceStatesStayFinite) {
+  // Regression: sojourns in a sigma = 0 state used to reach the Brownian
+  // bridge-crossing probability with var = 0, where the 0/0 exponential
+  // produced NaN (and, with the exponential overflowing, probabilities
+  // above 1). A chain mixing deterministic and diffusive states must yield
+  // finite, in-range samples and a completion probability in [0, 1].
+  auto gen = ctmc::Generator::from_rates(
+      3, std::vector<Triplet>{
+             {0, 1, 2.0}, {1, 2, 1.5}, {2, 0, 1.0}, {1, 0, 0.5}});
+  const core::SecondOrderMrm model(std::move(gen), Vec{2.0, 0.5, 1.0},
+                                   Vec{0.0, 1.0, 0.0}, Vec{1.0, 0.0, 0.0});
+  const CompletionTimeSimulator sim(model);
+
+  CompletionTimeOptions opts;
+  opts.num_replications = 5000;
+  opts.horizon = 50.0;
+  opts.seed = 21;
+  const double x = 3.0;
+  const auto samples = sim.sample_many(x, opts);
+  ASSERT_EQ(samples.size(), opts.num_replications);
+  for (const auto& s : samples) {
+    ASSERT_TRUE(std::isfinite(s.time));
+    EXPECT_GE(s.time, 0.0);
+    EXPECT_LE(s.time, opts.horizon);
+  }
+
+  const auto est = sim.estimate(x, opts);
+  EXPECT_GE(est.completion_probability, 0.0);
+  EXPECT_LE(est.completion_probability, 1.0);
+  // Every state drifts upward here, so the barrier at x = 3 with horizon 50
+  // is essentially always hit: the guard must not censor valid paths.
+  EXPECT_GT(est.completion_probability, 0.99);
+}
+
 TEST(CompletionTimeTest, CensoringReported) {
   // Negative drift, far barrier: most replications censor.
   const auto model = brownian_model(-1.0, 0.5);

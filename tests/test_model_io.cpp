@@ -90,6 +90,60 @@ TEST(ModelIoTest, ErrorsCarryLineNumbers) {
   expect_error_at("somrm-model v1\nstates 2\ndrift 0 1.0 extra\n", 3);
 }
 
+TEST(ModelIoTest, RejectsNonFiniteNumbers) {
+  // "nan"/"inf" parse as doubles, so without an explicit guard they would
+  // flow into the model and poison every downstream solve. Each numeric
+  // field must reject them with a ParseError naming the line and field.
+  const auto expect_non_finite_at = [](const std::string& text,
+                                       std::size_t line) {
+    try {
+      parse(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+      EXPECT_NE(std::string(e.what()).find("must be finite"),
+                std::string::npos)
+          << e.what();
+    }
+  };
+
+  for (const char* token : {"nan", "-nan", "inf", "-inf"}) {
+    const std::string v = token;
+    expect_non_finite_at(
+        "somrm-model v1\nstates 2\ntransition 0 1 " + v + "\n", 3);
+    expect_non_finite_at("somrm-model v1\nstates 2\ndrift 0 " + v + "\n", 3);
+    expect_non_finite_at(
+        "somrm-model v1\nstates 2\nvariance 0 " + v + "\n", 3);
+    expect_non_finite_at(
+        "somrm-model v1\nstates 2\ninitial 0 " + v + "\n", 3);
+    expect_non_finite_at(
+        "somrm-model v1\nstates 2\ntransition 0 1 1.0\n"
+        "transition 1 0 1.0\ninitial 0 1.0\nimpulse 0 1 " + v + "\n", 6);
+    expect_non_finite_at(
+        "somrm-model v1\nstates 2\ntransition 0 1 1.0\n"
+        "transition 1 0 1.0\ninitial 0 1.0\nimpulse 0 1 0.5 " + v + "\n", 6);
+  }
+}
+
+TEST(ModelIoTest, RejectsNegativeVarianceAtParseTime) {
+  // Both the per-state variance and the optional impulse variance are
+  // rejected by the parser itself (with the line), not later by the model.
+  try {
+    parse("somrm-model v1\nstates 2\nvariance 1 -0.25\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u) << e.what();
+  }
+  try {
+    parse(
+        "somrm-model v1\nstates 2\ntransition 0 1 1.0\n"
+        "transition 1 0 1.0\ninitial 0 1.0\nimpulse 0 1 0.5 -0.1\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 6u) << e.what();
+  }
+}
+
 TEST(ModelIoTest, ModelInvariantsStillEnforced) {
   // Initial probabilities not summing to 1 fail at model construction.
   EXPECT_THROW(parse("somrm-model v1\n"

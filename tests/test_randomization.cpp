@@ -133,6 +133,28 @@ TEST(RandomizationTest, TimeZeroGivesDeterministicZeroReward) {
   EXPECT_DOUBLE_EQ(res.weighted[2], 0.0);
 }
 
+TEST(RandomizationTest, TimeZeroInsideMultiTimeGridIsExact) {
+  // t = 0 as the first grid point must come back exactly deterministic
+  // (B(0) = 0 with probability 1), not "small": weighted and per-state
+  // moments of every order >= 1 are exactly 0.0 and the zeroth is 1.0.
+  const RandomizationMomentSolver solver(uniform_reward_model(3, 1.0, 1.0));
+  const std::vector<double> times{0.0, 0.5, 2.0};
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+  const auto multi = solver.solve_multi(times, opts);
+  ASSERT_EQ(multi.size(), times.size());
+  EXPECT_EQ(multi[0].time, 0.0);
+  EXPECT_EQ(multi[0].weighted[0], 1.0);
+  for (std::size_t j = 1; j <= opts.max_moment; ++j) {
+    EXPECT_EQ(multi[0].weighted[j], 0.0) << "moment " << j;
+    for (double v : multi[0].per_state[j]) EXPECT_EQ(v, 0.0);
+  }
+  // The later grid points are unaffected by the t = 0 entry.
+  const auto single = solver.solve(2.0, opts);
+  for (std::size_t j = 0; j <= opts.max_moment; ++j)
+    EXPECT_EQ(multi[2].weighted[j], single.weighted[j]);
+}
+
 TEST(RandomizationTest, MultiTimeMatchesSingleTimeCalls) {
   const RandomizationMomentSolver solver(uniform_reward_model(4, 1.5, 0.7));
   const std::vector<double> times{0.1, 0.4, 1.0, 2.5};
@@ -342,6 +364,32 @@ TEST(RandomizationValidationTest, RejectsNonFiniteTime) {
                std::invalid_argument);
   EXPECT_THROW(solver.solve(std::numeric_limits<double>::infinity()),
                std::invalid_argument);
+}
+
+TEST(RandomizationValidationTest, RejectsDuplicateTimePoints) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  const double times[] = {0.5, 0.5};
+  try {
+    solver.solve_multi(times);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate time point"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RandomizationValidationTest, RejectsUnsortedTimePoints) {
+  const RandomizationMomentSolver solver(uniform_reward_model(2, 1.0, 1.0));
+  const double times[] = {0.25, 1.0, 0.5};
+  try {
+    solver.solve_multi(times);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sorted ascending"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(RandomizationValidationTest, RejectsNonPositiveEpsilon) {

@@ -7,9 +7,13 @@ Usage:
 Both files are JSON arrays of BenchRecord objects as written by
 bench_common's JsonWriter (``--json`` / ``--json-append`` on the bench
 harnesses). Records are matched by the identity tuple
-(bench, states, threads, moments); for each pair the relative wall-clock
-change is printed, and the exit code is non-zero when any matched record
-regressed by more than the threshold (default 10%).
+(bench, kernel, states, threads, moments) — never by array position, so
+reordered or partially re-run snapshots compare correctly, and two variants
+of one bench that differ only in the sweep kernel (e.g. panel vs
+fused_vectors rows of kernel_scaling) are matched separately instead of
+colliding last-wins. For each pair the relative wall-clock change is
+printed, and the exit code is non-zero when any matched record regressed by
+more than the threshold (default 10%).
 
 Records present in only one file are reported but do not affect the exit
 code — adding a benchmark must not fail the diff that introduces it.
@@ -27,6 +31,12 @@ import sys
 
 class SnapshotError(Exception):
     """A snapshot file is missing, unreadable, or not a bench-record array."""
+
+
+def format_key(key: tuple) -> str:
+    bench, kernel, states, threads, moments = key
+    kernel_part = f"{kernel}," if kernel else ""
+    return f"{bench}[{kernel_part}N={states},T={threads},n={moments}]"
 
 
 def load_records(path: str) -> dict[tuple, dict]:
@@ -52,6 +62,7 @@ def load_records(path: str) -> dict[tuple, dict]:
                 "object with bench/states/threads/moments keys")
         key = (
             rec.get("bench", ""),
+            rec.get("kernel", ""),
             rec.get("states", 0),
             rec.get("threads", 0),
             rec.get("moments", 0),
@@ -94,7 +105,7 @@ def main() -> int:
     for key in matched:
         b = float(base[key].get("wall_s", 0.0))
         c = float(cand[key].get("wall_s", 0.0))
-        name = f"{key[0]}[N={key[1]},T={key[2]},n={key[3]}]"
+        name = format_key(key)
         if b <= 0.0:
             print(f"{name:50s} {b:12.6g} {c:12.6g}    (no baseline time)")
             continue
@@ -106,9 +117,9 @@ def main() -> int:
         print(f"{name:50s} {b:12.6g} {c:12.6g} {delta:+8.1%}{marker}")
 
     for key in only_base:
-        print(f"only in baseline:  {key[0]}[N={key[1]},T={key[2]},n={key[3]}]")
+        print(f"only in baseline:  {format_key(key)}")
     for key in only_cand:
-        print(f"only in candidate: {key[0]}[N={key[1]},T={key[2]},n={key[3]}]")
+        print(f"only in candidate: {format_key(key)}")
 
     if not matched:
         print("error: no records matched between the two snapshots",

@@ -102,6 +102,44 @@ class BenchDiffTest(unittest.TestCase):
         proc = run_diff(base, cand)
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
+    def test_kernel_variants_matched_separately(self) -> None:
+        # Two rows of one bench differing only in the sweep kernel must not
+        # collide last-wins: the regressed panel row has to be flagged even
+        # though the fused_vectors row (written later in the array) improved.
+        base = self.write("base.json", [
+            record("kernel_scaling", 1.0, kernel="panel"),
+            record("kernel_scaling", 2.0, kernel="fused_vectors"),
+        ])
+        cand = self.write("cand.json", [
+            record("kernel_scaling", 1.5, kernel="panel"),
+            record("kernel_scaling", 1.0, kernel="fused_vectors"),
+        ])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("kernel_scaling[panel,", proc.stdout)
+        self.assertIn("kernel_scaling[fused_vectors,", proc.stdout)
+        self.assertEqual(proc.stdout.count("REGRESSION"), 1)
+
+    def test_reordered_snapshots_match_by_identity(self) -> None:
+        # Same records, opposite array order: positional matching would pair
+        # a 1.0 s record against a 10.0 s one and report a huge regression.
+        recs = [record("sweep", 1.0, kernel="panel", threads=1),
+                record("sweep", 10.0, kernel="panel", threads=8)]
+        base = self.write("base.json", recs)
+        cand = self.write("cand.json", list(reversed(recs)))
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("none regressed", proc.stdout)
+
+    def test_missing_kernel_field_still_matches(self) -> None:
+        # Pre-kernel snapshots (no "kernel" key) keep matching records that
+        # also lack it — the key defaults to an empty kernel on both sides.
+        base = self.write("base.json", [record("sweep", 1.0)])
+        cand = self.write("cand.json", [record("sweep", 1.02)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("sweep[N=64", proc.stdout)
+
     def test_unmatched_records_reported_but_pass(self) -> None:
         base = self.write("base.json",
                           [record("sweep", 1.0), record("old", 1.0)])
