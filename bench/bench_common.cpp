@@ -30,8 +30,16 @@ std::string fmt(double v, int precision) {
 
 namespace {
 const char* find_arg(int argc, char** argv, const std::string& name) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (name == argv[i]) return argv[i + 1];
+  // Scan every slot including the last: a flag in the final position has no
+  // value, which must be reported, not silently treated as "absent" (a typo
+  // like `... --states` used to fall back to the default without a word).
+  for (int i = 1; i < argc; ++i) {
+    if (name != argv[i]) continue;
+    if (i + 1 >= argc)
+      throw std::invalid_argument("bench: flag " + name +
+                                  " is missing its value");
+    return argv[i + 1];
+  }
   return nullptr;
 }
 }  // namespace
@@ -39,20 +47,85 @@ const char* find_arg(int argc, char** argv, const std::string& name) {
 double arg_double(int argc, char** argv, const std::string& name,
                   double fallback) {
   const char* v = find_arg(argc, argv, name);
-  return v ? std::strtod(v, nullptr) : fallback;
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0')
+    throw std::invalid_argument("bench: flag " + name +
+                                " expects a number, got \"" + v + "\"");
+  return parsed;
 }
 
 std::size_t arg_size(int argc, char** argv, const std::string& name,
                      std::size_t fallback) {
   const char* v = find_arg(argc, argv, name);
-  return v ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
-           : fallback;
+  if (!v) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || std::strchr(v, '-') != nullptr)
+    throw std::invalid_argument("bench: flag " + name +
+                                " expects a non-negative integer, got \"" +
+                                std::string(v) + "\"");
+  return static_cast<std::size_t>(parsed);
 }
 
 std::string arg_string(int argc, char** argv, const std::string& name,
                        const std::string& fallback) {
   const char* v = find_arg(argc, argv, name);
   return v ? std::string(v) : fallback;
+}
+
+std::vector<std::size_t> arg_size_list(int argc, char** argv,
+                                       const std::string& name,
+                                       std::vector<std::size_t> fallback) {
+  const char* v = find_arg(argc, argv, name);
+  if (!v) return fallback;
+  std::vector<std::size_t> out;
+  const std::string list(v);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(item.c_str(), &end, 10);
+    if (item.empty() || end == item.c_str() || *end != '\0' ||
+        item.find('-') != std::string::npos)
+      throw std::invalid_argument(
+          "bench: flag " + name +
+          " expects comma-separated non-negative integers, got \"" + list +
+          "\"");
+    out.push_back(static_cast<std::size_t>(parsed));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
 }
 
 std::string git_sha() {
@@ -65,6 +138,7 @@ std::string git_sha() {
 
 void fill_from_stats(BenchRecord& record, const obs::SolverStats& stats) {
   record.kernel = stats.kernel;
+  record.simd = stats.simd;
   if (stats.threads > 0) record.threads = stats.threads;
   record.truncation_point = 0;
   for (std::size_t g : stats.truncation_points)
@@ -88,20 +162,24 @@ void JsonWriter::add(BenchRecord record) {
 namespace {
 
 void print_record(std::FILE* f, const BenchRecord& r, bool trailing_comma) {
+  const std::string bench = json_escape(r.bench);
+  const std::string sha = json_escape(r.git_sha);
+  const std::string kernel = json_escape(r.kernel);
+  const std::string simd = json_escape(r.simd);
   std::fprintf(
       f,
       "  {\"bench\": \"%s\", \"states\": %zu, \"threads\": %zu, "
       "\"wall_s\": %.9g, \"moments\": %zu, \"git_sha\": \"%s\", "
-      "\"kernel\": \"%s\", \"observability\": %s, "
+      "\"kernel\": \"%s\", \"simd\": \"%s\", \"observability\": %s, "
       "\"truncation_point\": %zu, \"sweep_s\": %.9g, "
       "\"spmv_gflops\": %.9g, \"load_imbalance\": %.9g, "
       "\"cache_hits\": %zu, \"cache_misses\": %zu, "
       "\"cache_evictions\": %zu, \"cache_coalesced\": %zu}%s\n",
-      r.bench.c_str(), r.states, r.threads, r.wall_s, r.moments,
-      r.git_sha.c_str(), r.kernel.c_str(),
-      r.observability ? "true" : "false", r.truncation_point, r.sweep_s,
-      r.spmv_gflops, r.load_imbalance, r.cache_hits, r.cache_misses,
-      r.cache_evictions, r.cache_coalesced, trailing_comma ? "," : "");
+      bench.c_str(), r.states, r.threads, r.wall_s, r.moments, sha.c_str(),
+      kernel.c_str(), simd.c_str(), r.observability ? "true" : "false",
+      r.truncation_point, r.sweep_s, r.spmv_gflops, r.load_imbalance,
+      r.cache_hits, r.cache_misses, r.cache_evictions, r.cache_coalesced,
+      trailing_comma ? "," : "");
 }
 
 /// Reads the existing JSON array body (the text between the outer
@@ -134,9 +212,17 @@ std::string existing_array_body(const std::string& path) {
 
 void JsonWriter::write() const {
   if (!enabled()) return;
+  // Read the prior records (append mode) BEFORE truncating anything, then
+  // write the merged array to a sibling temp file and rename it into place.
+  // The old flow reopened the same path with "w", so a crash mid-write (or
+  // a failed existing_array_body parse after the open) destroyed the
+  // accumulated snapshot it was trying to extend; rename(2) on the same
+  // directory is atomic, so readers now see either the old file or the
+  // complete new one, never a torn prefix.
   const std::string body = append_ ? existing_array_body(path_) : "";
-  std::FILE* f = std::fopen(path_.c_str(), "w");
-  if (!f) throw std::runtime_error("JsonWriter: cannot open " + path_);
+  const std::string tmp_path = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "w");
+  if (!f) throw std::runtime_error("JsonWriter: cannot open " + tmp_path);
   std::fprintf(f, "[\n");
   if (!body.empty())
     std::fprintf(f, "  %s%s\n", body.c_str(),
@@ -144,7 +230,16 @@ void JsonWriter::write() const {
   for (std::size_t i = 0; i < records_.size(); ++i)
     print_record(f, records_[i], i + 1 < records_.size());
   std::fprintf(f, "]\n");
-  std::fclose(f);
+  const bool write_failed = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || write_failed) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("JsonWriter: failed writing " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("JsonWriter: cannot rename " + tmp_path +
+                             " to " + path_);
+  }
 }
 
 namespace {

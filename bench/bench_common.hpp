@@ -41,13 +41,30 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Looks up "--name value" in argv; returns fallback when absent.
+/// Looks up "--name value" in argv; returns fallback when the flag is
+/// absent. Throws std::invalid_argument (naming the flag) when the flag is
+/// present without a value — including in the last argv slot — or, for the
+/// numeric variants, when the value does not parse completely as a number
+/// (arg_size additionally rejects negatives). Malformed CLI input must
+/// abort the bench, not silently run a default-sized measurement.
 double arg_double(int argc, char** argv, const std::string& name,
                   double fallback);
 std::size_t arg_size(int argc, char** argv, const std::string& name,
                      std::size_t fallback);
 std::string arg_string(int argc, char** argv, const std::string& name,
                        const std::string& fallback);
+
+/// Parses "--name v1,v2,..." as a comma-separated list of non-negative
+/// integers (e.g. `--threads 1,2,4,8,16`). Returns fallback when the flag
+/// is absent; throws std::invalid_argument (naming the flag) for an empty
+/// list or any element that fails arg_size's rules.
+std::vector<std::size_t> arg_size_list(int argc, char** argv,
+                                       const std::string& name,
+                                       std::vector<std::size_t> fallback);
+
+/// Escapes a string for embedding inside a JSON string literal: quote,
+/// backslash, and control characters (\b \f \n \r \t, \u00XX otherwise).
+std::string json_escape(const std::string& s);
 
 /// Git commit the binary was built from (SOMRM_GIT_SHA compile definition,
 /// injected by bench/CMakeLists.txt; "unknown" when not a git checkout).
@@ -68,6 +85,7 @@ struct BenchRecord {
   std::size_t moments = 0;  ///< max moment order (0 when not applicable)
   std::string git_sha;      ///< commit of the binary (bench::git_sha())
   std::string kernel;       ///< sweep kernel that ran ("" when no solve)
+  std::string simd;         ///< SIMD dispatch level ("" when no solve)
   bool observability = somrm::obs::kEnabled;  ///< telemetry compiled in?
   std::size_t truncation_point = 0;  ///< Theorem-4 G_max of the sweep
   double sweep_s = 0.0;              ///< U-recursion sweep seconds
@@ -100,9 +118,12 @@ class JsonWriter {
   bool enabled() const { return !path_.empty(); }
   void add(BenchRecord record);
 
-  /// Writes all collected records to the path. Throws std::runtime_error
-  /// when the file cannot be opened (or, in append mode, when the existing
-  /// file is not a JSON array).
+  /// Writes all collected records to the path, durably: the merged array
+  /// goes to "<path>.tmp" first and is renamed into place, so an existing
+  /// snapshot is never truncated before its replacement is complete.
+  /// String fields are JSON-escaped. Throws std::runtime_error when the
+  /// temp file cannot be opened/written/renamed (or, in append mode, when
+  /// the existing file is not a JSON array).
   void write() const;
 
  private:

@@ -9,18 +9,23 @@
 // Flags beyond google-benchmark's own: `--json <path>` writes every run as
 // a machine-readable BenchRecord via bench_common's JsonWriter;
 // `--json-append <path>` merges the runs into an existing snapshot instead
-// of replacing it (see EXPERIMENTS.md).
+// of replacing it (see EXPERIMENTS.md); `--threads t1,t2,...` selects the
+// solver thread counts BM_SolveVsThreads sweeps (default 1,2,4 — pass
+// `--threads 1,2,4,8,16` for the full scaling curve).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/first_order.hpp"
 #include "core/randomization.hpp"
+#include "linalg/csr.hpp"
 #include "linalg/parallel.hpp"
+#include "linalg/simd.hpp"
 #include "models/birth_death.hpp"
 
 namespace {
@@ -128,6 +133,8 @@ BENCHMARK(BM_MultiTimeSeparateSolves);
 // near-linear row-parallel speedup, while N = 1024 stays below the grain
 // and runs inline regardless. Results are bit-identical across the sweep
 // (deterministic partition, row-owned writes), so only time varies.
+// Registered dynamically in main() so `--threads 1,2,4,8,16` picks the
+// sweep points.
 void BM_SolveVsThreads(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   const auto states = static_cast<std::size_t>(state.range(1));
@@ -143,10 +150,38 @@ void BM_SolveVsThreads(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["states"] = static_cast<double>(states);
 }
-BENCHMARK(BM_SolveVsThreads)
-    ->ArgsProduct({{1, 2, 4}, {1024, 10000, 40000}})
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+
+// CSR x panel row-kernel throughput per SIMD dispatch level, isolated from
+// the solver (no truncation search, no Poisson windows — just
+// multiply_panel on a birth-death-shaped matrix). Registered dynamically in
+// main() once per level the build compiled in AND the host supports, so a
+// portable build shows scalar only while -DSOMRM_NATIVE=ON on an AVX-512
+// host shows all three. All levels produce bit-identical panels
+// (test_simd_panel); this benchmark shows what that contract costs.
+void BM_PanelRowsSimd(benchmark::State& state, linalg::simd::Level level) {
+  const std::size_t states = 40000, width = 5;
+  const auto model = make_chain(states, 1.0);
+  const linalg::CsrMatrix& a = model.generator().matrix();
+  linalg::Panel x(a.cols(), width), y(a.rows(), width);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < width; ++j)
+      x(i, j) = 1.0 + 1.0 / static_cast<double>(i + j + 1);
+  linalg::set_num_threads(1);
+  linalg::simd::set_level(level);
+  for (auto _ : state) {
+    a.multiply_panel(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  linalg::simd::set_level(linalg::simd::highest_supported());
+  linalg::set_num_threads(0);
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["threads"] = 1.0;
+  // 2 flops (mul + add) per stored entry per panel column, per iteration.
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) * static_cast<double>(width),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::OneK::kIs1000);
+}
 
 // Panel (multi-vector SpMM) sweep kernel vs the pre-panel fused kernel that
 // re-streams the CSR structure once per moment order, single-threaded so
@@ -240,16 +275,19 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull out --json / --json-append before benchmark::Initialize, which
-  // rejects flags it does not know.
+  // Pull out --json / --json-append / --threads before
+  // benchmark::Initialize, which rejects flags it does not know.
   const std::string json_path =
       somrm::bench::arg_string(argc, argv, "--json", "");
   const std::string json_append_path =
       somrm::bench::arg_string(argc, argv, "--json-append", "");
+  const std::vector<std::size_t> thread_list =
+      somrm::bench::arg_size_list(argc, argv, "--threads", {1, 2, 4});
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg(argv[i]);
-    if ((arg == "--json" || arg == "--json-append") && i + 1 < argc) {
+    if ((arg == "--json" || arg == "--json-append" || arg == "--threads") &&
+        i + 1 < argc) {
       ++i;
       continue;
     }
@@ -259,6 +297,23 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
+
+  for (const std::size_t t : thread_list)
+    for (const std::size_t n : {1024, 10000, 40000})
+      benchmark::RegisterBenchmark("BM_SolveVsThreads", BM_SolveVsThreads)
+          ->Args({static_cast<std::int64_t>(t), static_cast<std::int64_t>(n)})
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime();
+  for (int lvl = 0; lvl <= static_cast<int>(somrm::linalg::simd::highest_supported());
+       ++lvl) {
+    const auto level = static_cast<somrm::linalg::simd::Level>(lvl);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_PanelRowsSimd/") +
+         somrm::linalg::simd::level_name(level))
+            .c_str(),
+        BM_PanelRowsSimd, level)
+        ->Unit(benchmark::kMillisecond);
+  }
 
   somrm::bench::JsonWriter writer(
       !json_append_path.empty() ? json_append_path : json_path,

@@ -9,6 +9,8 @@
 #include "core/solver_telemetry.hpp"
 #include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
+#include "linalg/reorder.hpp"
+#include "linalg/simd.hpp"
 #include "obs/trace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
@@ -376,8 +378,7 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
   const std::size_t num_states = model.num_states();
   const bool weighted = !terminal_weights.empty();
   const double w_max = weighted ? linalg::max_elem(terminal_weights) : 1.0;
-  const ScaledModel scaled =
-      scale_model(model, options.scale_policy, options.center);
+  ScaledModel scaled = scale_model(model, options.scale_policy, options.center);
 
   RetainedSweep sweep;
   sweep.times.assign(times.begin(), times.end());
@@ -392,6 +393,8 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
 
   obs::SolverStats& stats = sweep.stats;
   stats.threads = linalg::num_threads();
+  stats.simd = linalg::simd::level_name(linalg::simd::active_level());
+  stats.reorder = "none";
   stats.panel_width = n + 1;
   stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
 
@@ -417,6 +420,31 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
     }
     stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());
     return sweep;
+  }
+
+  // Optional bandwidth-reduction reorder (linalg/reorder.hpp): the sweep
+  // runs on the permuted state space and the retained panels are permuted
+  // back just before return. permute_symmetric preserves every row's
+  // stored-entry order, so the arithmetic chain — and hence every output
+  // bit — is identical under any policy; only memory locality changes.
+  std::vector<std::size_t> perm;  // perm[new] = old; empty = no reorder
+  stats.bandwidth_before = linalg::bandwidth(scaled.q_prime);
+  stats.bandwidth_after = stats.bandwidth_before;
+  if (options.reorder != ReorderPolicy::kNone) {
+    const std::int64_t reorder_t0 = obs::now_ns();
+    perm = options.reorder == ReorderPolicy::kRcm
+               ? linalg::rcm_permutation(scaled.q_prime)
+               : linalg::degree_permutation(scaled.q_prime);
+    if (linalg::is_identity_permutation(perm)) {
+      perm.clear();  // already optimal; skip the permuted copies
+    } else {
+      scaled.q_prime = linalg::permute_symmetric(scaled.q_prime, perm);
+      scaled.r_prime = linalg::permute_vector(scaled.r_prime, perm);
+      scaled.s_prime = linalg::permute_vector(scaled.s_prime, perm);
+      stats.bandwidth_after = linalg::bandwidth(scaled.q_prime);
+    }
+    stats.reorder = options.reorder == ReorderPolicy::kRcm ? "rcm" : "degree";
+    stats.scale_seconds += obs::seconds_between(reorder_t0, obs::now_ns());
   }
 
   // Theorem-4 truncation per time point: honour epsilon for every moment
@@ -476,7 +504,9 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
       2 * g_max * scaled.q_prime.nnz() * (weighted ? n + 1 : n);
 
   const auto seed_value = [&](std::size_t i) {
-    return weighted ? terminal_weights[i] / w_max : 1.0;
+    if (!weighted) return 1.0;
+    // Row i of the (possibly permuted) sweep is model state perm[i].
+    return terminal_weights[perm.empty() ? i : perm[i]] / w_max;
   };
 
   if (options.kernel == SweepKernel::kPanel) {
@@ -562,6 +592,13 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
     for (std::size_t ti = 0; ti < times.size(); ++ti)
       for (std::size_t j = 0; j <= n; ++j)
         sweep.acc[ti].set_col(j, acc[ti][j]);
+  }
+
+  if (!perm.empty()) {
+    // Back to the model's state order: pure row moves, no arithmetic, so
+    // nothing downstream can tell a reordered sweep ran.
+    for (linalg::Panel& p : sweep.acc)
+      p = linalg::unpermute_panel_rows(p, perm);
   }
 
   stats.total_seconds = obs::seconds_between(total_t0, obs::now_ns());

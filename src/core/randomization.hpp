@@ -69,6 +69,17 @@ enum class SweepKernel {
   kFusedVectors,
 };
 
+/// CSR bandwidth-reduction reordering applied at sweep setup (see
+/// linalg/reorder.hpp). The sweep runs on the permuted state space and the
+/// retained accumulator panels are permuted back before anything escapes,
+/// so every solver output — order AND bits — is identical under every
+/// policy (asserted by ReorderSolveTest); only memory locality changes.
+enum class ReorderPolicy {
+  kNone,    ///< solve in the model's own state order (default)
+  kRcm,     ///< reverse Cuthill–McKee on the symmetrized Q' pattern
+  kDegree,  ///< ascending-degree ordering (cheaper, weaker)
+};
+
 struct MomentSolverOptions {
   /// Highest moment order n to compute (all orders 0..n are returned).
   std::size_t max_moment = 3;
@@ -88,6 +99,11 @@ struct MomentSolverOptions {
   /// thread count (asserted by RandomizationThreadTest); kFusedVectors
   /// exists to measure and pin that equivalence.
   SweepKernel kernel = SweepKernel::kPanel;
+  /// Bandwidth-reduction reorder for the sweep (bit-exact no matter what —
+  /// see ReorderPolicy). kNone by default: the bundled model builders
+  /// already emit near-banded orderings, so the pass pays off mainly for
+  /// externally loaded models with scattered state numbering.
+  ReorderPolicy reorder = ReorderPolicy::kNone;
 };
 
 /// Result of a moment computation at one time point.

@@ -6,6 +6,7 @@
 
 #include "core/invariants.hpp"
 #include "linalg/parallel.hpp"
+#include "linalg/simd.hpp"
 #include "obs/telemetry.hpp"
 
 namespace {
@@ -106,6 +107,13 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
                      std::vector<std::size_t> row_ptr,
                      std::vector<std::size_t> col_idx,
                      std::vector<double> values)
+    : CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                std::move(values), /*require_sorted=*/true) {}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values, bool require_sorted)
     : rows_(rows),
       cols_(cols),
       row_ptr_(std::move(row_ptr)),
@@ -125,20 +133,49 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
     if (c >= cols_)
       throw std::invalid_argument("CsrMatrix: column index out of range");
   }
-  // at() binary-searches each row, so columns must be strictly increasing
-  // within every row (sorted and duplicate-free) — enforce it here instead
-  // of silently returning wrong entries for hand-built matrices.
-  for (std::size_t r = 0; r < rows_; ++r) {
+  // at() binary-searches each row when columns are strictly increasing
+  // within every row (sorted and duplicate-free) — the default ctor
+  // enforces it instead of silently returning wrong entries for hand-built
+  // matrices. from_unsorted_parts relaxes the ordering (a permuted matrix
+  // keeps its original accumulation order, see linalg/reorder.hpp) but
+  // still rejects duplicate columns, which no kernel tolerates.
+  columns_sorted_ = true;
+  for (std::size_t r = 0; r < rows_ && columns_sorted_; ++r) {
     for (std::size_t k = row_ptr_[r] + 1; k < row_ptr_[r + 1]; ++k) {
-      if (col_idx_[k - 1] >= col_idx_[k])
-        throw std::invalid_argument(
-            "CsrMatrix: row columns must be sorted and duplicate-free");
+      if (col_idx_[k - 1] >= col_idx_[k]) {
+        columns_sorted_ = false;
+        break;
+      }
+    }
+  }
+  if (!columns_sorted_) {
+    if (require_sorted)
+      throw std::invalid_argument(
+          "CsrMatrix: row columns must be sorted and duplicate-free");
+    // Duplicate check without sorting: an epoch-stamped scratch marks the
+    // columns seen in the current row. O(nnz + cols).
+    std::vector<std::size_t> seen_in_row(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        if (seen_in_row[col_idx_[k]] == r)
+          throw std::invalid_argument(
+              "CsrMatrix: duplicate column within a row");
+        seen_in_row[col_idx_[k]] = r;
+      }
     }
   }
   // Checked-build poison sweep: a NaN/Inf smuggled into any matrix (model
   // generator, uniformized DTMC, impulse-moment matrix) would propagate
   // silently through every sweep step.
   SOMRM_CHECK_FINITE(std::span<const double>(values_), "CsrMatrix values");
+}
+
+CsrMatrix CsrMatrix::from_unsorted_parts(std::size_t rows, std::size_t cols,
+                                         std::vector<std::size_t> row_ptr,
+                                         std::vector<std::size_t> col_idx,
+                                         std::vector<double> values) {
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values), /*require_sorted=*/false);
 }
 
 CsrMatrix CsrMatrix::identity(std::size_t n) {
@@ -174,6 +211,11 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
     throw std::out_of_range("CsrMatrix::at: index out of range");
   const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
   const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  if (!columns_sorted_) {
+    const auto it = std::find(begin, end, col);
+    if (it == end) return 0.0;
+    return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+  }
   const auto it = std::lower_bound(begin, end, col);
   if (it == end || *it != col) return 0.0;
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
@@ -302,11 +344,20 @@ void CsrMatrix::multiply_panel_rows(const Panel& x, Panel& y,
   if (src_col + count > x.width() || dst_col + count > y.width())
     throw std::invalid_argument(
         "CsrMatrix::multiply_panel_rows: column window out of range");
+  // Vector variants (SOMRM_NATIVE builds) lane the panel columns, so each
+  // column keeps the scalar kernels' accumulation chain — dispatching here
+  // trades only speed, never output bits (see linalg/simd.hpp).
+  const simd::PanelRowsFn vector_kernel = simd::panel_rows_kernel();
   for (std::size_t c0 = 0; c0 < count; c0 += kPanelChunk) {
     const std::size_t cw = std::min(kPanelChunk, count - c0);
     const double* xbase = x.data() + src_col + c0;
     double* ybase = y.data() + dst_col + c0;
     const std::size_t xw = x.width(), yw = y.width();
+    if (vector_kernel != nullptr) {
+      vector_kernel(row_ptr_.data(), col_idx_.data(), values_.data(), xbase,
+                    xw, ybase, yw, row_begin, row_end, cw, accumulate);
+      continue;
+    }
     switch (cw) {
       case 1:
         panel_rows_fixed<1>(row_ptr_, col_idx_, values_, xbase, xw, ybase, yw,

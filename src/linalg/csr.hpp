@@ -79,15 +79,35 @@ class CsrMatrix {
   static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
                                  std::span<const Triplet> triplets);
 
+  /// Builds from raw CSR arrays whose within-row column order is caller-
+  /// chosen: columns must be in-range and duplicate-free per row but need
+  /// not be sorted. Used by the bandwidth-reduction reorder
+  /// (linalg/reorder.hpp), which must keep each row's entries in their
+  /// original relative order to preserve the kernels' floating-point
+  /// accumulation chains. at() falls back to a linear row scan when the
+  /// columns turn out unsorted (columns_sorted() == false); every multiply
+  /// kernel is order-agnostic-correct (though order-sensitive in the last
+  /// bit, which is exactly the point).
+  static CsrMatrix from_unsorted_parts(std::size_t rows, std::size_t cols,
+                                       std::vector<std::size_t> row_ptr,
+                                       std::vector<std::size_t> col_idx,
+                                       std::vector<double> values);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return values_.size(); }
+
+  /// True when every row's columns are strictly increasing (always true
+  /// except for matrices built via from_unsorted_parts whose input really
+  /// was unsorted).
+  bool columns_sorted() const { return columns_sorted_; }
 
   const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
   const std::vector<std::size_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
 
-  /// Element lookup by binary search within the row. O(log nnz_row).
+  /// Element lookup: binary search within the row when columns_sorted(),
+  /// linear scan otherwise. O(log nnz_row) / O(nnz_row).
   double at(std::size_t row, std::size_t col) const;
 
   /// y = A * x. Requires x.size() == cols(), y.size() == rows(); x and y
@@ -169,11 +189,16 @@ class CsrMatrix {
   std::vector<Vec> to_dense(std::size_t max_dim = 512) const;
 
  private:
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values, bool require_sorted);
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_{0};
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
+  bool columns_sorted_ = true;
 };
 
 }  // namespace somrm::linalg

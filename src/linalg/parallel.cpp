@@ -144,8 +144,15 @@ std::size_t env_or_hardware_threads() {
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;
 }
 
+/// The pool is published as a shared_ptr so retirement is safe against
+/// concurrent use: set_num_threads swaps the global reference out under the
+/// mutex, but any parallel_for already inside ThreadPool::run holds its own
+/// reference, so the pool (and its worker threads) is destroyed — joining
+/// the workers — only when the last in-flight job lets go. Resetting a
+/// unique_ptr here instead would free the pool out from under a running
+/// job (use-after-free; see ParallelForRaceTest).
 std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+std::shared_ptr<ThreadPool> g_pool;
 std::atomic<std::size_t> g_thread_override{0};  // 0 = use the default
 
 thread_local bool t_inside_parallel_for = false;
@@ -181,9 +188,16 @@ std::size_t num_threads() {
 }
 
 void set_num_threads(std::size_t count) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  g_thread_override.store(std::min(count, kMaxThreads));
-  g_pool.reset();  // lazily rebuilt at the new size on next use
+  std::shared_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_thread_override.store(std::min(count, kMaxThreads));
+    retired = std::move(g_pool);  // lazily rebuilt at the new size on next use
+  }
+  // `retired` drops its reference outside the mutex. Jobs already inside
+  // ThreadPool::run hold their own reference, so worker shutdown (the join
+  // in ~ThreadPool) happens only after the last in-flight job finishes —
+  // never under a job's feet, and never while holding g_pool_mutex.
 }
 
 void parallel_for(std::size_t total,
@@ -209,17 +223,20 @@ void parallel_for(std::size_t total,
   }
 
   const std::vector<IndexRange> ranges = partition_ranges(total, parts);
-  ThreadPool* pool = nullptr;
+  std::shared_ptr<ThreadPool> pool;
   {
     // Size the pool by what this job can actually use (parts - 1 workers
     // plus the calling thread), not the raw thread count: a huge
     // SOMRM_NUM_THREADS must never translate into thousands of idle OS
     // threads. The pool only grows; jobs needing fewer ranges than there
     // are workers leave the surplus parked on the condition variable.
+    // The local shared_ptr pins the pool for the duration of run(): a
+    // concurrent set_num_threads (or a concurrent grow below) may swap the
+    // global reference, but this job's pool stays alive until it returns.
     std::lock_guard<std::mutex> lock(g_pool_mutex);
     if (!g_pool || g_pool->worker_count() + 1 < parts)
-      g_pool = std::make_unique<ThreadPool>(parts - 1);
-    pool = g_pool.get();
+      g_pool = std::make_shared<ThreadPool>(parts - 1);
+    pool = g_pool;
   }
 
   t_inside_parallel_for = true;

@@ -49,8 +49,11 @@ std::size_t num_threads();
 /// Overrides the thread count. @p count == 0 resets to the environment /
 /// hardware default; values above an internal ceiling (1024) are clamped —
 /// like oversized SOMRM_NUM_THREADS values — so pathological requests
-/// degrade instead of exhausting OS threads. Not safe to call concurrently
-/// with parallel_for.
+/// degrade instead of exhausting OS threads. Safe to call concurrently with
+/// parallel_for: the worker pool is reference-counted, so in-flight jobs
+/// finish on the pool they started on and retirement (joining the old
+/// workers) waits for the last of them; only jobs SUBMITTED after the call
+/// see the new count.
 void set_num_threads(std::size_t count);
 
 /// What the environment/hardware default resolves to (ignores overrides).

@@ -58,6 +58,18 @@ struct SolverStats {
   /// Sweep kernel that ran: "panel", "fused_vectors", "degenerate" (q == 0
   /// closed form), or "impulse_panel"/"impulse_fused_vectors".
   std::string kernel;
+  /// SIMD level the CSR×panel row kernels dispatch to ("scalar" in
+  /// portable builds; "avx2"/"avx512" under -DSOMRM_NATIVE=ON when the CPU
+  /// supports it). Bit-exact either way — this records speed, not values.
+  std::string simd;
+  /// Bandwidth-reduction reorder applied at sweep setup: "none", "rcm",
+  /// or "degree" (MomentSolverOptions::reorder). Outputs are permuted back,
+  /// so this too records locality, not values.
+  std::string reorder;
+  /// CSR bandwidth of Q' before/after the reorder (equal when reorder is
+  /// "none" or the computed permutation was the identity).
+  std::size_t bandwidth_before = 0;
+  std::size_t bandwidth_after = 0;
   /// Panel width n+1 streamed per CSR pass (0 for the degenerate path).
   std::size_t panel_width = 0;
   /// linalg::num_threads() at solve time.

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "linalg/csr.hpp"
@@ -203,6 +204,61 @@ TEST(ParallelForTest, ZeroTotalNeverInvokesBody) {
   bool called = false;
   parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// Regression for the pool-retirement race: set_num_threads used to reset
+// the worker pool while another thread could still be inside
+// ThreadPool::run — a use-after-free once solves go concurrent
+// (SolveSession serving). The pool is now reference-counted, so in-flight
+// jobs keep their pool alive and retirement joins the old workers only
+// after the last of them returns. This test hammers set_num_threads
+// against concurrent panel products; under TSan (CI sanitize matrix) the
+// old code reports the race, and in any build the results must still be
+// bit-identical to the serial reference (the kernels are thread-count
+// invariant, so even a mid-job override cannot change values).
+TEST(ParallelForRaceTest, SetNumThreadsConcurrentWithJobsIsSafe) {
+  const CsrMatrix m = lcg_matrix(6000, 6000, 5);
+  const Panel x = lcg_panel(6000, 4);
+  set_num_threads(1);
+  Panel reference(6000, 4);
+  m.multiply_panel(x, reference);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  auto solver_loop = [&] {
+    Panel y(6000, 4);
+    for (int iter = 0; iter < 40; ++iter) {
+      m.multiply_panel(x, y);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        if (y.data()[i] != reference.data()[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+    }
+  };
+  std::thread hammer([&] {
+    std::size_t k = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      set_num_threads(1 + (k++ % 8));
+  });
+  std::thread solver_a(solver_loop);
+  std::thread solver_b(solver_loop);
+  solver_a.join();
+  solver_b.join();
+  stop.store(true, std::memory_order_relaxed);
+  hammer.join();
+  set_num_threads(0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The pool must be fully usable after the hammering stops.
+  std::atomic<std::size_t> count{0};
+  parallel_for(
+      2048,
+      [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(end - begin, std::memory_order_relaxed);
+      },
+      /*grain=*/64);
+  EXPECT_EQ(count.load(), 2048u);
 }
 
 TEST(NumThreadsTest, OverrideRoundTripsAndZeroRestoresDefault) {

@@ -1,0 +1,264 @@
+// Tests for linalg/reorder.hpp: permutation validity, bandwidth reduction,
+// within-row order preservation, and the solver-level guarantee that a
+// reordered solve returns bit-identical moments.
+
+#include "linalg/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/randomization.hpp"
+#include "ctmc/generator.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/panel.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::linalg {
+namespace {
+
+using core::MomentResult;
+using core::MomentSolverOptions;
+using core::RandomizationMomentSolver;
+using core::ReorderPolicy;
+using core::SecondOrderMrm;
+
+// Deterministic shuffle of [0, n): i -> (i * stride + offset) % n with
+// stride coprime to n. Scatters formerly-adjacent indices far apart.
+std::vector<std::size_t> stride_shuffle(std::size_t n, std::size_t stride,
+                                        std::size_t offset) {
+  std::vector<std::size_t> map(n);
+  for (std::size_t i = 0; i < n; ++i) map[i] = (i * stride + offset) % n;
+  return map;
+}
+
+// Tridiagonal (banded) pattern whose state labels have been scrambled by
+// @p label: entry (label[i], label[j]) for |i - j| <= 1. Bandwidth under
+// the scrambled labels is large; RCM should recover something near 1.
+CsrMatrix shuffled_banded(std::size_t n, const std::vector<std::size_t>& label) {
+  std::vector<Triplet> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    trips.push_back({label[i], label[i], -2.0 - 0.01 * static_cast<double>(i)});
+    if (i + 1 < n) {
+      trips.push_back({label[i], label[i + 1], 1.0 + 0.1 * static_cast<double>(i)});
+      trips.push_back({label[i + 1], label[i], 0.5 + 0.2 * static_cast<double>(i)});
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, trips);
+}
+
+void expect_is_permutation(const std::vector<std::size_t>& perm, std::size_t n) {
+  ASSERT_EQ(perm.size(), n);
+  std::vector<std::size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ReorderTest, PermutationHelpersValidateAndRoundTrip) {
+  const std::vector<std::size_t> perm = {2, 0, 3, 1};
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(inv[perm[i]], i);
+  EXPECT_FALSE(is_identity_permutation(perm));
+  const std::vector<std::size_t> id = {0, 1, 2};
+  EXPECT_TRUE(is_identity_permutation(id));
+
+  const std::vector<std::size_t> dup = {0, 1, 1};
+  EXPECT_THROW(invert_permutation(dup), std::invalid_argument);
+  const std::vector<std::size_t> oob = {0, 1, 5};
+  EXPECT_THROW(invert_permutation(oob), std::invalid_argument);
+}
+
+TEST(ReorderTest, OrderingsArePermutationsAndReduceBandwidth) {
+  const std::size_t n = 64;
+  const auto label = stride_shuffle(n, 29, 3);
+  const CsrMatrix a = shuffled_banded(n, label);
+  const std::size_t before = bandwidth(a);
+  ASSERT_GT(before, 8u);  // the shuffle really scattered the band
+
+  const auto rcm = rcm_permutation(a);
+  expect_is_permutation(rcm, n);
+  const CsrMatrix a_rcm = permute_symmetric(a, rcm);
+  EXPECT_LT(bandwidth(a_rcm), before);
+  // RCM on a path graph should recover an (almost) tridiagonal band.
+  EXPECT_LE(bandwidth(a_rcm), 2u);
+
+  const auto deg = degree_permutation(a);
+  expect_is_permutation(deg, n);
+
+  // Determinism: same input, same permutation.
+  EXPECT_EQ(rcm, rcm_permutation(a));
+  EXPECT_EQ(deg, degree_permutation(a));
+}
+
+TEST(ReorderTest, PermuteSymmetricRemapsValuesAndPreservesRowOrder) {
+  const std::size_t n = 12;
+  const auto label = stride_shuffle(n, 5, 1);
+  const CsrMatrix a = shuffled_banded(n, label);
+  const auto perm = rcm_permutation(a);
+  const auto inv = invert_permutation(perm);
+  const CsrMatrix b = permute_symmetric(a, perm);
+
+  ASSERT_EQ(b.rows(), n);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  // Value correctness: B(r, c) == A(perm[r], perm[c]).
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_EQ(b.at(r, c), a.at(perm[r], perm[c])) << r << "," << c;
+
+  // Within-row order preservation: row r of B lists the same VALUES in the
+  // same sequence as row perm[r] of A (columns remapped, never re-sorted).
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t src = perm[r];
+    const std::size_t len = a.row_ptr()[src + 1] - a.row_ptr()[src];
+    ASSERT_EQ(b.row_ptr()[r + 1] - b.row_ptr()[r], len);
+    for (std::size_t k = 0; k < len; ++k) {
+      EXPECT_EQ(b.values()[b.row_ptr()[r] + k], a.values()[a.row_ptr()[src] + k]);
+      EXPECT_EQ(b.col_idx()[b.row_ptr()[r] + k],
+                inv[a.col_idx()[a.row_ptr()[src] + k]]);
+    }
+  }
+}
+
+TEST(ReorderTest, FromUnsortedPartsSupportsUnsortedColumns) {
+  // 2x3 matrix with row 0 stored as columns {2, 0} — deliberately unsorted.
+  std::vector<std::size_t> row_ptr = {0, 2, 3};
+  std::vector<std::size_t> col_idx = {2, 0, 1};
+  std::vector<double> values = {5.0, 7.0, 11.0};
+  const CsrMatrix m =
+      CsrMatrix::from_unsorted_parts(2, 3, row_ptr, col_idx, values);
+  EXPECT_FALSE(m.columns_sorted());
+  EXPECT_EQ(m.at(0, 0), 7.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(0, 2), 5.0);
+  EXPECT_EQ(m.at(1, 1), 11.0);
+
+  // Sorted input through the same factory keeps the sorted flag.
+  const CsrMatrix s = CsrMatrix::from_unsorted_parts(
+      2, 3, {0, 2, 3}, {0, 2, 1}, {7.0, 5.0, 11.0});
+  EXPECT_TRUE(s.columns_sorted());
+
+  // Duplicate columns within a row are rejected either way.
+  EXPECT_THROW(CsrMatrix::from_unsorted_parts(1, 3, {0, 2}, {2, 2}, {1.0, 2.0}),
+               std::invalid_argument);
+  // The strict constructor still rejects unsorted columns outright.
+  EXPECT_THROW(CsrMatrix(2, 3, {0, 2, 3}, {2, 0, 1}, {5.0, 7.0, 11.0}),
+               std::invalid_argument);
+}
+
+TEST(ReorderTest, PermutedSpmvRoundTripsBitExactly) {
+  const std::size_t n = 48;
+  const auto label = stride_shuffle(n, 11, 7);
+  const CsrMatrix a = shuffled_banded(n, label);
+  const auto perm = rcm_permutation(a);
+  const CsrMatrix b = permute_symmetric(a, perm);
+
+  Vec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 0.1 + 1.0 / static_cast<double>(i + 1);
+
+  Vec y_ref(n, 0.0);
+  a.multiply(x, y_ref);
+
+  // Permute input, multiply with the reordered matrix, un-permute output.
+  const Vec x_p = permute_vector(x, perm);
+  Vec y_p(n, 0.0);
+  b.multiply(x_p, y_p);
+  Vec y_back(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) y_back[perm[i]] = y_p[i];
+
+  // Bit-exact, not just close: each row's accumulation chain is unchanged.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y_back[i], y_ref[i]) << i;
+}
+
+TEST(ReorderTest, UnpermutePanelRowsInvertsRowGather) {
+  const std::size_t n = 9, w = 4;
+  const auto perm = stride_shuffle(n, 4, 2);  // gcd(4, 9) == 1: a permutation
+  Panel p(n, w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < w; ++j)
+      p(i, j) = static_cast<double>(i * 100 + j);
+
+  // Gather rows by perm, then unpermute: must restore the original panel.
+  Panel gathered(n, w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < w; ++j) gathered(i, j) = p(perm[i], j);
+  const Panel restored = unpermute_panel_rows(gathered, perm);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < w; ++j) EXPECT_EQ(restored(i, j), p(i, j));
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level round trip: reordered solves must be bit-identical to the
+// unreordered solve — the whole point of the original-row-order contract.
+// ---------------------------------------------------------------------------
+
+SecondOrderMrm shuffled_chain_model(std::size_t n) {
+  const auto label = stride_shuffle(n, 17, 5);
+  std::vector<Triplet> rates;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    rates.push_back({label[i], label[i + 1], 1.0 + 0.25 * static_cast<double>(i)});
+    rates.push_back({label[i + 1], label[i], 2.0 + 0.125 * static_cast<double>(i)});
+  }
+  auto gen = ctmc::Generator::from_rates(n, rates);
+  Vec drifts(n), vars(n), initial(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    drifts[label[i]] = static_cast<double>(n - i) * 0.5;
+    vars[label[i]] = 0.3 * static_cast<double>(i + 1);
+  }
+  initial[label[0]] = 0.25;
+  initial[label[n / 2]] = 0.75;
+  return SecondOrderMrm(std::move(gen), std::move(drifts), std::move(vars),
+                        std::move(initial));
+}
+
+TEST(ReorderTest, SolverRoundTripIsBitIdentical) {
+  const std::size_t n = 40;
+  const RandomizationMomentSolver solver(shuffled_chain_model(n));
+  const std::vector<double> times = {0.3, 1.1, 2.7};
+
+  MomentSolverOptions base;
+  base.max_moment = 3;
+  base.epsilon = 1e-10;
+
+  const auto ref = solver.solve_multi(times, base);
+
+  for (const ReorderPolicy policy : {ReorderPolicy::kRcm, ReorderPolicy::kDegree}) {
+    MomentSolverOptions opts = base;
+    opts.reorder = policy;
+    const auto got = solver.solve_multi(times, opts);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t ti = 0; ti < ref.size(); ++ti) {
+      for (std::size_t j = 0; j <= base.max_moment; ++j) {
+        EXPECT_EQ(got[ti].weighted[j], ref[ti].weighted[j])
+            << "t=" << times[ti] << " moment " << j;
+        ASSERT_EQ(got[ti].per_state[j].size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+          EXPECT_EQ(got[ti].per_state[j][i], ref[ti].per_state[j][i])
+              << "t=" << times[ti] << " moment " << j << " state " << i;
+      }
+      EXPECT_EQ(got[ti].stats.reorder,
+                policy == ReorderPolicy::kRcm ? "rcm" : "degree");
+      EXPECT_LE(got[ti].stats.bandwidth_after, got[ti].stats.bandwidth_before);
+    }
+  }
+  EXPECT_EQ(ref[0].stats.reorder, "none");
+}
+
+TEST(ReorderTest, ReorderStatsReportBandwidthReduction) {
+  // The shuffled chain has a large labelled bandwidth; RCM should shrink it.
+  const RandomizationMomentSolver solver(shuffled_chain_model(32));
+  MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.reorder = ReorderPolicy::kRcm;
+  const MomentResult res = solver.solve(1.0, opts);
+  EXPECT_EQ(res.stats.reorder, "rcm");
+  EXPECT_GT(res.stats.bandwidth_before, 4u);
+  EXPECT_LT(res.stats.bandwidth_after, res.stats.bandwidth_before);
+}
+
+}  // namespace
+}  // namespace somrm::linalg

@@ -24,7 +24,13 @@ time instead of waiting for a flaky numerical diff:
                            an order-dependent FP sum.
 
 False positives can be waived per line with a trailing
-`// lint:allow(<rule-name>)` comment; the waiver must name the rule.
+`// lint:allow(<rule-name>)` comment, or for a whole file with a
+`// lint:allow-file(<rule-name>)` comment on its own line (conventionally
+next to the file header explaining why); both waiver forms must name the
+rule they suppress. File-scoped waivers exist for files whose every use of
+a pattern is deliberate — e.g. a deterministic hash-free cache keyed by
+sorted vectors that still mentions unordered containers in comments-of-code
+idioms — where per-line waivers would outnumber the code.
 
 Exit codes: 0 clean, 1 violations found, 2 usage / IO error.
 """
@@ -44,6 +50,7 @@ RULES = (
 )
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"//\s*lint:allow-file\(([a-z-]+)\)")
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
@@ -123,20 +130,41 @@ def lint_file(path: Path, src_root: Path) -> list[Violation]:
     rel = path.relative_to(src_root.parent)
     in_linalg = "linalg" in path.parts
 
+    # File-scoped waivers: every rule named by a lint:allow-file(...) line
+    # anywhere in the file is suppressed for the whole file. Unknown rule
+    # names are themselves violations — a typo must not silently waive
+    # nothing (or everything).
+    file_waived: set[str] = set()
     out: list[Violation] = []
     for idx, raw in enumerate(lines, start=1):
+        for m in ALLOW_FILE_RE.finditer(raw):
+            rule = m.group(1)
+            if rule in RULES:
+                file_waived.add(rule)
+            else:
+                out.append(Violation(
+                    rel, idx, "unknown-rule",
+                    f"lint:allow-file names unknown rule '{rule}'; known "
+                    f"rules: {', '.join(RULES)}"))
+
+    for idx, raw in enumerate(lines, start=1):
         code = strip_noise(raw)
-        if UNORDERED_RE.search(code) and not allowed(raw, "no-unordered-iteration"):
+        if "no-unordered-iteration" in file_waived:
+            pass
+        elif UNORDERED_RE.search(code) and not allowed(raw, "no-unordered-iteration"):
             out.append(Violation(
                 rel, idx, "no-unordered-iteration",
                 "std::unordered_* iteration order is unspecified; use "
                 "std::map/std::vector or add // lint:allow(no-unordered-iteration)"))
-        if RAW_ENTROPY_RE.search(code) and not allowed(raw, "no-raw-entropy"):
+        if "no-raw-entropy" in file_waived:
+            pass
+        elif RAW_ENTROPY_RE.search(code) and not allowed(raw, "no-raw-entropy"):
             out.append(Violation(
                 rel, idx, "no-raw-entropy",
                 "rand()/srand()/time() inject hidden global state; use a "
                 "seeded <random> engine"))
-        if (not in_linalg and FP_REDUCTION_RE.search(code)
+        if (not in_linalg and "no-adhoc-fp-reduction" not in file_waived
+                and FP_REDUCTION_RE.search(code)
                 and not allowed(raw, "no-adhoc-fp-reduction")):
             out.append(Violation(
                 rel, idx, "no-adhoc-fp-reduction",
@@ -145,6 +173,8 @@ def lint_file(path: Path, src_root: Path) -> list[Violation]:
                 "std::reduce"))
 
     for start, end in find_parallel_bodies(lines):
+        if "no-shared-capture" in file_waived:
+            break
         declared: set[str] = set()
         for idx in range(start, end + 1):
             code = strip_noise(lines[idx])

@@ -120,6 +120,38 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("kernel_scaling[fused_vectors,", proc.stdout)
         self.assertEqual(proc.stdout.count("REGRESSION"), 1)
 
+    def test_simd_variants_matched_separately(self) -> None:
+        # scalar and avx512 rows of one (bench, kernel, threads) identity
+        # live side by side in BENCH_PR6.json; the regressed avx512 row must
+        # be flagged without the scalar row (same key otherwise) colliding.
+        base = self.write("base.json", [
+            record("table2", 2.0, kernel="panel", simd="scalar"),
+            record("table2", 1.0, kernel="panel", simd="avx512"),
+        ])
+        cand = self.write("cand.json", [
+            record("table2", 2.0, kernel="panel", simd="scalar"),
+            record("table2", 1.5, kernel="panel", simd="avx512"),
+        ])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("table2[panel,avx512,", proc.stdout)
+        self.assertEqual(proc.stdout.count("REGRESSION"), 1)
+
+    def test_thread_counts_gate_independently(self) -> None:
+        # A 1→16 scaling curve: only the 8-thread point regressed, and the
+        # diff must name exactly that point.
+        base = self.write("base.json", [
+            record("table2", 8.0 / t, kernel="panel", threads=t)
+            for t in (1, 2, 4, 8, 16)])
+        cand_recs = [record("table2", 8.0 / t, kernel="panel", threads=t)
+                     for t in (1, 2, 4, 16)]
+        cand_recs.append(record("table2", 4.0, kernel="panel", threads=8))
+        cand = self.write("cand.json", cand_recs)
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(proc.stdout.count("REGRESSION"), 1)
+        self.assertIn("T=8", proc.stdout)
+
     def test_reordered_snapshots_match_by_identity(self) -> None:
         # Same records, opposite array order: positional matching would pair
         # a 1.0 s record against a 10.0 s one and report a huge regression.

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_determinism.py rule detection and waivers.
+
+Run directly (python3 tools/test_lint_determinism.py) or via ctest (label
+`lint`). Uses only the standard library: each test writes a tiny C++ tree
+into a temp dir and runs the linter on it as a subprocess, pinning the
+exit-code contract the CI job relies on.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+LINT = TOOLS / "lint_determinism.py"
+
+
+def run_lint(root: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT), str(root)],
+        capture_output=True, text=True)
+
+
+class LintDeterminismTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name) / "src"
+        self.root.mkdir()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name: str, content: str) -> Path:
+        path = self.root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def test_clean_file_passes(self) -> None:
+        self.write("a.cpp", "#include <map>\nstd::map<int, int> m;\n")
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_unordered_map_flagged(self) -> None:
+        self.write("a.cpp", "std::unordered_map<int, int> m;\n")
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no-unordered-iteration", proc.stdout)
+
+    def test_per_line_waiver_suppresses_one_line_only(self) -> None:
+        self.write("a.cpp", (
+            "std::unordered_map<int, int> ok;  "
+            "// lint:allow(no-unordered-iteration)\n"
+            "std::unordered_map<int, int> bad;\n"))
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(proc.stdout.count("[no-unordered-iteration]"), 1)
+        self.assertIn("a.cpp:2", proc.stdout)
+
+    def test_file_waiver_suppresses_named_rule_everywhere(self) -> None:
+        self.write("a.cpp", (
+            "// lint:allow-file(no-unordered-iteration)\n"
+            "std::unordered_map<int, int> m1;\n"
+            "std::unordered_set<int> m2;\n"))
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_file_waiver_does_not_leak_to_other_rules(self) -> None:
+        self.write("a.cpp", (
+            "// lint:allow-file(no-unordered-iteration)\n"
+            "std::unordered_map<int, int> m;\n"
+            "int r = rand();\n"))
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertNotIn("no-unordered-iteration", proc.stdout)
+        self.assertIn("no-raw-entropy", proc.stdout)
+
+    def test_file_waiver_does_not_leak_to_other_files(self) -> None:
+        self.write("waived.cpp", (
+            "// lint:allow-file(no-raw-entropy)\n"
+            "int r = rand();\n"))
+        self.write("other.cpp", "int r = rand();\n")
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("other.cpp", proc.stdout)
+        self.assertNotIn("waived.cpp", proc.stdout)
+
+    def test_file_waiver_with_unknown_rule_is_a_violation(self) -> None:
+        self.write("a.cpp", (
+            "// lint:allow-file(no-such-rule)\n"
+            "std::map<int, int> m;\n"))
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unknown rule 'no-such-rule'", proc.stdout)
+
+    def test_file_waiver_covers_shared_capture(self) -> None:
+        body = (
+            "void f() {\n"
+            "  double acc = 0.0;\n"
+            "  parallel_for(0, n, [&](std::size_t i) {\n"
+            "    acc += 1.0;\n"
+            "  });\n"
+            "}\n")
+        self.write("bad.cpp", body)
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no-shared-capture", proc.stdout)
+
+        self.write("bad.cpp", "// lint:allow-file(no-shared-capture)\n" + body)
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_fp_reduction_flagged_outside_linalg_only(self) -> None:
+        code = "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"
+        self.write("core/a.cpp", code)
+        self.write("linalg/b.cpp", code)
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("core/a.cpp", proc.stdout)
+        self.assertNotIn("linalg/b.cpp", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
