@@ -10,6 +10,9 @@
 #include "core/solver_telemetry.hpp"
 #include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
+#include "linalg/reorder.hpp"
+#include "linalg/sellcs.hpp"
+#include "linalg/simd.hpp"
 #include "obs/trace.hpp"
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
@@ -59,6 +62,131 @@ std::vector<linalg::CsrMatrix> build_impulse_matrices(
   out.reserve(n);
   for (auto& b : builders) out.push_back(std::move(b).build());
   return out;
+}
+
+/// A time point whose Poisson weight at the current step k is non-zero.
+struct ActiveWeight {
+  std::size_t ti;
+  double w;
+};
+
+/// One impulse panel sweep step, templated over the storage Q' streams from
+/// (CsrMatrix or SellCsMatrix — both expose the same multiply_panel_rows
+/// row-range contract). The impulse matrices stay CSR: their convolution
+/// bands shrink with l, so padding them buys no streaming regularity. Per
+/// element the arithmetic order is independent of Matrix, so CSR and
+/// SELL-C-σ runs are bit-identical at every thread count.
+template <class Matrix>
+void impulse_panel_step(const Matrix& qmat, const ScaledModel& scaled,
+                        const std::vector<linalg::CsrMatrix>& impulse_mats,
+                        std::size_t n, linalg::Panel& u, linalg::Panel& u_next,
+                        std::span<const ActiveWeight> active,
+                        std::vector<linalg::Panel>& acc) {
+  const std::size_t num_states = qmat.rows();
+  const std::size_t width = n + 1;
+  linalg::parallel_for(
+      num_states,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        if (n >= 1)
+          qmat.multiply_panel_rows(u, u_next, row_begin, row_end,
+                                   /*src_col=*/1,
+                                   /*dst_col=*/1, n,
+                                   /*accumulate=*/false);
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const double* ui = u.row_data(i);
+          double* oi = u_next.row_data(i);
+          const double r = scaled.r_prime[i];
+          for (std::size_t j = 1; j <= n; ++j) oi[j] += r * ui[j - 1];
+          const double s = 0.5 * scaled.s_prime[i];
+          for (std::size_t j = 2; j <= n; ++j) oi[j] += s * ui[j - 2];
+        }
+        // Impulse convolution in ascending l: element (i, j) receives
+        // its A~_1 .. A~_j contributions in exactly the legacy order,
+        // each computed in its own accumulator before the add.
+        for (std::size_t l = 1; l <= n; ++l) {
+          const linalg::CsrMatrix& a = impulse_mats[l - 1];
+          if (a.nnz() == 0) continue;
+          a.multiply_panel_rows(u, u_next, row_begin, row_end,
+                                /*src_col=*/0, /*dst_col=*/l,
+                                width - l, /*accumulate=*/true);
+        }
+        // Poisson-weighted accumulation: one contiguous slab axpy per
+        // active time point (the j = 0 lane reads the invariant ones
+        // column, the value the legacy kernel takes from u[0]).
+        const std::size_t lo = row_begin * width;
+        const std::size_t len = (row_end - row_begin) * width;
+        for (const ActiveWeight& aw : active)
+          linalg::axpy(aw.w, u_next.span().subspan(lo, len),
+                       acc[aw.ti].span().subspan(lo, len));
+      },
+      /*grain=*/1024);
+}
+
+/// One impulse fused-vectors sweep step, templated over the Q' storage via
+/// its visit_row hook (same seam as randomization.cpp's
+/// fused_recursion_step). Arithmetic order per element is storage-invariant.
+template <class Matrix>
+void impulse_fused_step(const Matrix& qmat, const ScaledModel& scaled,
+                        const std::vector<linalg::CsrMatrix>& impulse_mats,
+                        std::size_t n, std::vector<linalg::Vec>& u,
+                        std::vector<linalg::Vec>& u_next,
+                        std::span<const ActiveWeight> active,
+                        std::vector<std::vector<linalg::Vec>>& acc) {
+  const std::size_t num_states = qmat.rows();
+  linalg::parallel_for(
+      num_states,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        // Stage-wise streaming loops per range (see randomization.cpp's
+        // fused_recursion_step): vectorizable, and per element the
+        // arithmetic order matches the scalar original exactly.
+        for (std::size_t j = n; j >= 1; --j) {
+          const linalg::Vec& uj = u[j];
+          linalg::Vec& out = u_next[j];
+          for (std::size_t i = row_begin; i < row_end; ++i) {
+            double s = 0.0;
+            qmat.visit_row(
+                i, [&](std::size_t col, double v) { s += v * uj[col]; });
+            out[i] = s;
+          }
+          const linalg::Vec& lower1 = u[j - 1];
+          for (std::size_t i = row_begin; i < row_end; ++i)
+            out[i] += scaled.r_prime[i] * lower1[i];
+          if (j >= 2) {
+            const linalg::Vec& lower2 = u[j - 2];
+            for (std::size_t i = row_begin; i < row_end; ++i)
+              out[i] += 0.5 * scaled.s_prime[i] * lower2[i];
+          }
+          // Impulse convolution: + sum_{l=1..j} A~_l U^(j-l).
+          for (std::size_t l = 1; l <= j; ++l) {
+            const linalg::CsrMatrix& a = impulse_mats[l - 1];
+            if (a.nnz() == 0) continue;
+            const linalg::Vec& lower = u[j - l];
+            for (std::size_t i = row_begin; i < row_end; ++i) {
+              double imp = 0.0;
+              a.visit_row(i, [&](std::size_t col, double v) {
+                imp += v * lower[col];
+              });
+              out[i] += imp;
+            }
+          }
+        }
+        // axpy keeps the weight in a register (by-value parameter); an
+        // in-loop aw.w read can alias the acc stores and kills
+        // vectorization.
+        const std::size_t len = row_end - row_begin;
+        for (const ActiveWeight& aw : active) {
+          linalg::axpy(
+              aw.w, std::span<const double>(u[0]).subspan(row_begin, len),
+              std::span<double>(acc[aw.ti][0]).subspan(row_begin, len));
+          for (std::size_t j = 1; j <= n; ++j) {
+            linalg::axpy(
+                aw.w,
+                std::span<const double>(u_next[j]).subspan(row_begin, len),
+                std::span<double>(acc[aw.ti][j]).subspan(row_begin, len));
+          }
+        }
+      },
+      /*grain=*/1024);
 }
 
 }  // namespace
@@ -141,6 +269,10 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
 
   obs::SolverStats stats;
   stats.threads = linalg::num_threads();
+  stats.simd = linalg::simd::level_name(linalg::simd::active_level());
+  stats.reorder = "none";  // the impulse solver has no reorder stage
+  stats.storage =
+      options.storage == StorageFormat::kSellCs ? "sellcs" : "csr";
   stats.panel_width = n + 1;
   stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
 
@@ -156,6 +288,7 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
   // Degenerate chain: no transitions, hence no impulses either.
   if (scaled.q == 0.0) {
     stats.kernel = "degenerate";
+    stats.storage = "none";  // the closed form builds no sparse matrix
     stats.panel_width = 0;
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       MomentResult& out = results[ti];
@@ -175,9 +308,43 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     return results;
   }
 
-  const auto impulse_mats =
+  // No reorder stage here, but the bandwidth fields must still reflect the
+  // matrix that actually streamed — equal values, not stale zeros.
+  stats.bandwidth_before = linalg::bandwidth(scaled.q_prime);
+  stats.bandwidth_after = stats.bandwidth_before;
+
+  std::vector<linalg::CsrMatrix> impulse_mats =
       n > 0 ? build_impulse_matrices(model_, n, scaled.q, scaled.d)
             : std::vector<linalg::CsrMatrix>{};
+
+  // Optional SELL-C-σ storage for Q' (linalg/sellcs.hpp): σ-sort rows by
+  // descending length and apply the SAME permutation to every sweep operand
+  // — including each impulse matrix, whose row partition must match Q's —
+  // then un-permute the accumulated panels before finalize. Entry order
+  // within each row is preserved throughout (permute_symmetric remaps
+  // without re-sorting), so outputs are bit-identical to CSR storage.
+  std::vector<std::size_t> perm;  // perm[new] = old; empty = no permutation
+  linalg::SellCsMatrix sell;
+  const bool use_sell = options.storage == StorageFormat::kSellCs;
+  if (use_sell) {
+    const std::int64_t sell_t0 = obs::now_ns();
+    std::vector<std::size_t> sigma_perm =
+        linalg::SellCsMatrix::sigma_sort_permutation(
+            scaled.q_prime, linalg::SellCsMatrix::kDefaultSigma);
+    if (!linalg::is_identity_permutation(sigma_perm)) {
+      scaled.q_prime = linalg::permute_symmetric(scaled.q_prime, sigma_perm);
+      scaled.r_prime = linalg::permute_vector(scaled.r_prime, sigma_perm);
+      scaled.s_prime = linalg::permute_vector(scaled.s_prime, sigma_perm);
+      for (linalg::CsrMatrix& a : impulse_mats)
+        a = linalg::permute_symmetric(a, sigma_perm);
+      perm = std::move(sigma_perm);
+    }
+    sell = linalg::SellCsMatrix::from_csr(scaled.q_prime,
+                                          linalg::SellCsMatrix::kDefaultChunk);
+    stats.padding_ratio = sell.padding_ratio();
+    stats.chunk_occupancy = sell.chunk_occupancy();
+    stats.scale_seconds += obs::seconds_between(sell_t0, obs::now_ns());
+  }
   // Iterate non-negativity only holds when every operand of the recursion
   // is non-negative: shift-mode R' plus non-negative impulse-moment
   // matrices (odd normal moments with negative mean break the latter).
@@ -251,10 +418,6 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     flops_per_step += 2 * impulse_mats[l - 1].nnz() * (n + 1 - l);
   stats.sweep_flops = g_max * flops_per_step;
 
-  struct ActiveWeight {
-    std::size_t ti;
-    double w;
-  };
   std::vector<ActiveWeight> active;
   active.reserve(times.size());
 
@@ -282,7 +445,6 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
           acc[ti](i, 0) += w0 * u(i, 0);
     }
 
-    const std::size_t width = n + 1;
     const std::int64_t sweep_t0 = obs::now_ns();
     const std::int64_t busy0 = detail::parallel_busy_metric().total_ns();
     for (std::size_t k = 1; k <= g_max; ++k) {
@@ -294,43 +456,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
       }
       stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
-
-      linalg::parallel_for(
-          num_states,
-          [&](std::size_t row_begin, std::size_t row_end) {
-            if (n >= 1)
-              scaled.q_prime.multiply_panel_rows(u, u_next, row_begin,
-                                                 row_end, /*src_col=*/1,
-                                                 /*dst_col=*/1, n,
-                                                 /*accumulate=*/false);
-            for (std::size_t i = row_begin; i < row_end; ++i) {
-              const double* ui = u.row_data(i);
-              double* oi = u_next.row_data(i);
-              const double r = scaled.r_prime[i];
-              for (std::size_t j = 1; j <= n; ++j) oi[j] += r * ui[j - 1];
-              const double s = 0.5 * scaled.s_prime[i];
-              for (std::size_t j = 2; j <= n; ++j) oi[j] += s * ui[j - 2];
-            }
-            // Impulse convolution in ascending l: element (i, j) receives
-            // its A~_1 .. A~_j contributions in exactly the legacy order,
-            // each computed in its own accumulator before the add.
-            for (std::size_t l = 1; l <= n; ++l) {
-              const linalg::CsrMatrix& a = impulse_mats[l - 1];
-              if (a.nnz() == 0) continue;
-              a.multiply_panel_rows(u, u_next, row_begin, row_end,
-                                    /*src_col=*/0, /*dst_col=*/l,
-                                    width - l, /*accumulate=*/true);
-            }
-            // Poisson-weighted accumulation: one contiguous slab axpy per
-            // active time point (the j = 0 lane reads the invariant ones
-            // column, the value the legacy kernel takes from u[0]).
-            const std::size_t lo = row_begin * width;
-            const std::size_t len = (row_end - row_begin) * width;
-            for (const ActiveWeight& aw : active)
-              linalg::axpy(aw.w, u_next.span().subspan(lo, len),
-                           acc[aw.ti].span().subspan(lo, len));
-          },
-          /*grain=*/1024);
+      if (use_sell)
+        impulse_panel_step(sell, scaled, impulse_mats, n, u, u_next, active,
+                           acc);
+      else
+        impulse_panel_step(scaled.q_prime, scaled, impulse_mats, n, u, u_next,
+                           active, acc);
       detail::record_sweep_step(k_t0, k, active.size());
       u.swap(u_next);
       if constexpr (check::kChecked)
@@ -341,6 +472,11 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
     const std::int64_t finalize_t0 = obs::now_ns();
+    if (!perm.empty()) {
+      // Back to the model's state order before the pi contraction: pure row
+      // moves, no arithmetic, so the σ-sort cannot change a single bit.
+      for (linalg::Panel& p : acc) p = linalg::unpermute_panel_rows(p, perm);
+    }
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
       MomentResult& out = results[ti];
       std::vector<linalg::Vec> sums(n + 1);
@@ -410,65 +546,12 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
     // terms, the impulse convolution sum_{l=1..j} A~_l U^(j-l), and the
     // Poisson-weighted accumulation all happen in one pass per row. Every
     // write is row-owned, so results are bit-identical for any thread count.
-    linalg::parallel_for(
-        num_states,
-        [&](std::size_t row_begin, std::size_t row_end) {
-          // Stage-wise streaming loops per range (see randomization.cpp's
-          // fused_recursion_step): vectorizable, and per element the
-          // arithmetic order matches the scalar original exactly.
-          const auto& row_ptr = scaled.q_prime.row_ptr();
-          const auto& col_idx = scaled.q_prime.col_idx();
-          const auto& values = scaled.q_prime.values();
-          for (std::size_t j = n; j >= 1; --j) {
-            const linalg::Vec& uj = u[j];
-            linalg::Vec& out = u_next[j];
-            for (std::size_t i = row_begin; i < row_end; ++i) {
-              double s = 0.0;
-              for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk)
-                s += values[kk] * uj[col_idx[kk]];
-              out[i] = s;
-            }
-            const linalg::Vec& lower1 = u[j - 1];
-            for (std::size_t i = row_begin; i < row_end; ++i)
-              out[i] += scaled.r_prime[i] * lower1[i];
-            if (j >= 2) {
-              const linalg::Vec& lower2 = u[j - 2];
-              for (std::size_t i = row_begin; i < row_end; ++i)
-                out[i] += 0.5 * scaled.s_prime[i] * lower2[i];
-            }
-            // Impulse convolution: + sum_{l=1..j} A~_l U^(j-l).
-            for (std::size_t l = 1; l <= j; ++l) {
-              const linalg::CsrMatrix& a = impulse_mats[l - 1];
-              if (a.nnz() == 0) continue;
-              const auto& arp = a.row_ptr();
-              const auto& aci = a.col_idx();
-              const auto& av = a.values();
-              const linalg::Vec& lower = u[j - l];
-              for (std::size_t i = row_begin; i < row_end; ++i) {
-                double imp = 0.0;
-                for (std::size_t kk = arp[i]; kk < arp[i + 1]; ++kk)
-                  imp += av[kk] * lower[aci[kk]];
-                out[i] += imp;
-              }
-            }
-          }
-          // axpy keeps the weight in a register (by-value parameter); an
-          // in-loop aw.w read can alias the acc stores and kills
-          // vectorization.
-          const std::size_t len = row_end - row_begin;
-          for (const ActiveWeight& aw : active) {
-            linalg::axpy(
-                aw.w, std::span<const double>(u[0]).subspan(row_begin, len),
-                std::span<double>(acc[aw.ti][0]).subspan(row_begin, len));
-            for (std::size_t j = 1; j <= n; ++j) {
-              linalg::axpy(
-                  aw.w,
-                  std::span<const double>(u_next[j]).subspan(row_begin, len),
-                  std::span<double>(acc[aw.ti][j]).subspan(row_begin, len));
-            }
-          }
-        },
-        /*grain=*/1024);
+    if (use_sell)
+      impulse_fused_step(sell, scaled, impulse_mats, n, u, u_next, active,
+                         acc);
+    else
+      impulse_fused_step(scaled.q_prime, scaled, impulse_mats, n, u, u_next,
+                         active, acc);
     detail::record_sweep_step(k_t0, k, active.size());
     for (std::size_t j = 1; j <= n; ++j) std::swap(u[j], u_next[j]);
     if constexpr (check::kChecked) {
@@ -481,6 +564,13 @@ std::vector<MomentResult> ImpulseMomentSolver::solve_multi(
   detail::finish_sweep_stats(stats, sweep_t0, busy0);
 
   const std::int64_t finalize_t0 = obs::now_ns();
+  if (!perm.empty()) {
+    // Back to the model's state order before the pi contraction: a pure
+    // gather through the inverse permutation, no arithmetic.
+    const std::vector<std::size_t> inv = linalg::invert_permutation(perm);
+    for (std::vector<linalg::Vec>& panel : acc)
+      for (linalg::Vec& v : panel) v = linalg::permute_vector(v, inv);
+  }
   for (std::size_t ti = 0; ti < times.size(); ++ti) {
     MomentResult& out = results[ti];
     double factor = 1.0;

@@ -10,6 +10,7 @@
 #include "linalg/panel.hpp"
 #include "linalg/parallel.hpp"
 #include "linalg/reorder.hpp"
+#include "linalg/sellcs.hpp"
 #include "linalg/simd.hpp"
 #include "obs/trace.hpp"
 #include "prob/normal.hpp"
@@ -42,6 +43,18 @@ struct ActiveWeight {
   double w;
 };
 
+/// Composes two row-permutation stages applied in sequence. @p first maps
+/// first-stage rows to model rows (first[new] = old, the linalg/reorder
+/// convention) and @p second maps second-stage rows to first-stage rows;
+/// the result maps second-stage rows straight to model rows, so ONE
+/// unpermute_panel_rows at sweep end undoes both stages.
+std::vector<std::size_t> compose_permutations(
+    std::span<const std::size_t> first, std::span<const std::size_t> second) {
+  std::vector<std::size_t> out(second.size());
+  for (std::size_t i = 0; i < second.size(); ++i) out[i] = first[second[i]];
+  return out;
+}
+
 /// Minimum rows per parallel range for the fused kernels. Each row costs
 /// (nnz_row + 4) * n_moments flops, so ranges of ~1k rows amortize the pool
 /// hand-off while still splitting four ways at 10k states.
@@ -58,32 +71,32 @@ constexpr std::size_t kPanelBlockRows = 1024;
 
 /// Fully fused row kernel for one panel recursion step with a compile-time
 /// panel width W = n+1 and recursion floor JLO (0 or 1): per row the
-/// kk-ascending CSR dot products, the R'/½S' diagonal terms, the store to
+/// entry-order dot products, the R'/½S' diagonal terms, the store to
 /// u_next, and the Poisson-weighted accumulation into every active acc
 /// panel all happen while the row's W accumulators sit in registers — one
-/// pass over the CSR structure AND one pass over the panels per step.
-/// Per element the arithmetic chain (dot product in ascending-k order, then
+/// pass over the sparse structure AND one pass over the panels per step.
+/// Templated over the storage format via Matrix::visit_row (CsrMatrix or
+/// linalg::SellCsMatrix), which yields each row's entries in its CSR order.
+/// Per element the arithmetic chain (dot product in entry order, then
 /// + R' u^(j-1), then + ½S' u^(j-2), then acc += w * value) is exactly the
-/// kFusedVectors kernel's, so results are bit-identical to it.
-template <std::size_t W, std::size_t JLO>
-void panel_step_rows(const ScaledModel& scaled, const double* ubase,
-                     double* obase, std::span<const ActiveWeight> active,
+/// kFusedVectors kernel's, so results are bit-identical to it — for either
+/// storage format.
+template <std::size_t W, std::size_t JLO, class Matrix>
+void panel_step_rows(const Matrix& mat, const ScaledModel& scaled,
+                     const double* ubase, double* obase,
+                     std::span<const ActiveWeight> active,
                      std::span<double* const> acc_base, std::size_t row_begin,
                      std::size_t row_end) {
   constexpr std::size_t n = W - 1;
-  const auto& row_ptr = scaled.q_prime.row_ptr();
-  const auto& col_idx = scaled.q_prime.col_idx();
-  const auto& values = scaled.q_prime.values();
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const double* ui = ubase + i * W;
     double* oi = obase + i * W;
     double s[W > JLO ? W - JLO : 1];  // W == JLO only for the n = 0 sweep
     for (std::size_t c = 0; c < W - JLO; ++c) s[c] = 0.0;
-    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      const double v = values[k];
-      const double* xr = ubase + col_idx[k] * W + JLO;
+    mat.visit_row(i, [&](std::size_t col, double v) {
+      const double* xr = ubase + col * W + JLO;
       for (std::size_t c = 0; c < W - JLO; ++c) s[c] += v * xr[c];
-    }
+    });
     const double r = scaled.r_prime[i];
     for (std::size_t j = std::max<std::size_t>(JLO, 1); j <= n; ++j)
       s[j - JLO] += r * ui[j - 1];
@@ -102,18 +115,19 @@ void panel_step_rows(const ScaledModel& scaled, const double* ubase,
   }
 }
 
-template <std::size_t W>
-void panel_step_rows_dispatch_jlo(const ScaledModel& scaled, std::size_t j_lo,
-                                  const double* ubase, double* obase,
+template <std::size_t W, class Matrix>
+void panel_step_rows_dispatch_jlo(const Matrix& mat, const ScaledModel& scaled,
+                                  std::size_t j_lo, const double* ubase,
+                                  double* obase,
                                   std::span<const ActiveWeight> active,
                                   std::span<double* const> acc_base,
                                   std::size_t row_begin, std::size_t row_end) {
   if (j_lo == 0)
-    panel_step_rows<W, 0>(scaled, ubase, obase, active, acc_base, row_begin,
-                          row_end);
+    panel_step_rows<W, 0>(mat, scaled, ubase, obase, active, acc_base,
+                          row_begin, row_end);
   else
-    panel_step_rows<W, 1>(scaled, ubase, obase, active, acc_base, row_begin,
-                          row_end);
+    panel_step_rows<W, 1>(mat, scaled, ubase, obase, active, acc_base,
+                          row_begin, row_end);
 }
 
 /// One fused, row-parallel step of the Theorem-3 recursion over the panel
@@ -134,12 +148,18 @@ void panel_step_rows_dispatch_jlo(const ScaledModel& scaled, std::size_t j_lo,
 /// all-ones vector h and is never recomputed; the accumulation reads it in
 /// place. j_lo == 0 (solve_terminal_weighted): the seed vector is not
 /// invariant and column 0 is iterated like the rest.
-void fused_panel_step(const ScaledModel& scaled, std::size_t n,
-                      std::size_t j_lo, linalg::Panel& u,
+///
+/// @p mat is the storage the sweep streams Q' from — scaled.q_prime itself
+/// for kCsr, or the SellCsMatrix built from it for kSellCs. Both provide
+/// visit_row and multiply_panel_rows with the same per-row entry order, so
+/// the instantiations are bit-identical.
+template <class Matrix>
+void fused_panel_step(const Matrix& mat, const ScaledModel& scaled,
+                      std::size_t n, std::size_t j_lo, linalg::Panel& u,
                       linalg::Panel& u_next,
                       std::span<const ActiveWeight> active,
                       std::vector<linalg::Panel>& acc) {
-  const std::size_t num_states = scaled.q_prime.rows();
+  const std::size_t num_states = mat.rows();
   const std::size_t width = n + 1;
   // Per-weight destination base pointers, resolved once per step.
   std::vector<double*> acc_base(active.size());
@@ -152,42 +172,42 @@ void fused_panel_step(const ScaledModel& scaled, std::size_t n,
       [&](std::size_t row_begin, std::size_t row_end) {
         switch (width) {
           case 1:
-            panel_step_rows_dispatch_jlo<1>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<1>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 2:
-            panel_step_rows_dispatch_jlo<2>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<2>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 3:
-            panel_step_rows_dispatch_jlo<3>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<3>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 4:
-            panel_step_rows_dispatch_jlo<4>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<4>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 5:
-            panel_step_rows_dispatch_jlo<5>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<5>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 6:
-            panel_step_rows_dispatch_jlo<6>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<6>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 7:
-            panel_step_rows_dispatch_jlo<7>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<7>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
           case 8:
-            panel_step_rows_dispatch_jlo<8>(scaled, j_lo, ubase, obase,
+            panel_step_rows_dispatch_jlo<8>(mat, scaled, j_lo, ubase, obase,
                                             active, acc_base, row_begin,
                                             row_end);
             break;
@@ -198,11 +218,10 @@ void fused_panel_step(const ScaledModel& scaled, std::size_t n,
             for (std::size_t b0 = row_begin; b0 < row_end;
                  b0 += kPanelBlockRows) {
               const std::size_t b1 = std::min(row_end, b0 + kPanelBlockRows);
-              scaled.q_prime.multiply_panel_rows(u, u_next, b0, b1,
-                                                 /*src_col=*/j_lo,
-                                                 /*dst_col=*/j_lo,
-                                                 width - j_lo,
-                                                 /*accumulate=*/false);
+              mat.multiply_panel_rows(u, u_next, b0, b1,
+                                      /*src_col=*/j_lo,
+                                      /*dst_col=*/j_lo, width - j_lo,
+                                      /*accumulate=*/false);
               for (std::size_t i = b0; i < b1; ++i) {
                 const double* ui = u.row_data(i);
                 double* oi = u_next.row_data(i);
@@ -230,17 +249,17 @@ void fused_panel_step(const ScaledModel& scaled, std::size_t n,
 }
 
 /// One fused step over the pre-panel layout (one vector per moment order):
-/// re-streams the CSR structure once per order. Kept as the kFusedVectors
-/// reference kernel; see fused_panel_step for the production path.
-void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
-                          std::size_t j_lo, std::vector<linalg::Vec>& u,
+/// re-streams the sparse structure once per order. Kept as the
+/// kFusedVectors reference kernel; see fused_panel_step for the production
+/// path. Templated over the storage format exactly like fused_panel_step.
+template <class Matrix>
+void fused_recursion_step(const Matrix& mat, const ScaledModel& scaled,
+                          std::size_t n, std::size_t j_lo,
+                          std::vector<linalg::Vec>& u,
                           std::vector<linalg::Vec>& u_next,
                           std::span<const ActiveWeight> active,
                           std::vector<std::vector<linalg::Vec>>& acc) {
-  const std::size_t num_states = scaled.q_prime.rows();
-  const auto& row_ptr = scaled.q_prime.row_ptr();
-  const auto& col_idx = scaled.q_prime.col_idx();
-  const auto& values = scaled.q_prime.values();
+  const std::size_t num_states = mat.rows();
 
   linalg::parallel_for(
       num_states,
@@ -254,8 +273,9 @@ void fused_recursion_step(const ScaledModel& scaled, std::size_t n,
           linalg::Vec& out = u_next[j];
           for (std::size_t i = row_begin; i < row_end; ++i) {
             double s = 0.0;
-            for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk)
-              s += values[kk] * uj[col_idx[kk]];
+            mat.visit_row(i, [&](std::size_t col, double v) {
+              s += v * uj[col];
+            });
             out[i] = s;
           }
           if (j >= 1) {
@@ -395,6 +415,7 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
   stats.threads = linalg::num_threads();
   stats.simd = linalg::simd::level_name(linalg::simd::active_level());
   stats.reorder = "none";
+  stats.storage = options.storage == StorageFormat::kSellCs ? "sellcs" : "csr";
   stats.panel_width = n + 1;
   stats.scale_seconds = obs::seconds_between(total_t0, obs::now_ns());
 
@@ -407,6 +428,7 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
     sweep.degenerate = true;
     sweep.prefactor = 1.0;
     stats.kernel = "degenerate";
+    stats.storage = "none";  // the closed form builds no sparse matrix
     stats.panel_width = 0;
     sweep.acc.assign(times.size(), linalg::Panel(num_states, n + 1, 0.0));
     for (std::size_t ti = 0; ti < times.size(); ++ti) {
@@ -445,6 +467,33 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
     }
     stats.reorder = options.reorder == ReorderPolicy::kRcm ? "rcm" : "degree";
     stats.scale_seconds += obs::seconds_between(reorder_t0, obs::now_ns());
+  }
+
+  // Optional SELL-C-σ storage (linalg/sellcs.hpp): σ-sort the (possibly
+  // reorder-permuted) rows by descending length — expressed as a second
+  // permutation stage composed onto perm, so the existing unpermute at
+  // sweep end undoes both stages at once — then convert. The SELL kernels
+  // keep each row's entries in CSR order, so like the reorder this changes
+  // memory traffic, never a single output bit.
+  linalg::SellCsMatrix sell;
+  const bool use_sell = options.storage == StorageFormat::kSellCs;
+  if (use_sell) {
+    const std::int64_t sell_t0 = obs::now_ns();
+    std::vector<std::size_t> sigma_perm =
+        linalg::SellCsMatrix::sigma_sort_permutation(
+            scaled.q_prime, linalg::SellCsMatrix::kDefaultSigma);
+    if (!linalg::is_identity_permutation(sigma_perm)) {
+      scaled.q_prime = linalg::permute_symmetric(scaled.q_prime, sigma_perm);
+      scaled.r_prime = linalg::permute_vector(scaled.r_prime, sigma_perm);
+      scaled.s_prime = linalg::permute_vector(scaled.s_prime, sigma_perm);
+      perm = perm.empty() ? std::move(sigma_perm)
+                          : compose_permutations(perm, sigma_perm);
+    }
+    sell = linalg::SellCsMatrix::from_csr(scaled.q_prime,
+                                          linalg::SellCsMatrix::kDefaultChunk);
+    stats.padding_ratio = sell.padding_ratio();
+    stats.chunk_occupancy = sell.chunk_occupancy();
+    stats.scale_seconds += obs::seconds_between(sell_t0, obs::now_ns());
   }
 
   // Theorem-4 truncation per time point: honour epsilon for every moment
@@ -540,7 +589,11 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
       }
       stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
-      fused_panel_step(scaled, n, j_lo, u, u_next, active, acc);
+      if (use_sell)
+        fused_panel_step(sell, scaled, n, j_lo, u, u_next, active, acc);
+      else
+        fused_panel_step(scaled.q_prime, scaled, n, j_lo, u, u_next, active,
+                         acc);
       if constexpr (check::kChecked)
         check::check_sweep_panel(u, k, j_lo, subtraction_free,
                                  /*apply_majorant=*/true, caller);
@@ -576,7 +629,11 @@ RetainedSweep run_sweep(const SecondOrderMrm& model,
       }
       stats.active_weight_sum += active.size();
       const std::int64_t k_t0 = obs::now_ns();
-      fused_recursion_step(scaled, n, j_lo, u, u_next, active, acc);
+      if (use_sell)
+        fused_recursion_step(sell, scaled, n, j_lo, u, u_next, active, acc);
+      else
+        fused_recursion_step(scaled.q_prime, scaled, n, j_lo, u, u_next,
+                             active, acc);
       if constexpr (check::kChecked) {
         for (std::size_t j = 0; j <= n; ++j)
           check::check_sweep_column(u[j], k, j, subtraction_free,

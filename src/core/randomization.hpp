@@ -80,6 +80,17 @@ enum class ReorderPolicy {
   kDegree,  ///< ascending-degree ordering (cheaper, weaker)
 };
 
+/// Sparse storage format Q' is streamed from during the sweep (see
+/// linalg/sellcs.hpp). SELL-C-σ runs on a σ-sorted row order expressed as
+/// an explicit permutation that composes with the reorder permutation, and
+/// every kernel walks each row's entries in its CSR order, so — like
+/// ReorderPolicy — the choice changes memory traffic, never a single
+/// output bit (asserted by test_sellcs.cpp).
+enum class StorageFormat {
+  kCsr,     ///< plain three-array CSR (default)
+  kSellCs,  ///< SELL-C-σ sliced ELLPACK, C = 8, σ = 64
+};
+
 struct MomentSolverOptions {
   /// Highest moment order n to compute (all orders 0..n are returned).
   std::size_t max_moment = 3;
@@ -104,6 +115,11 @@ struct MomentSolverOptions {
   /// already emit near-banded orderings, so the pass pays off mainly for
   /// externally loaded models with scattered state numbering.
   ReorderPolicy reorder = ReorderPolicy::kNone;
+  /// Sparse storage the sweep streams Q' from (bit-exact no matter what —
+  /// see StorageFormat). kCsr by default; kSellCs trades a one-time
+  /// conversion (reported in SolverStats::padding_ratio) for the blocked
+  /// layout.
+  StorageFormat storage = StorageFormat::kCsr;
 };
 
 /// Result of a moment computation at one time point.

@@ -143,6 +143,17 @@ class CsrMatrix {
                            std::size_t dst_col, std::size_t count,
                            bool accumulate) const;
 
+  /// Calls fn(col, value) for row i's stored entries in ascending k — the
+  /// accumulation order every kernel uses. The fused solver sweeps are
+  /// templated over the storage format via this hook; SellCsMatrix
+  /// (linalg/sellcs.hpp) provides the same signature with its stride-C
+  /// walk, so per element the arithmetic chain is shared.
+  template <class Fn>
+  void visit_row(std::size_t i, Fn&& fn) const {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      fn(col_idx_[k], values_[k]);
+  }
+
   /// y = A^T * x (row-major traversal with scatter). Large matrices are
   /// parallelized over a fixed partition of the rows into per-block partial
   /// buffers followed by a column-parallel pairwise tree reduction in fixed

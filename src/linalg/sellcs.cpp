@@ -1,0 +1,249 @@
+#include "linalg/sellcs.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/parallel.hpp"
+
+namespace {
+
+// Mirrors the SpMM chunking of csr.cpp: the per-row accumulators live in a
+// fixed stack array of this many columns, and wider panels re-stream the
+// matrix once per chunk.
+constexpr std::size_t kPanelChunk = 32;
+
+// Minimum rows per parallel range for multiply_panel, matching csr.cpp's
+// kMatvecGrain rationale (generator rows carry a handful of non-zeros).
+constexpr std::size_t kMatvecGrain = 4096;
+
+}  // namespace
+
+namespace somrm::linalg {
+
+std::vector<std::size_t> SellCsMatrix::sigma_sort_permutation(
+    const CsrMatrix& a, std::size_t sigma) {
+  const std::size_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (sigma <= 1) return perm;
+  for (std::size_t w0 = 0; w0 < n; w0 += sigma) {
+    const std::size_t w1 = std::min(n, w0 + sigma);
+    std::stable_sort(perm.begin() + static_cast<std::ptrdiff_t>(w0),
+                     perm.begin() + static_cast<std::ptrdiff_t>(w1),
+                     [&](std::size_t lhs, std::size_t rhs) {
+                       return row_ptr[lhs + 1] - row_ptr[lhs] >
+                              row_ptr[rhs + 1] - row_ptr[rhs];
+                     });
+  }
+  return perm;
+}
+
+SellCsMatrix SellCsMatrix::from_csr(const CsrMatrix& a, std::size_t chunk) {
+  if (chunk != 4 && chunk != 8)
+    throw std::invalid_argument(
+        "SellCsMatrix::from_csr: chunk height must be 4 or 8 (got " +
+        std::to_string(chunk) + ")");
+
+  SellCsMatrix out;
+  out.rows_ = a.rows();
+  out.cols_ = a.cols();
+  out.chunk_ = chunk;
+  out.nnz_ = a.nnz();
+
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const std::size_t n = out.rows_;
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+  out.row_len_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.row_len_[i] = row_ptr[i + 1] - row_ptr[i];
+
+  out.chunk_ptr_.assign(num_chunks + 1, 0);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    std::size_t longest = 0;
+    const std::size_t r1 = std::min(n, (c + 1) * chunk);
+    for (std::size_t i = c * chunk; i < r1; ++i)
+      longest = std::max(longest, out.row_len_[i]);
+    out.chunk_ptr_[c + 1] = out.chunk_ptr_[c] + longest * chunk;
+  }
+
+  // Padding slots stay (column 0, value 0.0): deterministic content for
+  // hashing/serialization, but the kernels bound their walks by row_len and
+  // never read them (see the header's inertness argument).
+  out.col_idx_.assign(out.chunk_ptr_.back(), 0);
+  out.values_.assign(out.chunk_ptr_.back(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = out.chunk_ptr_[i / chunk] + (i % chunk);
+    for (std::size_t j = 0; j < out.row_len_[i]; ++j) {
+      const std::size_t e = base + j * chunk;
+      out.col_idx_[e] = col_idx[row_ptr[i] + j];
+      out.values_[e] = values[row_ptr[i] + j];
+    }
+  }
+  return out;
+}
+
+CsrMatrix SellCsMatrix::to_csr() const {
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  for (std::size_t i = 0; i < rows_; ++i)
+    row_ptr[i + 1] = row_ptr[i] + row_len_[i];
+  std::vector<std::size_t> col_idx(nnz_);
+  std::vector<double> values(nnz_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::size_t k = row_ptr[i];
+    visit_row(i, [&](std::size_t col, double v) {
+      col_idx[k] = col;
+      values[k] = v;
+      ++k;
+    });
+  }
+  return CsrMatrix::from_unsorted_parts(rows_, cols_, std::move(row_ptr),
+                                        std::move(col_idx), std::move(values));
+}
+
+namespace {
+
+// Scalar reference kernels: the exact shape of csr.cpp's panel_rows_fixed /
+// panel_rows_generic with the stride-C entry walk substituted for the
+// row_ptr walk. Ascending j is the row's CSR entry order, so per column the
+// accumulation chain is bit-identical to the CSR kernels'.
+template <std::size_t CW>
+void sell_rows_fixed(const simd::SellView& m, const double* xbase,
+                     std::size_t xw, double* ybase, std::size_t yw,
+                     std::size_t row_begin, std::size_t row_end,
+                     bool accumulate) {
+  const std::size_t chunk = m.chunk;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t base = m.chunk_ptr[i / chunk] + (i % chunk);
+    const std::size_t len = m.row_len[i];
+    double s[CW];
+    for (std::size_t c = 0; c < CW; ++c) s[c] = 0.0;
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::size_t e = base + j * chunk;
+      const double v = m.values[e];
+      const double* xr = xbase + m.col_idx[e] * xw;
+      for (std::size_t c = 0; c < CW; ++c) s[c] += v * xr[c];
+    }
+    double* yr = ybase + i * yw;
+    if (accumulate) {
+      for (std::size_t c = 0; c < CW; ++c) yr[c] += s[c];
+    } else {
+      for (std::size_t c = 0; c < CW; ++c) yr[c] = s[c];
+    }
+  }
+}
+
+void sell_rows_generic(const simd::SellView& m, const double* xbase,
+                       std::size_t xw, double* ybase, std::size_t yw,
+                       std::size_t row_begin, std::size_t row_end,
+                       std::size_t cw, bool accumulate) {
+  const std::size_t chunk = m.chunk;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t base = m.chunk_ptr[i / chunk] + (i % chunk);
+    const std::size_t len = m.row_len[i];
+    double s[kPanelChunk];
+    for (std::size_t c = 0; c < cw; ++c) s[c] = 0.0;
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::size_t e = base + j * chunk;
+      const double v = m.values[e];
+      const double* xr = xbase + m.col_idx[e] * xw;
+      for (std::size_t c = 0; c < cw; ++c) s[c] += v * xr[c];
+    }
+    double* yr = ybase + i * yw;
+    if (accumulate) {
+      for (std::size_t c = 0; c < cw; ++c) yr[c] += s[c];
+    } else {
+      for (std::size_t c = 0; c < cw; ++c) yr[c] = s[c];
+    }
+  }
+}
+
+}  // namespace
+
+void SellCsMatrix::multiply_panel(const Panel& x, Panel& y) const {
+  if (x.rows() != cols_ || y.rows() != rows_ || x.width() != y.width())
+    throw std::invalid_argument("SellCsMatrix::multiply_panel: size mismatch");
+  const std::size_t width = x.width();
+  if (width == 0) return;
+  const std::size_t grain = std::max<std::size_t>(1, kMatvecGrain / width);
+  parallel_for(
+      rows_,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        multiply_panel_rows(x, y, row_begin, row_end, /*src_col=*/0,
+                            /*dst_col=*/0, width, /*accumulate=*/false);
+      },
+      grain);
+}
+
+void SellCsMatrix::multiply_panel_rows(const Panel& x, Panel& y,
+                                       std::size_t row_begin,
+                                       std::size_t row_end,
+                                       std::size_t src_col,
+                                       std::size_t dst_col, std::size_t count,
+                                       bool accumulate) const {
+  if (x.rows() != cols_ || y.rows() != rows_)
+    throw std::invalid_argument(
+        "SellCsMatrix::multiply_panel_rows: bad panels");
+  if (row_end > rows_ || row_begin > row_end)
+    throw std::invalid_argument("SellCsMatrix::multiply_panel_rows: bad rows");
+  if (src_col + count > x.width() || dst_col + count > y.width())
+    throw std::invalid_argument(
+        "SellCsMatrix::multiply_panel_rows: column window out of range");
+  const simd::SellView m = view();
+  const simd::SellPanelRowsFn vector_kernel = simd::sell_panel_rows_kernel();
+  for (std::size_t c0 = 0; c0 < count; c0 += kPanelChunk) {
+    const std::size_t cw = std::min(kPanelChunk, count - c0);
+    const double* xbase = x.data() + src_col + c0;
+    double* ybase = y.data() + dst_col + c0;
+    const std::size_t xw = x.width(), yw = y.width();
+    if (vector_kernel != nullptr) {
+      vector_kernel(m, xbase, xw, ybase, yw, row_begin, row_end, cw,
+                    accumulate);
+      continue;
+    }
+    switch (cw) {
+      case 1:
+        sell_rows_fixed<1>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 2:
+        sell_rows_fixed<2>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 3:
+        sell_rows_fixed<3>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 4:
+        sell_rows_fixed<4>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 5:
+        sell_rows_fixed<5>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 6:
+        sell_rows_fixed<6>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 7:
+        sell_rows_fixed<7>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      case 8:
+        sell_rows_fixed<8>(m, xbase, xw, ybase, yw, row_begin, row_end,
+                           accumulate);
+        break;
+      default:
+        sell_rows_generic(m, xbase, xw, ybase, yw, row_begin, row_end, cw,
+                          accumulate);
+        break;
+    }
+  }
+}
+
+}  // namespace somrm::linalg

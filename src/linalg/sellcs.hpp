@@ -1,0 +1,163 @@
+// somrm/linalg/sellcs.hpp
+//
+// SELL-C-σ (sliced ELLPACK) storage for the randomization sweep's SpMM.
+//
+// Rows are grouped into chunks of a fixed height C; each chunk stores its
+// rows' entries slice-major, zero-padded to the chunk's longest row: the
+// j-th stored entry of row i lives at
+//
+//   chunk_ptr[i / C] + j * C + (i % C)
+//
+// so walking row i's entries is a stride-C scan of one contiguous chunk
+// slab, and the C rows of a chunk interleave perfectly within it. Sorting
+// rows by descending stored-entry count inside windows of σ consecutive
+// rows (the "σ" of SELL-C-σ) packs similar-length rows into the same chunk,
+// which is what keeps the padding small; the sort is exposed as an explicit
+// permutation (sigma_sort_permutation) so it composes with the bandwidth
+// reorders of linalg/reorder.hpp — the solver permutes Q'/R'/S' and the
+// seed, sweeps, and un-permutes the accumulator panels, exactly the
+// existing reorder round trip.
+//
+// Bit-exactness contract (the same one csr.hpp and simd.hpp document): the
+// kernels walk each row's entries in ascending j, which is the row's CSR
+// entry order, and lane the PANEL COLUMNS — never the chunk rows — so per
+// element the multiply-then-add chain is exactly the CSR kernels'. Padding
+// slots hold (column 0, value 0.0) but are provably inert: every kernel
+// iterates j < row_len[i] only, so a padding slot is never loaded, let
+// alone multiplied — the layout cannot perturb even the sign of a zero.
+// Converting a matrix to SELL-C-σ therefore changes memory traffic, never
+// a single output bit (asserted by test_sellcs.cpp across storage × SIMD
+// level × thread count × sweep kernel).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/panel.hpp"
+#include "linalg/simd.hpp"
+
+namespace somrm::linalg {
+
+/// Immutable SELL-C-σ sparse matrix. Built from a CsrMatrix whose rows are
+/// already in the desired order (apply permute_symmetric with
+/// sigma_sort_permutation first); the conversion itself never reorders.
+class SellCsMatrix {
+ public:
+  /// Chunk height the solver uses: 8 rows per chunk keeps the chunk slab
+  /// (8 * max_row_len entries) L1-resident for generator matrices while
+  /// amortizing the per-chunk base-pointer lookup.
+  static constexpr std::size_t kDefaultChunk = 8;
+  /// σ window the solver sorts within: 8 chunks' worth of rows. Wide enough
+  /// to pack ragged generator rows tightly, narrow enough that the
+  /// permutation stays close to the bandwidth-reduced order it composes
+  /// with.
+  static constexpr std::size_t kDefaultSigma = 64;
+
+  /// Empty 0x0 matrix.
+  SellCsMatrix() = default;
+
+  /// Descending-row-length ordering within windows of @p sigma consecutive
+  /// rows of @p a: returns perm with perm[new_index] = old_index (the
+  /// convention of linalg/reorder.hpp, so the result feeds
+  /// permute_symmetric / permute_vector / unpermute_panel_rows directly).
+  /// The sort is stable with ties on ascending index — a pure function of
+  /// the sparsity pattern. sigma <= 1 yields the identity.
+  static std::vector<std::size_t> sigma_sort_permutation(const CsrMatrix& a,
+                                                         std::size_t sigma);
+
+  /// Converts @p a row-for-row (no reordering) with chunk height @p chunk,
+  /// which must be 4 or 8 — the two heights the sweep kernels are tuned
+  /// for. Throws std::invalid_argument otherwise. Preserves each row's
+  /// stored-entry order exactly, including unsorted columns from
+  /// permute_symmetric.
+  static SellCsMatrix from_csr(const CsrMatrix& a,
+                               std::size_t chunk = kDefaultChunk);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return nnz_; }
+  /// Chunk height C.
+  std::size_t chunk() const { return chunk_; }
+  std::size_t num_chunks() const {
+    return chunk_ptr_.empty() ? 0 : chunk_ptr_.size() - 1;
+  }
+  /// Allocated entry slots including padding (== col_idx().size()).
+  std::size_t padded_entries() const { return values_.size(); }
+  /// Fraction of allocated slots that are padding: 0 for a perfectly packed
+  /// (or empty) matrix. Reported in SolverStats / BenchRecord JSON.
+  double padding_ratio() const {
+    return values_.empty()
+               ? 0.0
+               : 1.0 - static_cast<double>(nnz_) /
+                           static_cast<double>(values_.size());
+  }
+  /// nnz / padded_entries — the complement of padding_ratio (1 when empty:
+  /// nothing allocated, nothing wasted).
+  double chunk_occupancy() const {
+    return values_.empty() ? 1.0
+                           : static_cast<double>(nnz_) /
+                                 static_cast<double>(values_.size());
+  }
+
+  /// Entry offset of chunk c's slab, per chunk, plus one-past-the-end.
+  const std::vector<std::size_t>& chunk_ptr() const { return chunk_ptr_; }
+  /// Stored (non-padding) entries per row.
+  const std::vector<std::size_t>& row_len() const { return row_len_; }
+  /// Slice-major column indices; padding slots hold 0.
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  /// Slice-major values; padding slots hold 0.0.
+  const std::vector<double>& values() const { return values_; }
+
+  /// Raw view the SIMD kernels consume (see linalg/simd.hpp).
+  simd::SellView view() const {
+    return simd::SellView{chunk_ptr_.data(), row_len_.data(), col_idx_.data(),
+                          values_.data(), chunk_};
+  }
+
+  /// Round trip back to CSR: same rows/cols/nnz, each row's entries in the
+  /// same order (columns_sorted() reflects the actual order, as
+  /// from_unsorted_parts computes it). Tests pin from_csr ∘ to_csr == id.
+  CsrMatrix to_csr() const;
+
+  /// Calls fn(col, value) for row i's stored entries in ascending j — the
+  /// row's original CSR entry order. Padding is never visited. Inlines into
+  /// the fused sweep kernels (core/randomization.cpp), which are templated
+  /// over the storage format via exactly this hook.
+  template <class Fn>
+  void visit_row(std::size_t i, Fn&& fn) const {
+    const std::size_t base = chunk_ptr_[i / chunk_] + (i % chunk_);
+    const std::size_t len = row_len_[i];
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::size_t e = base + j * chunk_;
+      fn(col_idx_[e], values_[e]);
+    }
+  }
+
+  /// Y = A * X for row-major panels; same contract as
+  /// CsrMatrix::multiply_panel (sizes validated, no aliasing, row-parallel,
+  /// bit-identical to the CSR product at every thread count).
+  void multiply_panel(const Panel& x, Panel& y) const;
+
+  /// Row-range SpMM worker; same contract as
+  /// CsrMatrix::multiply_panel_rows (serial — the caller owns the
+  /// parallelism; any row range, no chunk alignment required). Dispatches
+  /// to simd::sell_panel_rows_kernel() when a vector level is active.
+  void multiply_panel_rows(const Panel& x, Panel& y, std::size_t row_begin,
+                           std::size_t row_end, std::size_t src_col,
+                           std::size_t dst_col, std::size_t count,
+                           bool accumulate) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t chunk_ = kDefaultChunk;
+  std::size_t nnz_ = 0;
+  std::vector<std::size_t> chunk_ptr_{0};
+  std::vector<std::size_t> row_len_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace somrm::linalg

@@ -66,6 +66,16 @@ struct SolverStats {
   /// or "degree" (MomentSolverOptions::reorder). Outputs are permuted back,
   /// so this too records locality, not values.
   std::string reorder;
+  /// Sparse storage Q' was streamed from: "csr", "sellcs"
+  /// (MomentSolverOptions::storage), or "none" for the degenerate q == 0
+  /// closed form, which builds no sparse matrix at all. Bit-exact either
+  /// way — like simd/reorder, this records traffic, not values.
+  std::string storage;
+  /// SELL-C-σ padding diagnostics: the fraction of allocated entry slots
+  /// that are zero padding and its complement nnz / allocated. 0 and 1
+  /// respectively for CSR (nothing padded) and the degenerate path.
+  double padding_ratio = 0.0;
+  double chunk_occupancy = 1.0;
   /// CSR bandwidth of Q' before/after the reorder (equal when reorder is
   /// "none" or the computed permutation was the identity).
   std::size_t bandwidth_before = 0;

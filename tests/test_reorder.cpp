@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/impulse_randomization.hpp"
 #include "core/randomization.hpp"
 #include "ctmc/generator.hpp"
 #include "linalg/csr.hpp"
@@ -258,6 +259,37 @@ TEST(ReorderTest, ReorderStatsReportBandwidthReduction) {
   EXPECT_EQ(res.stats.reorder, "rcm");
   EXPECT_GT(res.stats.bandwidth_before, 4u);
   EXPECT_LT(res.stats.bandwidth_after, res.stats.bandwidth_before);
+}
+
+TEST(ReorderTest, NoReorderStatsReportActualBandwidthNotStaleZeros) {
+  // With reorder == kNone there is no before/after pair to report, but the
+  // stats must still carry the matrix's real bandwidth on both fields (not
+  // default-initialized zeros) so dashboards can compare runs with and
+  // without the pass. Regression test: the impulse solver used to leave
+  // both fields at 0 on this path.
+  const auto model = shuffled_chain_model(32);
+  MomentSolverOptions opts;
+  opts.max_moment = 1;
+  opts.reorder = ReorderPolicy::kNone;
+
+  const MomentResult rand_res =
+      RandomizationMomentSolver(model).solve(1.0, opts);
+  EXPECT_EQ(rand_res.stats.reorder, "none");
+  EXPECT_EQ(rand_res.stats.bandwidth_before, rand_res.stats.bandwidth_after);
+  EXPECT_GT(rand_res.stats.bandwidth_before, 0u);
+
+  // Impulse model on the same chain: empty impulse matrices keep the test
+  // focused on the Q' bandwidth bookkeeping.
+  const std::size_t n = model.num_states();
+  const core::SecondOrderImpulseMrm imodel(
+      model, CsrMatrix::from_triplets(n, n, {}),
+      CsrMatrix::from_triplets(n, n, {}));
+  const MomentResult imp_res =
+      core::ImpulseMomentSolver(imodel).solve(1.0, opts);
+  EXPECT_EQ(imp_res.stats.reorder, "none");
+  EXPECT_EQ(imp_res.stats.bandwidth_before, imp_res.stats.bandwidth_after);
+  EXPECT_GT(imp_res.stats.bandwidth_before, 0u);
+  EXPECT_EQ(imp_res.stats.bandwidth_before, rand_res.stats.bandwidth_before);
 }
 
 }  // namespace

@@ -7,11 +7,12 @@ Usage:
 Both files are JSON arrays of BenchRecord objects as written by
 bench_common's JsonWriter (``--json`` / ``--json-append`` on the bench
 harnesses). Records are matched by the identity tuple
-(bench, kernel, simd, states, threads, moments) — never by array position,
-so reordered or partially re-run snapshots compare correctly, and two
-variants of one bench that differ only in the sweep kernel (panel vs
-fused_vectors) or the SIMD dispatch level (scalar vs avx2/avx512 rows of
-one BENCH_PR6.json) are matched separately instead of colliding last-wins.
+(bench, kernel, simd, storage, states, threads, moments) — never by array
+position, so reordered or partially re-run snapshots compare correctly, and
+two variants of one bench that differ only in the sweep kernel (panel vs
+fused_vectors), the SIMD dispatch level (scalar vs avx2/avx512 rows of
+one BENCH_PR6.json), or the sparse storage (csr vs sellcs rows of one
+BENCH_PR7.json) are matched separately instead of colliding last-wins.
 Thread counts are part of the key, so a 1→16 scaling curve gates per
 thread count. For each pair the relative wall-clock change is
 printed, and the exit code is non-zero when any matched record regressed by
@@ -36,10 +37,12 @@ class SnapshotError(Exception):
 
 
 def format_key(key: tuple) -> str:
-    bench, kernel, simd, states, threads, moments = key
+    bench, kernel, simd, storage, states, threads, moments = key
     kernel_part = f"{kernel}," if kernel else ""
     simd_part = f"{simd}," if simd else ""
-    return f"{bench}[{kernel_part}{simd_part}N={states},T={threads},n={moments}]"
+    storage_part = f"{storage}," if storage else ""
+    return (f"{bench}[{kernel_part}{simd_part}{storage_part}"
+            f"N={states},T={threads},n={moments}]")
 
 
 def load_records(path: str) -> dict[tuple, dict]:
@@ -66,9 +69,11 @@ def load_records(path: str) -> dict[tuple, dict]:
         key = (
             rec.get("bench", ""),
             rec.get("kernel", ""),
-            # Older snapshots predate the simd field; "" matches "" so
-            # pre-PR6 baselines still diff against themselves cleanly.
+            # Older snapshots predate the simd and storage fields; ""
+            # matches "" so pre-PR6/PR7 baselines still diff against
+            # themselves cleanly.
             rec.get("simd", ""),
+            rec.get("storage", ""),
             rec.get("states", 0),
             rec.get("threads", 0),
             rec.get("moments", 0),

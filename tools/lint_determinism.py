@@ -17,7 +17,12 @@ time instead of waiting for a flaky numerical diff:
                            outside src/linalg/ — floating-point
                            reductions must go through the fixed-order
                            helpers in linalg (sum/dot/parallel_reduce) so
-                           the association order is pinned.
+                           the association order is pinned. Every file
+                           under a linalg/ path component is exempt: that
+                           is where the fixed-order kernels themselves
+                           live (csr.cpp, sellcs.cpp, vec.cpp, ...), and
+                           new linalg storage backends qualify
+                           automatically.
   no-shared-capture        `x += ...` inside a parallel_for body where x
                            is not declared in the body — a by-reference
                            captured accumulator is both a data race and

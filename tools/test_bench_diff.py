@@ -137,6 +137,23 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("table2[panel,avx512,", proc.stdout)
         self.assertEqual(proc.stdout.count("REGRESSION"), 1)
 
+    def test_storage_variants_matched_separately(self) -> None:
+        # csr and sellcs rows of one (bench, kernel, simd, threads) identity
+        # live side by side in BENCH_PR7.json; the regressed sellcs row must
+        # be flagged without the csr row (same key otherwise) colliding.
+        base = self.write("base.json", [
+            record("table2", 2.0, kernel="panel", storage="csr"),
+            record("table2", 1.0, kernel="panel", storage="sellcs"),
+        ])
+        cand = self.write("cand.json", [
+            record("table2", 2.0, kernel="panel", storage="csr"),
+            record("table2", 1.5, kernel="panel", storage="sellcs"),
+        ])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("table2[panel,sellcs,", proc.stdout)
+        self.assertEqual(proc.stdout.count("REGRESSION"), 1)
+
     def test_thread_counts_gate_independently(self) -> None:
         # A 1→16 scaling curve: only the 8-thread point regressed, and the
         # diff must name exactly that point.

@@ -121,6 +121,21 @@ class LintDeterminismTest(unittest.TestCase):
         self.assertIn("core/a.cpp", proc.stdout)
         self.assertNotIn("linalg/b.cpp", proc.stdout)
 
+    def test_fp_reduction_permitted_in_linalg_sellcs(self) -> None:
+        # Pins that new linalg storage backends (here the SELL-C-σ kernels)
+        # are automatically inside the fixed-order-reduction boundary, while
+        # the identical code outside linalg/ still violates.
+        code = "double s = std::accumulate(v.begin(), v.end(), 0.0);\n"
+        self.write("linalg/sellcs.cpp", code)
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+        self.write("core/sellcs.cpp", code)
+        proc = run_lint(self.root)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("core/sellcs.cpp", proc.stdout)
+        self.assertNotIn("linalg/sellcs.cpp", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()
