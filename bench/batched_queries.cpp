@@ -16,8 +16,11 @@
 // --skip-independent 1 (session path only — for quick cache-stat runs),
 // --json <path> / --json-append <path> for BenchRecords
 // (batched_queries_independent + batched_queries_session, the latter
-// carrying the session cache counters), --stats 1 for the telemetry
-// summary of the last session query.
+// carrying the session cache counters and the per-query latency_p50_ms /
+// latency_p99_ms / qps fields from the SessionReport), --stats 1 for the
+// telemetry summary of the last session query, --metrics-out <path> to
+// dump the cumulative obs registry (Prometheus text, or JSON when the
+// path ends in .json).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,7 @@
 #include "linalg/parallel.hpp"
 #include "linalg/vec.hpp"
 #include "models/onoff.hpp"
+#include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "prob/rng.hpp"
 
@@ -112,11 +116,20 @@ int main(int argc, char** argv) {
   const auto batch = session.query_batch(queries);
   const double session_s = sw_session.seconds();
   const core::SweepCacheStats cs = session.cache_stats();
+  const core::SessionReport sr = session.report();
+  const double latency_p50_ms =
+      static_cast<double>(sr.latency_p50_ns) * 1e-6;
+  const double latency_p99_ms =
+      static_cast<double>(sr.latency_p99_ns) * 1e-6;
+  const double qps =
+      session_s > 0.0 ? static_cast<double>(num_queries) / session_s : 0.0;
   std::printf("# session: %zu queries in %.3f s (%.2f ms/query); cache: "
               "%zu hits, %zu misses, %zu evictions, %zu coalesced\n",
               num_queries, session_s,
               1e3 * session_s / static_cast<double>(num_queries), cs.hits,
               cs.misses, cs.evictions, cs.coalesced);
+  std::printf("# latency: p50 %.3f ms, p99 %.3f ms; throughput %.1f q/s\n",
+              latency_p50_ms, latency_p99_ms, qps);
 
   // Independent path: one full solve per query, each with its own pi.
   double independent_s = 0.0;
@@ -167,6 +180,9 @@ int main(int argc, char** argv) {
   session_rec.wall_s = session_s;
   session_rec.moments = n;
   bench::fill_from_stats(session_rec, batch.back().stats);
+  session_rec.latency_p50_ms = latency_p50_ms;
+  session_rec.latency_p99_ms = latency_p99_ms;
+  session_rec.qps = qps;
   writer.add(std::move(session_rec));
   if (!skip_independent) {
     bench::BenchRecord ind_rec{};
@@ -179,6 +195,13 @@ int main(int argc, char** argv) {
     writer.add(std::move(ind_rec));
   }
   writer.write();
+
+  const std::string metrics_out =
+      bench::arg_string(argc, argv, "--metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::set_metrics_path(metrics_out);
+    obs::write_metrics();
+  }
 
   if (!identical) {
     std::printf("# FAILED: session batch is not bit-identical to "

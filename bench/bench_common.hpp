@@ -99,6 +99,13 @@ struct BenchRecord {
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
   std::size_t cache_coalesced = 0;
+  // Per-query latency distribution and throughput (batched_queries; zero
+  // for single-solve benches). Quantiles are the EXACT order statistics of
+  // the SessionReport's per-query records — the fields ROADMAP item 2's
+  // traffic-replay bench gates on via bench_diff --latency-tol.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double qps = 0.0;  ///< queries / wall second for the measured phase
 };
 
 /// Copies the solver-telemetry fields of @p stats into @p record (kernel,

@@ -24,8 +24,10 @@
 // thread counts, which the sweep asserts.
 // --json <path> writes the machine-readable BenchRecords (--json-append
 // <path> merges into an existing snapshot instead — how the ON/OFF
-// observability pair lands in one BENCH_PR3.json), and --stats 1 prints the
-// solver telemetry summary (obs::report) after the table.
+// observability pair lands in one BENCH_PR3.json), --stats 1 prints the
+// solver telemetry summary (obs::report) after the table, and
+// --metrics-out <path> dumps the cumulative obs registry (Prometheus
+// text, or JSON when the path ends in .json).
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +38,7 @@
 #include "core/scaling.hpp"
 #include "linalg/parallel.hpp"
 #include "models/onoff.hpp"
+#include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
@@ -176,5 +179,12 @@ int main(int argc, char** argv) {
   somrm::linalg::set_num_threads(0);
 
   writer.write();
+
+  const std::string metrics_out =
+      bench::arg_string(argc, argv, "--metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::set_metrics_path(metrics_out);
+    obs::write_metrics();
+  }
   return 0;
 }

@@ -2,7 +2,7 @@
 //
 //   somrm_cli <model.somrm> [--time t]... [--moments n] [--epsilon e]
 //             [--bounds x] [--simulate reps] [--batch queries.txt]
-//             [--stats]
+//             [--stats] [--metrics-out metrics.prom]
 //
 // Loads the text model (see src/io/model_io.hpp for the format), runs the
 // randomization moment solver (impulse-aware when the file has impulse
@@ -10,7 +10,10 @@
 // and/or a Monte Carlo cross-check. --stats prints the solver telemetry
 // summary (kernel, Theorem-4 truncation points, phase timings; timings are
 // zero when built with -DSOMRM_OBSERVABILITY=OFF). Set SOMRM_TRACE=<path>
-// to capture a Chrome/Perfetto trace of the solve.
+// to capture a Chrome/Perfetto trace of the solve. --metrics-out <path>
+// (equivalent to SOMRM_METRICS=<path>) dumps the cumulative obs registry
+// at exit: Prometheus text exposition, or the canonical JSON document
+// when the path ends in ".json".
 //
 // --batch answers many queries through one core::SolveSession, so queries
 // that share the model run ONE randomization sweep instead of one per
@@ -20,8 +23,10 @@
 //   <time> [n=<order>] [pi=<state>:<prob>,...] [w=<state>:<weight>,...]
 //
 // where pi overrides the initial distribution (sparse; unlisted states get
-// 0) and w asks for terminal-weighted moments. With --stats the session
-// cache counters (hits / misses / coalesced) are included in the summary.
+// 0) and w asks for terminal-weighted moments. With --stats each batch
+// query gets a per-query attribution row (query ID, cache hit / miss /
+// coalesced, latency and finalize time from the SessionReport) plus the
+// exact latency quantiles, in addition to the telemetry summary.
 //
 // Run without arguments to see the format and a demo model.
 
@@ -42,6 +47,7 @@
 #include "core/randomization.hpp"
 #include "core/solve_session.hpp"
 #include "io/model_io.hpp"
+#include "obs/export.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/impulse_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -66,7 +72,8 @@ void usage() {
   std::printf(
       "usage: somrm_cli <model.somrm> [--time t]... [--moments n]\n"
       "                 [--epsilon e] [--bounds x] [--simulate reps]\n"
-      "                 [--batch queries.txt] [--stats]\n\n"
+      "                 [--batch queries.txt] [--stats]\n"
+      "                 [--metrics-out metrics.prom|metrics.json]\n\n"
       "model file format example:\n%s\n"
       "batch query file: one `<time> [n=<order>] [pi=<i>:<p>,...] "
       "[w=<i>:<v>,...]` per line\n",
@@ -201,8 +208,35 @@ int run_batch(const somrm::core::SecondOrderMrm& model,
   std::printf("\n%zu queries, %zu time point(s), %zu sweep(s) run "
               "(%zu cache hit(s))\n",
               results.size(), grid.size(), cs.misses, cs.hits);
-  if (print_stats)
+  if (print_stats) {
+    // Per-query cache attribution from the session's per-query spans: the
+    // record list is in query order here (query_batch is sequential), so
+    // row i describes printed query i.
+    const core::SessionReport sr = session.report();
+    std::printf("\nper-query attribution:\n");
+    std::printf("%6s %8s %10s  %12s %12s\n", "query", "id", "cache",
+                "latency_ms", "finalize_ms");
+    const auto outcome_name = [](core::SweepCache::Outcome o) {
+      switch (o) {
+        case core::SweepCache::Outcome::kMiss: return "miss";
+        case core::SweepCache::Outcome::kCoalesced: return "coalesced";
+        default: return "hit";
+      }
+    };
+    for (std::size_t i = 0; i < sr.records.size(); ++i) {
+      const core::QueryRecord& rec = sr.records[i];
+      std::printf("%6zu %8llu %10s  %12.4f %12.4f\n", i,
+                  static_cast<unsigned long long>(rec.query_id),
+                  outcome_name(rec.cache_outcome),
+                  static_cast<double>(rec.latency_ns) * 1e-6,
+                  static_cast<double>(rec.finalize_ns) * 1e-6);
+    }
+    std::printf("latency: p50 %.4f ms, p99 %.4f ms over %llu queries\n",
+                static_cast<double>(sr.latency_p50_ns) * 1e-6,
+                static_cast<double>(sr.latency_p99_ns) * 1e-6,
+                static_cast<unsigned long long>(sr.queries));
     std::printf("\n%s", obs::report(results.back().stats).c_str());
+  }
   return 0;
 }
 
@@ -246,6 +280,10 @@ int main(int argc, char** argv) {
       batch_path = next();
     } else if (flag == "--stats") {
       print_stats = true;
+    } else if (flag == "--metrics-out") {
+      // Registers the atexit flush, so every exit path (including batch
+      // parse errors) still dumps the registry collected so far.
+      obs::set_metrics_path(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n\n", flag.c_str());
       usage();

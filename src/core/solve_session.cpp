@@ -1,5 +1,7 @@
 #include "core/solve_session.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -7,7 +9,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace somrm::core {
 
@@ -147,18 +152,39 @@ obs::Metric& cache_coalesced_metric() {
   return m;
 }
 
+/// Process-wide query-ID source: monotonically increasing across every
+/// session so concurrent sessions' IDs interleave but never collide, and a
+/// trace's "query_id" args are globally unique within a run.
+std::atomic<std::uint64_t> g_next_query_id{0};
+
+/// Exact 1-based rank-ceil(q*n) order statistic of an ASCENDING-sorted
+/// latency list (0 for an empty list) — the same quantile convention the
+/// bucket histograms use, but at full resolution.
+std::int64_t exact_quantile(const std::vector<std::int64_t>& sorted,
+                            double q) {
+  if (sorted.empty()) return 0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  rank = std::max<std::size_t>(rank, 1);
+  rank = std::min(rank, sorted.size());
+  return sorted[rank - 1];
+}
+
 }  // namespace
 
 SweepCache::SweepCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
 SweepCache::EntryPtr SweepCache::get_or_compute(
-    const std::string& key, const std::function<RetainedSweep()>& compute) {
+    const std::string& key, const std::function<RetainedSweep()>& compute,
+    Outcome* outcome) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     ++counters_.hits;
     cache_hit_metric().add(1);
+    if (outcome) *outcome = Outcome::kHit;
     return it->second.value;
   }
   auto in = inflight_.find(key);
@@ -168,11 +194,13 @@ SweepCache::EntryPtr SweepCache::get_or_compute(
     std::shared_future<EntryPtr> fut = in->second;
     ++counters_.coalesced;
     cache_coalesced_metric().add(1);
+    if (outcome) *outcome = Outcome::kCoalesced;
     lock.unlock();
     return fut.get();
   }
   ++counters_.misses;
   cache_miss_metric().add(1);
+  if (outcome) *outcome = Outcome::kMiss;
   std::promise<EntryPtr> promise;
   inflight_.emplace(key, promise.get_future().share());
   lock.unlock();
@@ -255,8 +283,9 @@ SolveSession::SolveSession(SecondOrderMrm model, std::vector<double> times,
               solve_key(times_, options_);
 }
 
-SweepCache::EntryPtr SolveSession::retained(std::span<const double> weights,
-                                            std::string* weights_key) const {
+SweepCache::EntryPtr SolveSession::retained(
+    std::span<const double> weights, std::string* weights_key,
+    SweepCache::Outcome* outcome) const {
   std::string key = base_key_;
   if (weights.empty())
     key += "|plain";
@@ -264,7 +293,8 @@ SweepCache::EntryPtr SolveSession::retained(std::span<const double> weights,
     key += "|w=" + weights_hash(weights);
   if (weights_key) *weights_key = key;
   return cache_->get_or_compute(
-      key, [&] { return solver_.sweep_retained(times_, options_, weights); });
+      key, [&] { return solver_.sweep_retained(times_, options_, weights); },
+      outcome);
 }
 
 MomentResult SolveSession::query_impl(
@@ -292,9 +322,20 @@ MomentResult SolveSession::query_impl(
       q.initial.empty() ? std::span<const double>(solver_.model().initial())
                         : std::span<const double>(q.initial);
 
+  const std::uint64_t query_id =
+      g_next_query_id.fetch_add(1, std::memory_order_relaxed) + 1;
+
   std::string weights_key;
+  SweepCache::Outcome outcome = SweepCache::Outcome::kHit;
   const SweepCache::EntryPtr sweep =
-      retained(q.terminal_weights, &weights_key);
+      retained(q.terminal_weights, &weights_key, &outcome);
+  if (outcome == SweepCache::Outcome::kMiss) {
+    // Peak RSS moves on sweep computation, not on finalize-only queries;
+    // sampling /proc here (and in report()) keeps the hit path free of
+    // filesystem reads at serving rates.
+    static obs::Gauge& rss_gauge = obs::gauge("mem.peak_rss_bytes");
+    rss_gauge.set(obs::peak_rss_bytes());
+  }
 
   static obs::Metric& finalize_metric = obs::metric("session.query.finalize");
   const std::int64_t finalize_t0 = obs::now_ns();
@@ -334,7 +375,80 @@ MomentResult SolveSession::query_impl(
   out.stats.cache_misses = cs.misses;
   out.stats.cache_evictions = cs.evictions;
   out.stats.cache_coalesced = cs.coalesced;
+
+  // Per-query span: histogram cells, memory gauges + counter tracks, the
+  // trace event carrying the query ID, and the SessionReport record. All
+  // of it reads clocks and copies already-computed values — the numeric
+  // result above is untouched (bit-identity pinned by tests).
+  const std::int64_t latency_ns = done - total_t0;
+  const std::int64_t finalize_ns = done - finalize_t0;
+  if constexpr (obs::kEnabled) {
+    static obs::Histogram& latency_hist =
+        obs::histogram("session.query.latency_ns");
+    static obs::Histogram& finalize_hist =
+        obs::histogram("session.query.finalize_ns");
+    latency_hist.record(latency_ns);
+    finalize_hist.record(finalize_ns);
+    static obs::Gauge& cache_bytes_gauge = obs::gauge("session.cache.bytes");
+    static obs::Gauge& retained_gauge =
+        obs::gauge("session.sweep.retained_bytes");
+    cache_bytes_gauge.set(static_cast<std::int64_t>(cs.bytes));
+    retained_gauge.set(static_cast<std::int64_t>(sweep->byte_size()));
+    if (obs::trace_enabled()) {
+      obs::trace_complete("session.query", "session", total_t0, latency_ns,
+                          "query_id", static_cast<double>(query_id), "cache",
+                          static_cast<double>(static_cast<int>(outcome)));
+      obs::trace_counter("session.cache.bytes",
+                         static_cast<double>(cs.bytes));
+      obs::trace_counter("mem.peak_rss_bytes",
+                         static_cast<double>(
+                             obs::gauge("mem.peak_rss_bytes").value()));
+    }
+  }
+  {
+    QueryRecord rec;
+    rec.query_id = query_id;
+    rec.time_index = q.time_index;
+    rec.max_moment = order;
+    rec.latency_ns = latency_ns;
+    rec.finalize_ns = finalize_ns;
+    rec.cache_outcome = outcome;
+    rec.sweep_key = weights_key;
+    std::lock_guard<std::mutex> lock(records_mutex_);
+    ++queries_;
+    records_.push_back(std::move(rec));
+    while (records_.size() > kMaxQueryRecords) {
+      records_.pop_front();
+      ++dropped_records_;
+    }
+  }
   return out;
+}
+
+SessionReport SolveSession::report() const {
+  SessionReport r;
+  {
+    std::lock_guard<std::mutex> lock(records_mutex_);
+    r.queries = queries_;
+    r.dropped_records = dropped_records_;
+    r.records.assign(records_.begin(), records_.end());
+  }
+  r.cache = cache_->stats();
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(r.records.size());
+  for (const QueryRecord& rec : r.records) latencies.push_back(rec.latency_ns);
+  std::sort(latencies.begin(), latencies.end());
+  r.latency_p50_ns = exact_quantile(latencies, 0.50);
+  r.latency_p90_ns = exact_quantile(latencies, 0.90);
+  r.latency_p99_ns = exact_quantile(latencies, 0.99);
+  r.latency_p999_ns = exact_quantile(latencies, 0.999);
+  if constexpr (obs::kEnabled) {
+    static obs::Gauge& rss_gauge = obs::gauge("mem.peak_rss_bytes");
+    rss_gauge.set(obs::peak_rss_bytes());
+    static obs::Gauge& cache_bytes_gauge = obs::gauge("session.cache.bytes");
+    cache_bytes_gauge.set(static_cast<std::int64_t>(r.cache.bytes));
+  }
+  return r;
 }
 
 MomentResult SolveSession::query(const SessionQuery& q) const {

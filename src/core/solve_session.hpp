@@ -38,6 +38,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <list>
@@ -80,13 +82,23 @@ class SweepCache {
 
   using EntryPtr = std::shared_ptr<const RetainedSweep>;
 
+  /// How one get_or_compute lookup was served — the per-query attribution
+  /// SolveSession records into its SessionReport.
+  enum class Outcome : std::uint8_t {
+    kHit = 0,        ///< served from a retained sweep
+    kMiss = 1,       ///< this caller computed a fresh sweep
+    kCoalesced = 2,  ///< joined another caller's in-flight compute
+  };
+
   /// Returns the cached sweep for @p key, computing it via @p compute on a
   /// miss. Concurrent misses on the same key are coalesced: exactly one
   /// caller runs @p compute, the rest block on its result. If compute
   /// throws, every coalesced caller sees the exception and the key is left
-  /// uncached (a later call retries).
+  /// uncached (a later call retries). When @p outcome is non-null it
+  /// receives how THIS lookup was served.
   EntryPtr get_or_compute(const std::string& key,
-                          const std::function<RetainedSweep()>& compute);
+                          const std::function<RetainedSweep()>& compute,
+                          Outcome* outcome = nullptr);
 
   SweepCacheStats stats() const;
   std::size_t byte_budget() const;
@@ -116,6 +128,42 @@ class SweepCache {
   std::map<std::string, Slot> entries_;
   std::map<std::string, std::shared_future<EntryPtr>> inflight_;
   SweepCacheStats counters_;  // hits/misses/evictions/coalesced only
+};
+
+/// Per-query span recorded by SolveSession::query/query_batch — the "which
+/// query was slow, why, and what did it cost" attribution unit. Query IDs
+/// are PROCESS-WIDE monotonically increasing (a single atomic counter), so
+/// IDs from concurrent sessions interleave but never collide, and the same
+/// IDs appear as "query_id" args on the session.query trace events.
+struct QueryRecord {
+  std::uint64_t query_id = 0;   ///< process-wide monotonic, starts at 1
+  std::size_t time_index = 0;   ///< the query's time-grid index
+  std::size_t max_moment = 0;   ///< resolved moment order (session max
+                                ///< substituted for kSessionMax)
+  std::int64_t latency_ns = 0;  ///< whole query() wall time (0 in OFF builds)
+  std::int64_t finalize_ns = 0; ///< finalize_from_sweep portion
+  SweepCache::Outcome cache_outcome = SweepCache::Outcome::kHit;
+  std::string sweep_key;        ///< full cache key of the sweep that served it
+};
+
+/// Point-in-time report of one session's query history: the retained
+/// per-query records (most recent kMaxQueryRecords; older ones counted in
+/// dropped_records), EXACT latency quantiles over those records (sorted
+/// order statistics of latency_ns, not histogram-bucket approximations),
+/// and the cache's cumulative stats at report time. Works in
+/// SOMRM_OBSERVABILITY=OFF builds too — records and attribution are real
+/// session state, only the ns timings collapse to zero there.
+struct SessionReport {
+  std::uint64_t queries = 0;          ///< total answered by this session
+  std::size_t dropped_records = 0;    ///< records evicted by the ring cap
+  std::vector<QueryRecord> records;   ///< ascending query order
+  SweepCacheStats cache;              ///< cache stats at report time
+  // Exact order-statistic quantiles of records' latency_ns (rank
+  // ceil(q*n), 1-based). Zero when no records are retained.
+  std::int64_t latency_p50_ns = 0;
+  std::int64_t latency_p90_ns = 0;
+  std::int64_t latency_p99_ns = 0;
+  std::int64_t latency_p999_ns = 0;
 };
 
 /// One query against a SolveSession: a time point of the session grid, a
@@ -174,6 +222,16 @@ class SolveSession {
   const std::shared_ptr<SweepCache>& cache() const { return cache_; }
   SweepCacheStats cache_stats() const { return cache_->stats(); }
 
+  /// Most recent per-query records retained per session; older records are
+  /// dropped (and counted) so a long-lived serving session's footprint
+  /// stays bounded.
+  static constexpr std::size_t kMaxQueryRecords = 4096;
+
+  /// Snapshot of this session's query history with exact latency
+  /// quantiles (see SessionReport). Thread-safe against concurrent
+  /// query() calls; also refreshes the mem.peak_rss_bytes gauge.
+  SessionReport report() const;
+
   /// The session's cache key prefix: model content hash + solve key. Two
   /// sessions with bitwise-equal model content (initial vector excluded)
   /// and equal solve options share cache entries even across distinct
@@ -185,13 +243,21 @@ class SolveSession {
       const SessionQuery& q,
       std::map<std::string, std::shared_ptr<const MomentResult>>* reuse) const;
   SweepCache::EntryPtr retained(std::span<const double> weights,
-                                std::string* weights_key) const;
+                                std::string* weights_key,
+                                SweepCache::Outcome* outcome) const;
 
   RandomizationMomentSolver solver_;
   std::vector<double> times_;
   MomentSolverOptions options_;
   std::shared_ptr<SweepCache> cache_;
   std::string base_key_;
+
+  // Per-query span ring (query() is const; the history is observability
+  // state, not solver state).
+  mutable std::mutex records_mutex_;
+  mutable std::deque<QueryRecord> records_;
+  mutable std::uint64_t queries_ = 0;
+  mutable std::size_t dropped_records_ = 0;
 };
 
 }  // namespace somrm::core

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/histogram.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -21,6 +22,11 @@ namespace somrm::core::detail {
 inline obs::Metric& sweep_step_metric() {
   static obs::Metric& m = obs::metric("sweep.step");
   return m;
+}
+
+inline obs::Histogram& sweep_step_histogram() {
+  static obs::Histogram& h = obs::histogram("sweep.step_ns");
+  return h;
 }
 
 inline obs::Metric& parallel_busy_metric() {
@@ -35,6 +41,7 @@ inline void record_sweep_step(std::int64_t k_t0, std::size_t k,
   if constexpr (!obs::kEnabled) return;
   const std::int64_t dt = obs::now_ns() - k_t0;
   sweep_step_metric().add(1, dt);
+  sweep_step_histogram().record(dt);
   obs::trace_complete("sweep.step", "sweep", k_t0, dt, "k",
                       static_cast<double>(k), "active",
                       static_cast<double>(active_count));

@@ -1,0 +1,233 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace somrm::obs {
+
+// ---------------------------------------------------------------------------
+// Bucket geometry — pure arithmetic, compiled in both builds.
+// ---------------------------------------------------------------------------
+
+namespace {
+// 4 sub-buckets per power-of-two octave: relative width <= 25%.
+constexpr unsigned kSubBits = 2;
+constexpr std::size_t kSubMask = (std::size_t{1} << kSubBits) - 1;
+}  // namespace
+
+std::size_t histogram_bucket_index(std::int64_t value) {
+  if (value <= 0) return 0;
+  const std::uint64_t u = static_cast<std::uint64_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(u));
+  if (msb < kSubBits) return static_cast<std::size_t>(u);  // 1..3 exact
+  const std::size_t sub =
+      static_cast<std::size_t>(u >> (msb - kSubBits)) & kSubMask;
+  return ((static_cast<std::size_t>(msb) - 1) << kSubBits) | sub;
+}
+
+std::int64_t histogram_bucket_lower(std::size_t index) {
+  if (index < (std::size_t{1} << kSubBits))
+    return static_cast<std::int64_t>(index);
+  const unsigned msb = static_cast<unsigned>(index >> kSubBits) + 1;
+  const std::int64_t base = static_cast<std::int64_t>(
+      (std::size_t{1} << kSubBits) + (index & kSubMask));
+  return base << (msb - kSubBits);
+}
+
+std::int64_t histogram_bucket_upper(std::size_t index) {
+  if (index + 1 >= kHistogramBuckets)
+    return std::numeric_limits<std::int64_t>::max();
+  return histogram_bucket_lower(index + 1);
+}
+
+std::int64_t histogram_quantile_from_counts(
+    std::span<const std::int64_t> buckets, double q) {
+  std::int64_t total = 0;
+  for (std::int64_t c : buckets) total += c;
+  if (total <= 0) return 0;
+  // 1-based rank of the order statistic the quantile names. q is clamped
+  // so q <= 0 asks for the minimum and q >= 1 for the maximum.
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(clamped * static_cast<double>(total)));
+  rank = std::max<std::int64_t>(rank, 1);
+  rank = std::min(rank, total);
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return histogram_bucket_lower(b);
+  }
+  return histogram_bucket_lower(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+#if SOMRM_OBSERVABILITY
+
+// ---------------------------------------------------------------------------
+// Registry — mirrors telemetry.cpp's Metric registry: per-thread arenas of
+// relaxed atomics, retired totals for exited threads, leaked singletons so
+// the state survives static destruction order at exit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kMaxHistograms = 16;
+
+/// One thread's arena for one histogram: the bucket cells plus the value
+/// sum. The owning thread is the only writer; merge readers use relaxed
+/// loads — per-bucket integer sums commute, so the merged histogram is
+/// deterministic however threads were scheduled.
+struct HistArena {
+  std::array<std::atomic<std::int64_t>, kHistogramBuckets> buckets{};
+  std::atomic<std::int64_t> sum{0};
+};
+
+using HistSlots = std::array<HistArena, kMaxHistograms>;
+
+struct HistRegistry {
+  std::mutex mutex;
+  std::vector<std::string> names;  // index == histogram id
+  std::vector<HistSlots*> live;    // registered thread arenas
+  // Retired totals of threads that already exited.
+  std::array<std::array<std::int64_t, kHistogramBuckets>, kMaxHistograms>
+      retired_buckets{};
+  std::array<std::int64_t, kMaxHistograms> retired_sum{};
+};
+
+HistRegistry& hist_registry() {
+  static HistRegistry* r = new HistRegistry();  // leaked: usable during exit
+  return *r;
+}
+
+struct ThreadHistSlots {
+  HistSlots slots{};
+  ThreadHistSlots() {
+    HistRegistry& r = hist_registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.live.push_back(&slots);
+  }
+  ~ThreadHistSlots() {
+    HistRegistry& r = hist_registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::size_t h = 0; h < kMaxHistograms; ++h) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+        r.retired_buckets[h][b] +=
+            slots[h].buckets[b].load(std::memory_order_relaxed);
+      r.retired_sum[h] += slots[h].sum.load(std::memory_order_relaxed);
+    }
+    r.live.erase(std::find(r.live.begin(), r.live.end(), &slots));
+  }
+};
+
+HistSlots& thread_hist_slots() {
+  thread_local ThreadHistSlots t;
+  return t.slots;
+}
+
+/// Merged bucket counts + sum for one histogram id.
+void merge_one(std::size_t id, std::vector<std::int64_t>& buckets,
+               std::int64_t& sum) {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  buckets.assign(r.retired_buckets[id].begin(), r.retired_buckets[id].end());
+  sum = r.retired_sum[id];
+  for (HistSlots* s : r.live) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+      buckets[b] += (*s)[id].buckets[b].load(std::memory_order_relaxed);
+    sum += (*s)[id].sum.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::int64_t value) {
+  HistArena& arena = thread_hist_slots()[id_];
+  arena.buckets[histogram_bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  arena.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::count() const {
+  std::vector<std::int64_t> buckets;
+  std::int64_t sum = 0;
+  merge_one(id_, buckets, sum);
+  std::int64_t total = 0;
+  for (std::int64_t c : buckets) total += c;
+  return total;
+}
+
+std::int64_t Histogram::sum() const {
+  std::vector<std::int64_t> buckets;
+  std::int64_t sum = 0;
+  merge_one(id_, buckets, sum);
+  return sum;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> buckets;
+  std::int64_t sum = 0;
+  merge_one(id_, buckets, sum);
+  return buckets;
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  return histogram_quantile_from_counts(bucket_counts(), q);
+}
+
+Histogram& histogram(std::string_view name) {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Handles are stable: leaked pointer vector, same pattern as obs::metric.
+  static std::vector<Histogram*>* handles = new std::vector<Histogram*>();
+  for (std::size_t i = 0; i < r.names.size(); ++i)
+    if (r.names[i] == name) return *(*handles)[i];
+  if (r.names.size() >= kMaxHistograms)
+    throw std::length_error("obs::histogram: registry capacity exceeded");
+  r.names.emplace_back(name);
+  handles->push_back(new Histogram(r.names.size() - 1));
+  return *handles->back();
+}
+
+std::vector<HistogramSample> histogram_snapshot() {
+  HistRegistry& r = hist_registry();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    names = r.names;
+  }
+  std::vector<HistogramSample> out(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out[i].name = names[i];
+    merge_one(i, out[i].buckets, out[i].sum);
+    for (std::int64_t c : out[i].buckets) out[i].count += c;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_histograms() {
+  HistRegistry& r = hist_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& per_hist : r.retired_buckets) per_hist.fill(0);
+  r.retired_sum.fill(0);
+  for (HistSlots* s : r.live) {
+    for (HistArena& arena : *s) {
+      for (auto& cell : arena.buckets)
+        cell.store(0, std::memory_order_relaxed);
+      arena.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#endif  // SOMRM_OBSERVABILITY
+
+}  // namespace somrm::obs

@@ -1,0 +1,139 @@
+// somrm/obs/histogram.hpp
+//
+// Fixed log-spaced-bucket histograms for latency (nanoseconds) and size
+// (bytes) distributions, built on the same contract as obs::Metric
+// (telemetry.hpp):
+//
+//  * Instrumentation never touches the numeric data flow: record() only
+//    bumps integer cells, so solver output is bit-identical with
+//    histograms recording or compiled out.
+//  * Per-thread relaxed-atomic cells: each thread owns its bucket arena;
+//    the merge reader sums cells with relaxed loads. Bucket counts are
+//    integer sums, which commute, so the merged histogram is deterministic
+//    regardless of which thread recorded which value — the SAME bucket
+//    counts at 1/2/4/8 threads for the same recorded multiset
+//    (HistogramMergeTest pins this).
+//  * Cells of exited pool threads retire into per-histogram totals.
+//  * Compiled out entirely under -DSOMRM_OBSERVABILITY=OFF: record() is an
+//    empty inline, snapshots are empty. The pure bucket-geometry functions
+//    (histogram_bucket_index / _lower / _upper, quantile_from_counts) stay
+//    available in both builds — they are arithmetic, not instrumentation.
+//
+// Bucket geometry: values <= 0 land in bucket 0; values 1..3 get exact
+// singleton buckets; beyond that every power-of-two octave [2^m, 2^(m+1))
+// splits into 4 equal sub-buckets, so the relative bucket width is <= 25%
+// everywhere. The geometry is fixed at compile time (248 buckets covering
+// the full positive int64 range), which keeps per-thread arenas flat
+// arrays and bucket indices branch-light integer bit tricks.
+//
+// Quantiles are EXACT FROM COUNTS: quantile(q) finds the bucket holding
+// the ceil(q * count)-th smallest recorded value (1-based rank) and
+// returns that bucket's inclusive lower bound. Within-bucket positions
+// are indistinguishable by construction, so this is the exact order
+// statistic at bucket resolution — a pure function of the merged counts,
+// hence deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"  // SOMRM_OBSERVABILITY default
+
+namespace somrm::obs {
+
+/// Number of fixed log-spaced buckets (bucket 0 holds values <= 0; the
+/// last bucket's upper bound is INT64_MAX).
+constexpr std::size_t kHistogramBuckets = 248;
+
+/// Bucket index for @p value (see geometry above). Pure arithmetic,
+/// available in ON and OFF builds.
+std::size_t histogram_bucket_index(std::int64_t value);
+
+/// Inclusive lower bound of bucket @p index (0 for bucket 0).
+std::int64_t histogram_bucket_lower(std::size_t index);
+
+/// Exclusive upper bound of bucket @p index (INT64_MAX for the last).
+std::int64_t histogram_bucket_upper(std::size_t index);
+
+/// The exact-from-counts quantile over a merged bucket array: the lower
+/// bound of the bucket containing the rank-ceil(q * total) smallest value
+/// (q clamped to (0, 1]; rank at least 1). Returns 0 when the histogram is
+/// empty. Pure function of the counts — deterministic by construction.
+std::int64_t histogram_quantile_from_counts(
+    std::span<const std::int64_t> buckets, double q);
+
+/// One merged histogram as returned by histogram_snapshot().
+struct HistogramSample {
+  std::string name;
+  std::int64_t count = 0;  ///< total recorded values across threads
+  std::int64_t sum = 0;    ///< sum of recorded values across threads
+  std::vector<std::int64_t> buckets;  ///< merged counts, kHistogramBuckets
+
+  std::int64_t quantile(double q) const {
+    return histogram_quantile_from_counts(buckets, q);
+  }
+};
+
+#if SOMRM_OBSERVABILITY
+
+/// A named fixed-bucket histogram. Handles are stable for the process
+/// lifetime; record() touches only cells owned by the calling thread (two
+/// relaxed fetch_adds: the bucket and the value sum).
+class Histogram {
+ public:
+  /// Adds one observation of @p value to this thread's arena.
+  void record(std::int64_t value);
+
+  /// Merged totals across all threads (live and retired). Safe to call
+  /// concurrently with record(); values are momentary relaxed snapshots.
+  std::int64_t count() const;
+  std::int64_t sum() const;
+  std::vector<std::int64_t> bucket_counts() const;
+
+  /// Exact-from-counts quantile of the merged buckets (see header note).
+  std::int64_t quantile(double q) const;
+
+ private:
+  friend Histogram& histogram(std::string_view name);
+  explicit Histogram(std::size_t id) : id_(id) {}
+  std::size_t id_;
+};
+
+/// Finds or creates the histogram named @p name. Throws std::length_error
+/// past the fixed registry capacity (16 histograms). Cache the reference
+/// in a function-local static at hot call sites.
+Histogram& histogram(std::string_view name);
+
+/// Merged snapshots of every registered histogram, sorted by name.
+std::vector<HistogramSample> histogram_snapshot();
+
+/// Zeros every histogram cell. Only meaningful between solves (concurrent
+/// record() calls may survive the reset).
+void reset_histograms();
+
+#else  // SOMRM_OBSERVABILITY == 0: inline no-ops, mirroring obs::Metric.
+
+class Histogram {
+ public:
+  void record(std::int64_t) {}
+  std::int64_t count() const { return 0; }
+  std::int64_t sum() const { return 0; }
+  std::vector<std::int64_t> bucket_counts() const { return {}; }
+  std::int64_t quantile(double) const { return 0; }
+};
+
+inline Histogram& histogram(std::string_view) {
+  static Histogram dummy;
+  return dummy;
+}
+
+inline std::vector<HistogramSample> histogram_snapshot() { return {}; }
+inline void reset_histograms() {}
+
+#endif  // SOMRM_OBSERVABILITY
+
+}  // namespace somrm::obs

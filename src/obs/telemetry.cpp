@@ -121,6 +121,61 @@ Metric& metric(std::string_view name) {
   return *handles->back();
 }
 
+namespace {
+
+constexpr std::size_t kMaxGauges = 32;
+
+/// Gauge registry: one process-wide atomic cell per gauge (last-writer
+/// wins — gauges model current levels, not accumulations).
+struct GaugeRegistry {
+  std::mutex mutex;
+  std::vector<std::string> names;  // index == gauge id
+  std::array<std::atomic<std::int64_t>, kMaxGauges> cells{};
+};
+
+GaugeRegistry& gauge_registry() {
+  static GaugeRegistry* r = new GaugeRegistry();  // leaked: usable at exit
+  return *r;
+}
+
+}  // namespace
+
+void Gauge::set(std::int64_t value) {
+  gauge_registry().cells[id_].store(value, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const {
+  return gauge_registry().cells[id_].load(std::memory_order_relaxed);
+}
+
+Gauge& gauge(std::string_view name) {
+  GaugeRegistry& r = gauge_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  static std::vector<Gauge*>* handles = new std::vector<Gauge*>();
+  for (std::size_t i = 0; i < r.names.size(); ++i)
+    if (r.names[i] == name) return *(*handles)[i];
+  if (r.names.size() >= kMaxGauges)
+    throw std::length_error("obs::gauge: registry capacity exceeded");
+  r.names.emplace_back(name);
+  handles->push_back(new Gauge(r.names.size() - 1));
+  return *handles->back();
+}
+
+std::vector<GaugeSample> gauge_snapshot() {
+  GaugeRegistry& r = gauge_registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<GaugeSample> out(r.names.size());
+  for (std::size_t i = 0; i < r.names.size(); ++i) {
+    out[i].name = r.names[i];
+    out[i].value = r.cells[i].load(std::memory_order_relaxed);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GaugeSample& a, const GaugeSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 std::int64_t now_ns() {
   static const std::chrono::steady_clock::time_point anchor =
       std::chrono::steady_clock::now();
@@ -161,31 +216,6 @@ void reset_metrics() {
     }
   }
 }
-
-std::string report() {
-  std::ostringstream os;
-  os << "somrm telemetry (cumulative)\n";
-  std::int64_t spmv_flops = 0, spmv_ns = 0;
-  for (const MetricSample& m : snapshot()) {
-    os << "  " << m.name << ": count=" << m.count;
-    if (m.total_ns > 0) os << " time=" << format_seconds(m.seconds());
-    os << "\n";
-    if (m.name == "spmv.flops") spmv_flops = m.count;
-    if (m.name == "spmv.calls") spmv_ns = m.total_ns;
-  }
-  if (spmv_flops > 0 && spmv_ns > 0) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.3f",
-                  static_cast<double>(spmv_flops) /
-                      static_cast<double>(spmv_ns));
-    os << "  spmv effective GFLOP/s: " << buf << "\n";
-  }
-  return os.str();
-}
-
-#else  // SOMRM_OBSERVABILITY == 0
-
-std::string report() { return "somrm telemetry: compiled out\n"; }
 
 #endif  // SOMRM_OBSERVABILITY
 

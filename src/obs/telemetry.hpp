@@ -130,6 +130,12 @@ struct MetricSample {
   double seconds() const { return static_cast<double>(total_ns) * 1e-9; }
 };
 
+/// One gauge as returned by gauge_snapshot().
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;  ///< last value set()
+};
+
 #if SOMRM_OBSERVABILITY
 
 /// A named counter/timer pair. Handles are stable for the process lifetime;
@@ -171,9 +177,32 @@ class ScopedTimer {
   std::int64_t start_;
 };
 
+/// A named point-in-time gauge (memory footprints, cache occupancy).
+/// Unlike Metric, a gauge is a single process-wide cell holding the LAST
+/// value set — samples overwrite, they do not accumulate — so it models
+/// "current level" quantities that have no meaningful cross-thread sum.
+/// set()/value() are one relaxed atomic store/load.
+class Gauge {
+ public:
+  void set(std::int64_t value);
+  std::int64_t value() const;
+
+ private:
+  friend Gauge& gauge(std::string_view name);
+  explicit Gauge(std::size_t id) : id_(id) {}
+  std::size_t id_;
+};
+
+/// Finds or creates the gauge named @p name. Throws std::length_error past
+/// the fixed registry capacity (32 gauges).
+Gauge& gauge(std::string_view name);
+
 /// Merged totals of every registered metric, sorted by name (deterministic
 /// presentation regardless of registration order).
 std::vector<MetricSample> snapshot();
+
+/// Every registered gauge with its last-set value, sorted by name.
+std::vector<GaugeSample> gauge_snapshot();
 
 /// Zeros every metric cell. Only meaningful between solves (concurrent
 /// add() calls may survive the reset).
@@ -193,6 +222,17 @@ inline Metric& metric(std::string_view) {
   return dummy;
 }
 
+class Gauge {
+ public:
+  void set(std::int64_t) {}
+  std::int64_t value() const { return 0; }
+};
+
+inline Gauge& gauge(std::string_view) {
+  static Gauge dummy;
+  return dummy;
+}
+
 inline std::int64_t now_ns() { return 0; }
 
 class ScopedTimer {
@@ -203,6 +243,7 @@ class ScopedTimer {
 };
 
 inline std::vector<MetricSample> snapshot() { return {}; }
+inline std::vector<GaugeSample> gauge_snapshot() { return {}; }
 inline void reset_metrics() {}
 
 #endif  // SOMRM_OBSERVABILITY
@@ -217,9 +258,12 @@ inline double seconds_between(std::int64_t t0, std::int64_t t1) {
 /// the structural fields only.
 std::string report(const SolverStats& stats);
 
-/// Human-readable dump of the cumulative metric registry (empty-bodied in
-/// OFF builds). Includes derived SpMV throughput when the spmv.* metrics
-/// are present.
+/// Human-readable dump of the cumulative registry (empty-bodied in OFF
+/// builds). Rendered from the SAME obs::metrics_snapshot() the Prometheus
+/// and JSON exporters consume (obs/export.hpp, where this is defined), so
+/// the human and machine views cannot drift. Includes gauges, histogram
+/// quantiles, and derived SpMV throughput when the spmv.* metrics are
+/// present.
 std::string report();
 
 }  // namespace somrm::obs

@@ -1,0 +1,216 @@
+// Tests for obs/histogram.hpp: bucket geometry invariants, exact-from-
+// counts quantiles on hand-built bucket contents, and — the load-bearing
+// contract — merge determinism: the merged bucket counts for a fixed
+// recorded multiset are IDENTICAL at 1/2/4/8 threads, regardless of which
+// thread recorded which value. The pure geometry/quantile tests run in
+// SOMRM_OBSERVABILITY=OFF builds too; registry tests collapse to the
+// no-op-behavior checks there.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/parallel.hpp"
+#include "obs/histogram.hpp"
+
+namespace obs = somrm::obs;
+namespace linalg = somrm::linalg;
+
+// -- bucket geometry (pure, both builds) ------------------------------------
+
+TEST(HistogramGeometry, NonPositiveValuesLandInBucketZero) {
+  EXPECT_EQ(obs::histogram_bucket_index(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(-1), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(std::numeric_limits<std::int64_t>::min()),
+            0u);
+  EXPECT_EQ(obs::histogram_bucket_lower(0), 0);
+}
+
+TEST(HistogramGeometry, SmallValuesGetSingletonBuckets) {
+  for (std::int64_t v = 1; v <= 3; ++v) {
+    const std::size_t idx = obs::histogram_bucket_index(v);
+    EXPECT_EQ(obs::histogram_bucket_lower(idx), v);
+    EXPECT_EQ(obs::histogram_bucket_upper(idx), v + 1);
+  }
+}
+
+TEST(HistogramGeometry, EveryValueFallsInsideItsBucket) {
+  std::vector<std::int64_t> probes = {1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                      100, 1000, 123456, 1 << 20};
+  // Powers of two, their neighbours, and the extremes: bucket boundaries
+  // live at (4 + s) << e, so +-1 around powers of two probes the edges.
+  for (int e = 2; e < 63; ++e) {
+    const std::int64_t p = std::int64_t{1} << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+  }
+  for (std::int64_t v : probes) {
+    const std::size_t idx = obs::histogram_bucket_index(v);
+    ASSERT_LT(idx, obs::kHistogramBuckets) << "value " << v;
+    EXPECT_LE(obs::histogram_bucket_lower(idx), v) << "value " << v;
+    EXPECT_LT(v, obs::histogram_bucket_upper(idx)) << "value " << v;
+  }
+  // INT64_MAX is the one value at the inclusive top of the last bucket
+  // (whose upper bound is the INT64_MAX sentinel itself).
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(obs::histogram_bucket_index(kMax), obs::kHistogramBuckets - 1);
+  EXPECT_LE(obs::histogram_bucket_lower(obs::kHistogramBuckets - 1), kMax);
+}
+
+TEST(HistogramGeometry, BucketBoundsAreStrictlyIncreasing) {
+  for (std::size_t b = 0; b + 1 < obs::kHistogramBuckets; ++b) {
+    EXPECT_LT(obs::histogram_bucket_lower(b),
+              obs::histogram_bucket_lower(b + 1))
+        << "bucket " << b;
+    EXPECT_EQ(obs::histogram_bucket_upper(b),
+              obs::histogram_bucket_lower(b + 1))
+        << "bucket " << b;
+  }
+  EXPECT_EQ(obs::histogram_bucket_upper(obs::kHistogramBuckets - 1),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(HistogramGeometry, RelativeBucketWidthAtMost25Percent) {
+  for (std::size_t b = obs::histogram_bucket_index(4);
+       b + 1 < obs::kHistogramBuckets; ++b) {
+    const double lower = static_cast<double>(obs::histogram_bucket_lower(b));
+    const double width =
+        static_cast<double>(obs::histogram_bucket_upper(b)) - lower;
+    EXPECT_LE(width / lower, 0.25 + 1e-12) << "bucket " << b;
+  }
+}
+
+// -- exact-from-counts quantiles (pure, both builds) ------------------------
+
+TEST(HistogramQuantile, HandBuiltCountsGiveExactOrderStatistics) {
+  // 4 values of 100, 5 of 1000, 1 of 50000 — quantile(q) must return the
+  // bucket lower bound of the rank-ceil(q*10) smallest value.
+  std::vector<std::int64_t> buckets(obs::kHistogramBuckets, 0);
+  const std::int64_t lo100 =
+      obs::histogram_bucket_lower(obs::histogram_bucket_index(100));
+  const std::int64_t lo1000 =
+      obs::histogram_bucket_lower(obs::histogram_bucket_index(1000));
+  const std::int64_t lo50000 =
+      obs::histogram_bucket_lower(obs::histogram_bucket_index(50000));
+  buckets[obs::histogram_bucket_index(100)] = 4;
+  buckets[obs::histogram_bucket_index(1000)] = 5;
+  buckets[obs::histogram_bucket_index(50000)] = 1;
+
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.0), lo100);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.40), lo100);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.50), lo1000);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.90), lo1000);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.91), lo50000);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 0.999), lo50000);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, 1.0), lo50000);
+}
+
+TEST(HistogramQuantile, EmptyCountsReturnZero) {
+  const std::vector<std::int64_t> empty(obs::kHistogramBuckets, 0);
+  EXPECT_EQ(obs::histogram_quantile_from_counts(empty, 0.5), 0);
+  EXPECT_EQ(obs::histogram_quantile_from_counts({}, 0.5), 0);
+}
+
+TEST(HistogramQuantile, SingleValueAtEveryQuantile) {
+  std::vector<std::int64_t> buckets(obs::kHistogramBuckets, 0);
+  const std::size_t idx = obs::histogram_bucket_index(777);
+  buckets[idx] = 1;
+  const std::int64_t lo = obs::histogram_bucket_lower(idx);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(obs::histogram_quantile_from_counts(buckets, q), lo);
+}
+
+// -- registry behavior ------------------------------------------------------
+
+namespace {
+
+/// The fixed per-index value multiset the merge test records: spans several
+/// octaves so many distinct buckets fill.
+std::int64_t merge_value(std::size_t i) {
+  return static_cast<std::int64_t>((i * 37) % 5000 + 1);
+}
+
+}  // namespace
+
+TEST(HistogramMergeTest, BucketCountsIdenticalAcross1248Threads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  constexpr std::size_t kValues = 20000;
+  obs::Histogram& h = obs::histogram("test.merge.determinism");
+
+  const std::size_t original_threads = linalg::num_threads();
+  std::vector<std::int64_t> reference;
+  std::int64_t reference_sum = 0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    obs::reset_histograms();
+    linalg::set_num_threads(threads);
+    // grain 1 so every thread count actually splits the range.
+    linalg::parallel_for(
+        kValues, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) h.record(merge_value(i));
+        },
+        /*grain=*/1);
+    const std::vector<std::int64_t> merged = h.bucket_counts();
+    const std::int64_t sum = h.sum();
+    EXPECT_EQ(h.count(), static_cast<std::int64_t>(kValues))
+        << threads << " threads";
+    if (reference.empty()) {
+      reference = merged;
+      reference_sum = sum;
+    } else {
+      EXPECT_EQ(merged, reference) << threads << " threads";
+      EXPECT_EQ(sum, reference_sum) << threads << " threads";
+    }
+  }
+  linalg::set_num_threads(original_threads);
+
+  // And the merged counts are what a serial tally of the multiset gives.
+  std::vector<std::int64_t> expected(obs::kHistogramBuckets, 0);
+  for (std::size_t i = 0; i < kValues; ++i)
+    ++expected[obs::histogram_bucket_index(merge_value(i))];
+  EXPECT_EQ(reference, expected);
+}
+
+TEST(HistogramRegistry, SnapshotSortedByNameAndConsistent) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::reset_histograms();
+  obs::histogram("test.zz.later").record(10);
+  obs::histogram("test.aa.earlier").record(20);
+  obs::histogram("test.aa.earlier").record(30);
+  const auto snap = obs::histogram_snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 0; i + 1 < snap.size(); ++i)
+    EXPECT_LT(snap[i].name, snap[i + 1].name);
+  for (const obs::HistogramSample& s : snap) {
+    std::int64_t total = 0;
+    ASSERT_EQ(s.buckets.size(), obs::kHistogramBuckets) << s.name;
+    for (std::int64_t c : s.buckets) total += c;
+    EXPECT_EQ(total, s.count) << s.name;
+    if (s.name == "test.aa.earlier") {
+      EXPECT_EQ(s.count, 2);
+      EXPECT_EQ(s.sum, 50);
+      EXPECT_EQ(s.quantile(0.5), obs::histogram_bucket_lower(
+                                     obs::histogram_bucket_index(20)));
+    }
+  }
+}
+
+TEST(HistogramRegistry, SameNameReturnsSameHandle) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  obs::Histogram& a = obs::histogram("test.same.handle");
+  obs::Histogram& b = obs::histogram("test.same.handle");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HistogramOffBuild, CollapsesToNoOps) {
+  if (obs::kEnabled) GTEST_SKIP() << "observability compiled in";
+  obs::Histogram& h = obs::histogram("test.off.noop");
+  h.record(123);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_TRUE(h.bucket_counts().empty());
+  EXPECT_EQ(h.quantile(0.99), 0);
+  EXPECT_TRUE(obs::histogram_snapshot().empty());
+}

@@ -19,6 +19,8 @@
 #include "core/impulse_randomization.hpp"
 #include "core/randomization.hpp"
 #include "linalg/parallel.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -432,6 +434,224 @@ TEST(ObsTraceTest, CounterAndInstantEventsAreWritten) {
   EXPECT_NE(content.find("\"ph\": \"i\""), std::string::npos);
   EXPECT_NE(content.find("\"ph\": \"X\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+TEST(ObsGaugeTest, SetAndReadLastWriterWins) {
+  obs::Gauge& g = obs::gauge("test.gauge.set_read");
+  g.set(7);
+  g.set(42);
+  if (obs::kEnabled) {
+    EXPECT_EQ(g.value(), 42);
+  } else {
+    EXPECT_EQ(g.value(), 0);
+  }
+}
+
+TEST(ObsGaugeTest, SameNameYieldsSameGauge) {
+  obs::Gauge& a = obs::gauge("test.gauge.same_name");
+  obs::Gauge& b = obs::gauge("test.gauge.same_name");
+  a.set(11);
+  if (obs::kEnabled) {
+    EXPECT_EQ(b.value(), 11);
+  }
+}
+
+TEST(ObsGaugeTest, SnapshotSortedByName) {
+  obs::gauge("test.gauge.zz").set(1);
+  obs::gauge("test.gauge.aa").set(2);
+  const auto samples = obs::gauge_snapshot();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(samples.empty());
+    return;
+  }
+  EXPECT_GE(samples.size(), 2u);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export (Prometheus + JSON renderers, snapshot, file round-trip)
+// ---------------------------------------------------------------------------
+
+// A hand-built snapshot exercises the pure renderers identically in ON and
+// OFF builds — they are functions of the snapshot value, not global state.
+obs::MetricsSnapshot fixture_snapshot() {
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"session.cache.hit", 7, 0});
+  snap.counters.push_back({"sweep.step", 12, 3'000'000'000});
+  snap.gauges.push_back({"mem.peak_rss_bytes", 4734976});
+  obs::HistogramSample h;
+  h.name = "session.query.latency_ns";
+  h.buckets.assign(obs::kHistogramBuckets, 0);
+  h.buckets[obs::histogram_bucket_index(1000)] = 3;
+  h.buckets[obs::histogram_bucket_index(2000)] = 5;
+  h.count = 8;
+  h.sum = 3 * 1000 + 5 * 2000;
+  snap.histograms.push_back(std::move(h));
+  return snap;
+}
+
+TEST(ObsExportTest, PrometheusRenderHasAllFamilies) {
+  const std::string text = obs::render_prometheus(fixture_snapshot());
+  // Counters: _total always; _seconds_total only when time was recorded.
+  EXPECT_NE(text.find("# TYPE somrm_session_cache_hit_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_session_cache_hit_total 7"), std::string::npos);
+  EXPECT_EQ(text.find("somrm_session_cache_hit_seconds_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_sweep_step_total 12"), std::string::npos);
+  EXPECT_NE(text.find("somrm_sweep_step_seconds_total 3.000000000"),
+            std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("# TYPE somrm_mem_peak_rss_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_mem_peak_rss_bytes 4734976"), std::string::npos);
+  // Histogram: cumulative buckets ending in +Inf, plus _sum and _count.
+  EXPECT_NE(text.find("# TYPE somrm_session_query_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_session_query_latency_ns_bucket{le=\"+Inf\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_session_query_latency_ns_sum 13000"),
+            std::string::npos);
+  EXPECT_NE(text.find("somrm_session_query_latency_ns_count 8"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ObsExportTest, PrometheusBucketBoundsAreInclusiveUppers) {
+  const std::string text = obs::render_prometheus(fixture_snapshot());
+  // le is upper-1: the exact inclusive bound of an integer-valued bucket.
+  const std::size_t idx1000 = obs::histogram_bucket_index(1000);
+  const std::string le1000 =
+      "{le=\"" + std::to_string(obs::histogram_bucket_upper(idx1000) - 1) +
+      "\"} 3";
+  EXPECT_NE(text.find(le1000), std::string::npos) << text;
+  const std::size_t idx2000 = obs::histogram_bucket_index(2000);
+  const std::string le2000 =
+      "{le=\"" + std::to_string(obs::histogram_bucket_upper(idx2000) - 1) +
+      "\"} 8";  // cumulative: 3 + 5
+  EXPECT_NE(text.find(le2000), std::string::npos) << text;
+}
+
+TEST(ObsExportTest, EmptySnapshotRendersEmpty) {
+  EXPECT_TRUE(obs::render_prometheus(obs::MetricsSnapshot{}).empty());
+  const std::string json = obs::render_json(obs::MetricsSnapshot{});
+  EXPECT_TRUE(JsonValidator(json).parse()) << json;
+}
+
+TEST(ObsExportTest, JsonRenderIsValidAndCanonical) {
+  const std::string json = obs::render_json(fixture_snapshot());
+  EXPECT_TRUE(JsonValidator(json).parse()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"session.cache.hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"mem.peak_rss_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Only the two non-empty buckets appear.
+  std::size_t bucket_objects = 0;
+  for (std::size_t at = json.find("\"upper\""); at != std::string::npos;
+       at = json.find("\"upper\"", at + 1))
+    ++bucket_objects;
+  EXPECT_EQ(bucket_objects, 2u);
+}
+
+TEST(ObsExportTest, PeakRssIsPositiveOnLinux) {
+  // 0 is the documented fallback when /proc is unavailable; on this CI
+  // platform the read must succeed and a live process has peaked above 0.
+  EXPECT_GT(obs::peak_rss_bytes(), 0);
+}
+
+TEST(ObsExportTest, SnapshotCarriesPeakRssGauge) {
+  if (!obs::kEnabled) {
+    const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+    return;
+  }
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  bool found = false;
+  for (const obs::GaugeSample& g : snap.gauges)
+    if (g.name == "mem.peak_rss_bytes") {
+      found = true;
+      EXPECT_GT(g.value, 0);
+    }
+  EXPECT_TRUE(found) << "metrics_snapshot() must refresh mem.peak_rss_bytes";
+}
+
+TEST(ObsExportTest, WriteMetricsRoundTripsBothFormats) {
+  if (!obs::kEnabled) {
+    // OFF build: enabling must be a no-op and never create a file.
+    obs::set_metrics_path("/nonexistent-dir/never-written.prom");
+    obs::write_metrics();
+    EXPECT_TRUE(obs::metrics_path().empty());
+    return;
+  }
+  obs::metric("test.export.roundtrip").add(1, 500);
+  obs::histogram("test.export.latency").record(1234);
+
+  const std::string prom_path = ::testing::TempDir() + "somrm_export_rt.prom";
+  obs::set_metrics_path(prom_path);
+  EXPECT_EQ(obs::metrics_path(), prom_path);
+  obs::write_metrics();
+  const std::string prom = read_file(prom_path);
+  ASSERT_FALSE(prom.empty()) << "metrics file not written: " << prom_path;
+  EXPECT_NE(prom.find("somrm_test_export_roundtrip_total"),
+            std::string::npos);
+  EXPECT_NE(prom.find("somrm_test_export_latency_bucket"), std::string::npos);
+
+  const std::string json_path = ::testing::TempDir() + "somrm_export_rt.json";
+  obs::set_metrics_path(json_path);
+  obs::write_metrics();
+  obs::set_metrics_path("");
+  const std::string json = read_file(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonValidator(json).parse()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"test.export.latency\""), std::string::npos);
+  std::remove(prom_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(ObsExportTest, SolverOutputBitIdenticalWithMetricsOnAndOff) {
+  const core::RandomizationMomentSolver solver(ring_model(48));
+  core::MomentSolverOptions opts;
+  opts.max_moment = 4;
+  opts.epsilon = 1e-12;
+
+  obs::set_metrics_path("");
+  const auto plain = solver.solve(0.75, opts);
+
+  const std::string path = ::testing::TempDir() + "somrm_bitident_m.prom";
+  obs::set_metrics_path(path);
+  const auto metered = solver.solve(0.75, opts);
+  obs::write_metrics();
+  obs::set_metrics_path("");
+  std::remove(path.c_str());
+
+  ASSERT_EQ(plain.weighted.size(), metered.weighted.size());
+  for (std::size_t j = 0; j < plain.weighted.size(); ++j)
+    EXPECT_EQ(plain.weighted[j], metered.weighted[j]) << "moment " << j;
+  ASSERT_EQ(plain.per_state.size(), metered.per_state.size());
+  for (std::size_t j = 0; j < plain.per_state.size(); ++j)
+    EXPECT_EQ(plain.per_state[j], metered.per_state[j]) << "moment " << j;
+}
+
+TEST(ObsReportTest, CumulativeReportRendersGaugesAndHistograms) {
+  obs::gauge("test.report.gauge").set(99);
+  obs::histogram("test.report.hist").record(1000);
+  const std::string text = obs::report();
+  if (!obs::kEnabled) {
+    EXPECT_NE(text.find("compiled out"), std::string::npos);
+    return;
+  }
+  EXPECT_NE(text.find("gauge test.report.gauge: 99"), std::string::npos);
+  EXPECT_NE(text.find("hist test.report.hist:"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
 }
 
 }  // namespace

@@ -12,8 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +24,7 @@
 #include "core/randomization.hpp"
 #include "core/solve_session.hpp"
 #include "linalg/parallel.hpp"
+#include "obs/export.hpp"
 
 namespace somrm {
 namespace {
@@ -408,6 +411,153 @@ TEST(SolveSessionTest, RejectsDuplicateOrUnsortedTimeGrid) {
               std::string::npos)
         << e.what();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query observability: SessionReport records and attribution
+// ---------------------------------------------------------------------------
+
+TEST(SessionReportTest, RecordsCarryMonotonicIdsAndCacheAttribution) {
+  const auto model = make_model(12);
+  const std::vector<double> times{0.5, 1.0};
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+  const SolveSession session(model, times, opts,
+                             std::make_shared<SweepCache>());
+
+  // miss (first plain sweep), hit, hit (same sweep), miss (new weights).
+  SessionQuery plain;
+  session.query(plain);
+  SessionQuery q2;
+  q2.time_index = 1;
+  q2.max_moment = 1;
+  session.query(q2);
+  session.query(plain);
+  SessionQuery qw;
+  qw.terminal_weights = make_weights(12, 1);
+  session.query(qw);
+
+  const core::SessionReport rep = session.report();
+  EXPECT_EQ(rep.queries, 4u);
+  EXPECT_EQ(rep.dropped_records, 0u);
+  ASSERT_EQ(rep.records.size(), 4u);
+
+  // Process-wide IDs: strictly increasing within the session, all >= 1.
+  EXPECT_GE(rep.records[0].query_id, 1u);
+  for (std::size_t i = 1; i < rep.records.size(); ++i)
+    EXPECT_GT(rep.records[i].query_id, rep.records[i - 1].query_id) << i;
+
+  EXPECT_EQ(rep.records[0].cache_outcome, SweepCache::Outcome::kMiss);
+  EXPECT_EQ(rep.records[1].cache_outcome, SweepCache::Outcome::kHit);
+  EXPECT_EQ(rep.records[2].cache_outcome, SweepCache::Outcome::kHit);
+  EXPECT_EQ(rep.records[3].cache_outcome, SweepCache::Outcome::kMiss);
+  EXPECT_EQ(rep.cache.misses, 2u);
+  EXPECT_EQ(rep.cache.hits, 2u);
+
+  // Resolved orders and grid indices round-trip into the records.
+  EXPECT_EQ(rep.records[0].max_moment, opts.max_moment);  // kSessionMax
+  EXPECT_EQ(rep.records[1].max_moment, 1u);
+  EXPECT_EQ(rep.records[1].time_index, 1u);
+
+  // The plain queries share one sweep key; the weighted one differs.
+  for (const core::QueryRecord& r : rep.records)
+    EXPECT_FALSE(r.sweep_key.empty()) << "query_id " << r.query_id;
+  EXPECT_EQ(rep.records[0].sweep_key, rep.records[1].sweep_key);
+  EXPECT_EQ(rep.records[0].sweep_key, rep.records[2].sweep_key);
+  EXPECT_NE(rep.records[0].sweep_key, rep.records[3].sweep_key);
+
+  if (obs::kEnabled) {
+    for (const core::QueryRecord& r : rep.records) {
+      EXPECT_GT(r.latency_ns, 0) << "query_id " << r.query_id;
+      EXPECT_GE(r.latency_ns, r.finalize_ns) << "query_id " << r.query_id;
+    }
+    // Exact order statistics over 4 records: p50 is the 2nd smallest,
+    // p90/p99/p999 the largest.
+    std::vector<std::int64_t> lat;
+    for (const core::QueryRecord& r : rep.records)
+      lat.push_back(r.latency_ns);
+    std::sort(lat.begin(), lat.end());
+    EXPECT_EQ(rep.latency_p50_ns, lat[1]);
+    EXPECT_EQ(rep.latency_p90_ns, lat[3]);
+    EXPECT_EQ(rep.latency_p99_ns, lat[3]);
+    EXPECT_EQ(rep.latency_p999_ns, lat[3]);
+  } else {
+    for (const core::QueryRecord& r : rep.records) {
+      EXPECT_EQ(r.latency_ns, 0);
+      EXPECT_EQ(r.finalize_ns, 0);
+    }
+    EXPECT_EQ(rep.latency_p50_ns, 0);
+  }
+}
+
+TEST(SessionReportTest, BatchRecordsEveryQueryInOrder) {
+  const std::size_t n = 24;
+  const auto model = make_model(n);
+  const std::vector<double> times{0.25, 0.6, 1.1};
+  MomentSolverOptions opts;
+  opts.max_moment = 4;
+  const auto batch = make_mixed_batch(n, times.size(), opts.max_moment);
+  const SolveSession session(model, times, opts,
+                             std::make_shared<SweepCache>());
+  session.query_batch(batch.queries);
+
+  const core::SessionReport rep = session.report();
+  EXPECT_EQ(rep.queries, batch.queries.size());
+  ASSERT_EQ(rep.records.size(), batch.queries.size());
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < rep.records.size(); ++i) {
+    EXPECT_EQ(rep.records[i].time_index, batch.queries[i].time_index) << i;
+    EXPECT_EQ(rep.records[i].max_moment, batch.orders[i]) << i;
+    if (rep.records[i].cache_outcome != SweepCache::Outcome::kHit) ++misses;
+  }
+  // 3 distinct weight vectors -> exactly 3 non-hit (miss) records.
+  EXPECT_EQ(misses, 3u);
+}
+
+TEST(SessionReportTest, EmptySessionReportsZeroes) {
+  const auto model = make_model(8);
+  const SolveSession session(model, {0.5}, {}, std::make_shared<SweepCache>());
+  const core::SessionReport rep = session.report();
+  EXPECT_EQ(rep.queries, 0u);
+  EXPECT_TRUE(rep.records.empty());
+  EXPECT_EQ(rep.dropped_records, 0u);
+  EXPECT_EQ(rep.latency_p50_ns, 0);
+  EXPECT_EQ(rep.latency_p999_ns, 0);
+}
+
+TEST(SessionReportTest, QueryResultsBitIdenticalWithMetricsExportEnabled) {
+  // The observability path (records, histograms, gauges, export) must not
+  // perturb the numeric data flow: EXPECT_EQ, not near.
+  const std::size_t n = 16;
+  const auto model = make_model(n);
+  const std::vector<double> times{0.5, 1.0};
+  MomentSolverOptions opts;
+  opts.max_moment = 3;
+
+  obs::set_metrics_path("");
+  const SolveSession s_plain(model, times, opts,
+                             std::make_shared<SweepCache>());
+  SessionQuery q;
+  q.time_index = 1;
+  const MomentResult plain = s_plain.query(q);
+
+  const std::string path = ::testing::TempDir() + "somrm_session_bitident.prom";
+  obs::set_metrics_path(path);
+  const SolveSession s_metered(model, times, opts,
+                               std::make_shared<SweepCache>());
+  const MomentResult metered = s_metered.query(q);
+  obs::write_metrics();
+  obs::set_metrics_path("");
+  std::remove(path.c_str());
+
+  ASSERT_EQ(plain.weighted.size(), metered.weighted.size());
+  for (std::size_t j = 0; j < plain.weighted.size(); ++j)
+    EXPECT_EQ(plain.weighted[j], metered.weighted[j]) << "moment " << j;
+  ASSERT_EQ(plain.per_state.size(), metered.per_state.size());
+  for (std::size_t j = 0; j < plain.per_state.size(); ++j)
+    for (std::size_t i = 0; i < plain.per_state[j].size(); ++i)
+      EXPECT_EQ(plain.per_state[j][i], metered.per_state[j][i])
+          << "moment " << j << " state " << i;
 }
 
 }  // namespace

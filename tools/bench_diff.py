@@ -21,8 +21,17 @@ more than the threshold (default 10%).
 Records present in only one file are reported but do not affect the exit
 code — adding a benchmark must not fail the diff that introduces it.
 
-Exit codes: 0 no regression, 1 regression beyond the threshold, 2 input
-error (missing/malformed snapshot, or no records matched).
+``--latency-tol R`` additionally gates the per-query p99 latency
+(``latency_p99_ms``, written by batched_queries from the SessionReport's
+exact order statistics). The gate is OPT-IN — without the flag latency
+fields are ignored entirely — and tolerant of history: a matched pair
+where either side is missing the field (pre-PR8 snapshot) or has it at
+zero (no latency measured, e.g. a single-solve bench) is skipped, never
+failed, so old baselines keep diffing cleanly.
+
+Exit codes: 0 no regression, 1 regression beyond a threshold (wall-clock
+or, when --latency-tol is given, p99 latency), 2 input error
+(missing/malformed snapshot, or no records matched).
 """
 
 from __future__ import annotations
@@ -98,6 +107,14 @@ def main() -> int:
         help="relative wall_s regression that fails the diff "
         "(default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--latency-tol",
+        type=float,
+        default=None,
+        metavar="R",
+        help="opt-in relative latency_p99_ms regression gate (e.g. 0.25 = "
+        "25%%); pairs missing the field or with it at zero are skipped",
+    )
     args = parser.parse_args()
 
     try:
@@ -126,6 +143,27 @@ def main() -> int:
             marker = "  << REGRESSION"
             regressions.append((name, delta))
         print(f"{name:50s} {b:12.6g} {c:12.6g} {delta:+8.1%}{marker}")
+
+    if args.latency_tol is not None:
+        print(f"\n{'bench (p99 latency)':50s} {'base_ms':>12s} "
+              f"{'cand_ms':>12s} {'delta':>8s}")
+        for key in matched:
+            # Tolerate history: snapshots written before the latency fields
+            # existed (or benches that never measure latency) either lack
+            # the key or carry 0.0 — both mean "nothing to gate here".
+            lb = float(base[key].get("latency_p99_ms", 0.0) or 0.0)
+            lc = float(cand[key].get("latency_p99_ms", 0.0) or 0.0)
+            name = format_key(key)
+            if lb <= 0.0 or lc <= 0.0:
+                print(f"{name:50s} {lb:12.6g} {lc:12.6g}    (skipped: "
+                      "latency missing or zero)")
+                continue
+            ldelta = (lc - lb) / lb
+            marker = ""
+            if ldelta > args.latency_tol:
+                marker = "  << LATENCY REGRESSION"
+                regressions.append((f"{name} [p99 latency]", ldelta))
+            print(f"{name:50s} {lb:12.6g} {lc:12.6g} {ldelta:+8.1%}{marker}")
 
     for key in only_base:
         print(f"only in baseline:  {format_key(key)}")

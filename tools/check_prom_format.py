@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file written by obs::write_metrics.
+
+Usage:
+    check_prom_format.py METRICS.prom [--require-metric NAME]...
+
+Checks the subset of the exposition format the somrm exporter emits:
+
+* every non-comment line is ``name value`` or ``name{le="..."} value`` with
+  a metric name matching ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and a value that
+  parses as a float;
+* every sample is preceded by ``# HELP`` and ``# TYPE`` lines for its
+  metric family, and the TYPE is one of counter / gauge / histogram;
+* counter sample names end in ``_total``;
+* every histogram family has a ``_bucket`` series with strictly increasing
+  ``le`` bounds ending in ``le="+Inf"``, non-decreasing cumulative counts,
+  a ``_sum`` and a ``_count`` sample, and the +Inf bucket equals _count.
+
+``--require-metric NAME`` (repeatable) additionally fails unless a sample
+of that exact family name is present — CI uses it to pin the session
+histograms and memory gauges into the batched_queries export.
+
+Exit codes: 0 valid, 1 format violation, 2 usage / unreadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{le=\"(?P<le>[^\"]+)\"\})?"
+    r" (?P<value>\S+)$")
+HELP_RE = re.compile(r"^# HELP (?P<name>\S+) (?P<text>.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|histogram)$")
+
+
+def family_of(sample_name: str, kind: str) -> str:
+    """Maps a sample name back to its TYPE-declared family name."""
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def check(path: str, required: list[str]) -> list[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2) from err
+
+    errors: list[str] = []
+    helped: set[str] = set()
+    types: dict[str, str] = {}
+    seen_families: set[str] = set()
+    # family -> list of (le, cumulative_count) in file order
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    sums: set[str] = set()
+    counts: dict[str, float] = {}
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = HELP_RE.match(line)
+            if m:
+                helped.add(m.group("name"))
+                continue
+            m = TYPE_RE.match(line)
+            if m:
+                types[m.group("name")] = m.group("kind")
+                continue
+            errors.append(f"line {lineno}: malformed comment line: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name, le, value = m.group("name"), m.group("le"), m.group("value")
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        try:
+            fvalue = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value {value!r}")
+            continue
+        kind = None
+        family = None
+        for k in ("histogram", "counter", "gauge"):
+            cand = family_of(name, k)
+            if types.get(cand) == k:
+                kind, family = k, cand
+                break
+        if kind is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE")
+            continue
+        if family not in helped:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # HELP")
+        seen_families.add(family)
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter sample {name!r} must end in "
+                    "'_total'")
+            if fvalue < 0:
+                errors.append(f"line {lineno}: counter {name!r} is negative")
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket {name!r} lacks an "
+                        "le label")
+                else:
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    buckets.setdefault(family, []).append((bound, fvalue))
+            elif name.endswith("_sum"):
+                sums.add(family)
+            elif name.endswith("_count"):
+                counts[family] = fvalue
+        # gauges: any float value is fine
+
+    for family, kind in types.items():
+        if kind != "histogram" or family not in seen_families:
+            continue
+        series = buckets.get(family, [])
+        if not series:
+            errors.append(f"histogram {family}: no _bucket series")
+            continue
+        bounds = [b for b, _ in series]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(
+                f"histogram {family}: le bounds not strictly increasing")
+        if bounds[-1] != float("inf"):
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        values = [v for _, v in series]
+        if any(b > a for a, b in zip(values[1:], values)):
+            errors.append(
+                f"histogram {family}: cumulative bucket counts decrease")
+        if family not in sums:
+            errors.append(f"histogram {family}: missing _sum sample")
+        if family not in counts:
+            errors.append(f"histogram {family}: missing _count sample")
+        elif bounds[-1] == float("inf") and values[-1] != counts[family]:
+            errors.append(
+                f"histogram {family}: +Inf bucket ({values[-1]:g}) != _count "
+                f"({counts[family]:g})")
+
+    for name in required:
+        if name not in seen_families:
+            errors.append(f"required metric {name!r} not found")
+
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a Prometheus text-exposition metrics file.")
+    parser.add_argument("path", help="metrics file to validate")
+    parser.add_argument(
+        "--require-metric", action="append", default=[], metavar="NAME",
+        help="fail unless a sample family with this exact name is present "
+        "(repeatable)")
+    args = parser.parse_args()
+
+    errors = check(args.path, args.require_metric)
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.path} is valid Prometheus text exposition")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,58 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("only in baseline", proc.stdout)
         self.assertIn("only in candidate", proc.stdout)
 
+    # -- the opt-in --latency-tol p99 gate --
+
+    def test_latency_gate_off_by_default(self) -> None:
+        # Without --latency-tol a 10x p99 blow-up is invisible: only wall_s
+        # gates, and it did not move.
+        base = self.write("base.json",
+                          [record("batched", 1.0, latency_p99_ms=2.0)])
+        cand = self.write("cand.json",
+                          [record("batched", 1.0, latency_p99_ms=20.0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("LATENCY", proc.stdout)
+
+    def test_latency_regression_exits_1(self) -> None:
+        base = self.write("base.json",
+                          [record("batched", 1.0, latency_p99_ms=2.0)])
+        cand = self.write("cand.json",
+                          [record("batched", 1.0, latency_p99_ms=3.0)])
+        proc = run_diff(base, cand, "--latency-tol", "0.25")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("LATENCY REGRESSION", proc.stdout)
+        self.assertIn("p99 latency", proc.stderr)
+
+    def test_latency_within_tolerance_exits_0(self) -> None:
+        base = self.write("base.json",
+                          [record("batched", 1.0, latency_p99_ms=2.0)])
+        cand = self.write("cand.json",
+                          [record("batched", 1.0, latency_p99_ms=2.2)])
+        proc = run_diff(base, cand, "--latency-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("LATENCY REGRESSION", proc.stdout)
+
+    def test_latency_missing_field_is_skipped(self) -> None:
+        # A pre-PR8 baseline has no latency_p99_ms key at all; the gate must
+        # skip the pair (reporting it), not crash or fail.
+        base = self.write("base.json", [record("batched", 1.0)])
+        cand = self.write("cand.json",
+                          [record("batched", 1.0, latency_p99_ms=5.0)])
+        proc = run_diff(base, cand, "--latency-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("skipped: latency missing or zero", proc.stdout)
+
+    def test_latency_zero_field_is_skipped(self) -> None:
+        # Benches that never measure latency write 0.0 — also not gateable.
+        base = self.write("base.json",
+                          [record("table2", 1.0, latency_p99_ms=0.0)])
+        cand = self.write("cand.json",
+                          [record("table2", 1.0, latency_p99_ms=0.0)])
+        proc = run_diff(base, cand, "--latency-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("skipped: latency missing or zero", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

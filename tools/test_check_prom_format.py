@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Unit tests for check_prom_format.py.
+
+Run directly (python3 tools/test_check_prom_format.py) or via ctest (label
+`lint`). Uses only the standard library.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+CHECKER = TOOLS / "check_prom_format.py"
+
+VALID = """\
+# HELP somrm_session_cache_hit_total Cumulative count of session.cache.hit.
+# TYPE somrm_session_cache_hit_total counter
+somrm_session_cache_hit_total 7
+# HELP somrm_mem_peak_rss_bytes Last sampled value of mem.peak_rss_bytes.
+# TYPE somrm_mem_peak_rss_bytes gauge
+somrm_mem_peak_rss_bytes 4734976
+# HELP somrm_session_query_latency_ns Distribution of session.query.latency_ns.
+# TYPE somrm_session_query_latency_ns histogram
+somrm_session_query_latency_ns_bucket{le="1023"} 2
+somrm_session_query_latency_ns_bucket{le="2047"} 5
+somrm_session_query_latency_ns_bucket{le="+Inf"} 8
+somrm_session_query_latency_ns_sum 12345
+somrm_session_query_latency_ns_count 8
+"""
+
+
+def run_checker(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *argv],
+        capture_output=True, text=True)
+
+
+class CheckPromFormatTest(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, text: str) -> str:
+        path = self.dir / "metrics.prom"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_valid_file_passes(self) -> None:
+        proc = run_checker(self.write(VALID))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_empty_file_passes(self) -> None:
+        # An OFF-build run exports nothing; an empty registry is not a
+        # format violation.
+        proc = run_checker(self.write(""))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_file_exits_2(self) -> None:
+        proc = run_checker(str(self.dir / "nope.prom"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_sample_without_type_fails(self) -> None:
+        proc = run_checker(self.write("somrm_x_total 1\n"))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no preceding # TYPE", proc.stderr)
+
+    def test_counter_must_end_in_total(self) -> None:
+        text = ("# HELP somrm_x Cumulative count of x.\n"
+                "# TYPE somrm_x counter\n"
+                "somrm_x 1\n")
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("must end in '_total'", proc.stderr)
+
+    def test_bad_value_fails(self) -> None:
+        text = ("# HELP somrm_x Last sampled value of x.\n"
+                "# TYPE somrm_x gauge\n"
+                "somrm_x banana\n")
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("bad sample value", proc.stderr)
+
+    def test_histogram_without_inf_bucket_fails(self) -> None:
+        text = VALID.replace(
+            'somrm_session_query_latency_ns_bucket{le="+Inf"} 8\n', "")
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn('missing le="+Inf"', proc.stderr)
+
+    def test_histogram_decreasing_cumulative_fails(self) -> None:
+        text = VALID.replace(
+            'somrm_session_query_latency_ns_bucket{le="2047"} 5',
+            'somrm_session_query_latency_ns_bucket{le="2047"} 1')
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cumulative bucket counts decrease", proc.stderr)
+
+    def test_histogram_inf_must_equal_count(self) -> None:
+        text = VALID.replace("somrm_session_query_latency_ns_count 8",
+                             "somrm_session_query_latency_ns_count 9")
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("+Inf bucket", proc.stderr)
+
+    def test_histogram_missing_sum_fails(self) -> None:
+        text = VALID.replace("somrm_session_query_latency_ns_sum 12345\n", "")
+        proc = run_checker(self.write(text))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing _sum", proc.stderr)
+
+    def test_required_metric_present_passes(self) -> None:
+        proc = run_checker(self.write(VALID), "--require-metric",
+                           "somrm_session_query_latency_ns")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_required_metric_absent_fails(self) -> None:
+        proc = run_checker(self.write(VALID), "--require-metric",
+                           "somrm_absent_metric")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("somrm_absent_metric", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
