@@ -178,45 +178,54 @@ SweepCache::SweepCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 SweepCache::EntryPtr SweepCache::get_or_compute(
     const std::string& key, const std::function<RetainedSweep()>& compute,
     Outcome* outcome) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    ++counters_.hits;
-    cache_hit_metric().add(1);
-    if (outcome) *outcome = Outcome::kHit;
-    return it->second.value;
-  }
-  auto in = inflight_.find(key);
-  if (in != inflight_.end()) {
-    // Coalesce: someone is already computing this key. Wait outside the
-    // lock; the future's value is the shared sweep (or its exception).
-    std::shared_future<EntryPtr> fut = in->second;
-    ++counters_.coalesced;
-    cache_coalesced_metric().add(1);
-    if (outcome) *outcome = Outcome::kCoalesced;
-    lock.unlock();
-    return fut.get();
-  }
-  ++counters_.misses;
-  cache_miss_metric().add(1);
-  if (outcome) *outcome = Outcome::kMiss;
+  // Three separate lock scopes instead of one relockable guard: the
+  // capability analysis (and a reader) can follow each scope branch by
+  // branch, and the compute() call is visibly outside every one of them.
   std::promise<EntryPtr> promise;
-  inflight_.emplace(key, promise.get_future().share());
-  lock.unlock();
+  std::shared_future<EntryPtr> inflight_fut;
+  bool join_inflight = false;
+  {
+    support::MutexLock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++counters_.hits;
+      cache_hit_metric().add(1);
+      if (outcome) *outcome = Outcome::kHit;
+      return it->second.value;
+    }
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Coalesce: someone is already computing this key. Wait outside the
+      // lock; the future's value is the shared sweep (or its exception).
+      inflight_fut = in->second;
+      join_inflight = true;
+      ++counters_.coalesced;
+      cache_coalesced_metric().add(1);
+      if (outcome) *outcome = Outcome::kCoalesced;
+    } else {
+      ++counters_.misses;
+      cache_miss_metric().add(1);
+      if (outcome) *outcome = Outcome::kMiss;
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (join_inflight) return inflight_fut.get();
 
   EntryPtr value;
   try {
     value = std::make_shared<const RetainedSweep>(compute());
   } catch (...) {
     promise.set_exception(std::current_exception());
-    lock.lock();
-    inflight_.erase(key);
+    {
+      support::MutexLock lock(mutex_);
+      inflight_.erase(key);
+    }
     throw;
   }
   promise.set_value(value);
 
-  lock.lock();
+  support::MutexLock lock(mutex_);
   inflight_.erase(key);
   const std::size_t bytes = value->byte_size();
   lru_.push_front(key);
@@ -239,7 +248,7 @@ void SweepCache::evict_locked() {
 }
 
 SweepCacheStats SweepCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   SweepCacheStats out = counters_;
   out.entries = entries_.size();
   out.bytes = bytes_;
@@ -248,18 +257,18 @@ SweepCacheStats SweepCache::stats() const {
 }
 
 std::size_t SweepCache::byte_budget() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   return byte_budget_;
 }
 
 void SweepCache::set_byte_budget(std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   byte_budget_ = bytes;
   evict_locked();
 }
 
 void SweepCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
@@ -414,7 +423,7 @@ MomentResult SolveSession::query_impl(
     rec.finalize_ns = finalize_ns;
     rec.cache_outcome = outcome;
     rec.sweep_key = weights_key;
-    std::lock_guard<std::mutex> lock(records_mutex_);
+    support::MutexLock lock(records_mutex_);
     ++queries_;
     records_.push_back(std::move(rec));
     while (records_.size() > kMaxQueryRecords) {
@@ -428,7 +437,7 @@ MomentResult SolveSession::query_impl(
 SessionReport SolveSession::report() const {
   SessionReport r;
   {
-    std::lock_guard<std::mutex> lock(records_mutex_);
+    support::MutexLock lock(records_mutex_);
     r.queries = queries_;
     r.dropped_records = dropped_records_;
     r.records.assign(records_.begin(), records_.end());

@@ -45,12 +45,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/randomization.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace somrm::core {
 
@@ -98,14 +98,14 @@ class SweepCache {
   /// receives how THIS lookup was served.
   EntryPtr get_or_compute(const std::string& key,
                           const std::function<RetainedSweep()>& compute,
-                          Outcome* outcome = nullptr);
+                          Outcome* outcome = nullptr) SOMRM_EXCLUDES(mutex_);
 
-  SweepCacheStats stats() const;
-  std::size_t byte_budget() const;
+  SweepCacheStats stats() const SOMRM_EXCLUDES(mutex_);
+  std::size_t byte_budget() const SOMRM_EXCLUDES(mutex_);
   /// Adjusts the budget, evicting LRU entries if the cache now overflows.
-  void set_byte_budget(std::size_t bytes);
+  void set_byte_budget(std::size_t bytes) SOMRM_EXCLUDES(mutex_);
   /// Drops every cached entry (does not reset the cumulative counters).
-  void clear();
+  void clear() SOMRM_EXCLUDES(mutex_);
 
   /// Process-wide default cache, shared by sessions that are not given one.
   static const std::shared_ptr<SweepCache>& global();
@@ -119,15 +119,18 @@ class SweepCache {
 
   /// Evicts LRU entries until the footprint fits the budget, keeping at
   /// least the most recently used entry. Caller holds mutex_.
-  void evict_locked();
+  void evict_locked() SOMRM_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t byte_budget_;
-  std::size_t bytes_ = 0;
-  std::list<std::string> lru_;  // front = most recently used
-  std::map<std::string, Slot> entries_;
-  std::map<std::string, std::shared_future<EntryPtr>> inflight_;
-  SweepCacheStats counters_;  // hits/misses/evictions/coalesced only
+  mutable support::Mutex mutex_;
+  std::size_t byte_budget_ SOMRM_GUARDED_BY(mutex_);
+  std::size_t bytes_ SOMRM_GUARDED_BY(mutex_) = 0;
+  // front = most recently used
+  std::list<std::string> lru_ SOMRM_GUARDED_BY(mutex_);
+  std::map<std::string, Slot> entries_ SOMRM_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_future<EntryPtr>> inflight_
+      SOMRM_GUARDED_BY(mutex_);
+  // hits/misses/evictions/coalesced only
+  SweepCacheStats counters_ SOMRM_GUARDED_BY(mutex_);
 };
 
 /// Per-query span recorded by SolveSession::query/query_batch — the "which
@@ -254,10 +257,10 @@ class SolveSession {
 
   // Per-query span ring (query() is const; the history is observability
   // state, not solver state).
-  mutable std::mutex records_mutex_;
-  mutable std::deque<QueryRecord> records_;
-  mutable std::uint64_t queries_ = 0;
-  mutable std::size_t dropped_records_ = 0;
+  mutable support::Mutex records_mutex_;
+  mutable std::deque<QueryRecord> records_ SOMRM_GUARDED_BY(records_mutex_);
+  mutable std::uint64_t queries_ SOMRM_GUARDED_BY(records_mutex_) = 0;
+  mutable std::size_t dropped_records_ SOMRM_GUARDED_BY(records_mutex_) = 0;
 };
 
 }  // namespace somrm::core

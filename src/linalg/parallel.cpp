@@ -1,14 +1,13 @@
 #include "linalg/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "obs/telemetry.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace somrm::linalg {
 
@@ -43,7 +42,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       stop_ = true;
     }
     wake_cv_.notify_all();
@@ -53,10 +52,11 @@ class ThreadPool {
   std::size_t worker_count() const { return threads_.size(); }
 
   void run(const std::vector<IndexRange>& ranges,
-           const std::function<void(std::size_t, std::size_t)>& body) {
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+           const std::function<void(std::size_t, std::size_t)>& body)
+      SOMRM_EXCLUDES(mutex_, submit_mutex_) {
+    support::MutexLock submit_lock(submit_mutex_);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       ranges_ = &ranges;
       body_ = &body;
       next_range_ = 0;
@@ -66,8 +66,8 @@ class ThreadPool {
     }
     wake_cv_.notify_all();
     execute_ranges();  // the submitting thread is a worker too
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    support::MutexLock lock(mutex_);
+    while (pending_ != 0) done_cv_.wait(mutex_);
     ranges_ = nullptr;
     body_ = nullptr;
     if (error_) {
@@ -78,34 +78,40 @@ class ThreadPool {
   }
 
  private:
-  void execute_ranges() {
+  void execute_ranges() SOMRM_EXCLUDES(mutex_) {
     for (;;) {
       IndexRange range;
+      const std::function<void(std::size_t, std::size_t)>* body = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (ranges_ == nullptr || next_range_ >= ranges_->size()) return;
         range = (*ranges_)[next_range_++];
+        // Snapshot the body pointer while the lock pins the published job:
+        // the call below runs unlocked, and reading the guarded member
+        // there would race run()'s clearing store (annotation-revealed;
+        // benign only through pending_'s ordering, so make it explicit).
+        body = body_;
       }
       try {
-        (*body_)(range.begin, range.end);
+        (*body)(range.begin, range.end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        support::MutexLock lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      support::MutexLock lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_all();
     }
   }
 
-  void worker_loop() {
+  void worker_loop() SOMRM_EXCLUDES(mutex_) {
     std::uint64_t seen_generation = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_cv_.wait(lock, [&] {
-          return stop_ || (generation_ != seen_generation &&
-                           ranges_ != nullptr && next_range_ < ranges_->size());
-        });
+        support::MutexLock lock(mutex_);
+        while (!stop_ &&
+               !(generation_ != seen_generation && ranges_ != nullptr &&
+                 next_range_ < ranges_->size()))
+          wake_cv_.wait(mutex_);
         if (stop_) return;
         seen_generation = generation_;
       }
@@ -114,17 +120,18 @@ class ThreadPool {
   }
 
   std::vector<std::thread> threads_;
-  std::mutex submit_mutex_;  // serializes concurrent run() calls
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  const std::vector<IndexRange>* ranges_ = nullptr;
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
-  std::size_t next_range_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  std::exception_ptr error_;
-  bool stop_ = false;
+  support::Mutex submit_mutex_;  // serializes concurrent run() calls
+  support::Mutex mutex_;
+  support::CondVar wake_cv_;
+  support::CondVar done_cv_;
+  const std::vector<IndexRange>* ranges_ SOMRM_GUARDED_BY(mutex_) = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body_
+      SOMRM_GUARDED_BY(mutex_) = nullptr;
+  std::size_t next_range_ SOMRM_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ SOMRM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ SOMRM_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ SOMRM_GUARDED_BY(mutex_);
+  bool stop_ SOMRM_GUARDED_BY(mutex_) = false;
 };
 
 /// Ceiling on any requested thread count. Thread counts come from the
@@ -151,8 +158,8 @@ std::size_t env_or_hardware_threads() {
 /// the workers — only when the last in-flight job lets go. Resetting a
 /// unique_ptr here instead would free the pool out from under a running
 /// job (use-after-free; see ParallelForRaceTest).
-std::mutex g_pool_mutex;
-std::shared_ptr<ThreadPool> g_pool;
+support::Mutex g_pool_mutex;
+std::shared_ptr<ThreadPool> g_pool SOMRM_GUARDED_BY(g_pool_mutex);
 std::atomic<std::size_t> g_thread_override{0};  // 0 = use the default
 
 thread_local bool t_inside_parallel_for = false;
@@ -190,7 +197,7 @@ std::size_t num_threads() {
 void set_num_threads(std::size_t count) {
   std::shared_ptr<ThreadPool> retired;
   {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    support::MutexLock lock(g_pool_mutex);
     g_thread_override.store(std::min(count, kMaxThreads));
     retired = std::move(g_pool);  // lazily rebuilt at the new size on next use
   }
@@ -233,7 +240,7 @@ void parallel_for(std::size_t total,
     // The local shared_ptr pins the pool for the duration of run(): a
     // concurrent set_num_threads (or a concurrent grow below) may swap the
     // global reference, but this job's pool stays alive until it returns.
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    support::MutexLock lock(g_pool_mutex);
     if (!g_pool || g_pool->worker_count() + 1 < parts)
       g_pool = std::make_shared<ThreadPool>(parts - 1);
     pool = g_pool;

@@ -4,8 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <sstream>
+
+#include "support/thread_annotations.hpp"
 
 namespace somrm::obs {
 
@@ -221,9 +222,9 @@ std::string render_json(const MetricsSnapshot& snap) {
 namespace {
 
 struct MetricsState {
-  std::mutex mutex;
-  std::string path;  // "" = disabled
-  bool atexit_registered = false;
+  support::Mutex mutex;
+  std::string path SOMRM_GUARDED_BY(mutex);  // "" = disabled
+  bool atexit_registered SOMRM_GUARDED_BY(mutex) = false;
 };
 
 MetricsState& metrics_state() {
@@ -231,6 +232,7 @@ MetricsState& metrics_state() {
     auto* st = new MetricsState();
     if (const char* env = std::getenv("SOMRM_METRICS")) {
       if (*env != '\0') {
+        support::MutexLock lock(st->mutex);
         st->path = env;
         st->atexit_registered = true;
         std::atexit([] { write_metrics(); });
@@ -241,7 +243,7 @@ MetricsState& metrics_state() {
   return *s;
 }
 
-void register_metrics_atexit_locked(MetricsState& s) {
+void register_metrics_atexit_locked(MetricsState& s) SOMRM_REQUIRES(s.mutex) {
   if (!s.atexit_registered) {
     s.atexit_registered = true;
     std::atexit([] { write_metrics(); });
@@ -271,14 +273,14 @@ MetricsSnapshot metrics_snapshot() {
 void set_metrics_path(const std::string& path) {
   write_metrics();  // flush cumulative state to the previous path, if any
   MetricsState& s = metrics_state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  support::MutexLock lock(s.mutex);
   s.path = path;
   if (!path.empty()) register_metrics_atexit_locked(s);
 }
 
 std::string metrics_path() {
   MetricsState& s = metrics_state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  support::MutexLock lock(s.mutex);
   return s.path;
 }
 
@@ -286,7 +288,7 @@ void write_metrics() {
   std::string path;
   {
     MetricsState& s = metrics_state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     path = s.path;
   }
   if (path.empty()) return;

@@ -6,9 +6,10 @@
 #include <bit>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace somrm::obs {
 
@@ -91,13 +92,15 @@ struct HistArena {
 using HistSlots = std::array<HistArena, kMaxHistograms>;
 
 struct HistRegistry {
-  std::mutex mutex;
-  std::vector<std::string> names;  // index == histogram id
-  std::vector<HistSlots*> live;    // registered thread arenas
+  support::Mutex mutex;
+  // index == histogram id
+  std::vector<std::string> names SOMRM_GUARDED_BY(mutex);
+  // registered thread arenas (arena cells are per-thread atomics, unguarded)
+  std::vector<HistSlots*> live SOMRM_GUARDED_BY(mutex);
   // Retired totals of threads that already exited.
   std::array<std::array<std::int64_t, kHistogramBuckets>, kMaxHistograms>
-      retired_buckets{};
-  std::array<std::int64_t, kMaxHistograms> retired_sum{};
+      retired_buckets SOMRM_GUARDED_BY(mutex){};
+  std::array<std::int64_t, kMaxHistograms> retired_sum SOMRM_GUARDED_BY(mutex){};
 };
 
 HistRegistry& hist_registry() {
@@ -109,12 +112,12 @@ struct ThreadHistSlots {
   HistSlots slots{};
   ThreadHistSlots() {
     HistRegistry& r = hist_registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    support::MutexLock lock(r.mutex);
     r.live.push_back(&slots);
   }
   ~ThreadHistSlots() {
     HistRegistry& r = hist_registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    support::MutexLock lock(r.mutex);
     for (std::size_t h = 0; h < kMaxHistograms; ++h) {
       for (std::size_t b = 0; b < kHistogramBuckets; ++b)
         r.retired_buckets[h][b] +=
@@ -134,7 +137,7 @@ HistSlots& thread_hist_slots() {
 void merge_one(std::size_t id, std::vector<std::int64_t>& buckets,
                std::int64_t& sum) {
   HistRegistry& r = hist_registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   buckets.assign(r.retired_buckets[id].begin(), r.retired_buckets[id].end());
   sum = r.retired_sum[id];
   for (HistSlots* s : r.live) {
@@ -182,7 +185,7 @@ std::int64_t Histogram::quantile(double q) const {
 
 Histogram& histogram(std::string_view name) {
   HistRegistry& r = hist_registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   // Handles are stable: leaked pointer vector, same pattern as obs::metric.
   static std::vector<Histogram*>* handles = new std::vector<Histogram*>();
   for (std::size_t i = 0; i < r.names.size(); ++i)
@@ -198,7 +201,7 @@ std::vector<HistogramSample> histogram_snapshot() {
   HistRegistry& r = hist_registry();
   std::vector<std::string> names;
   {
-    std::lock_guard<std::mutex> lock(r.mutex);
+    support::MutexLock lock(r.mutex);
     names = r.names;
   }
   std::vector<HistogramSample> out(names.size());
@@ -216,7 +219,7 @@ std::vector<HistogramSample> histogram_snapshot() {
 
 void reset_histograms() {
   HistRegistry& r = hist_registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   for (auto& per_hist : r.retired_buckets) per_hist.fill(0);
   r.retired_sum.fill(0);
   for (HistSlots* s : r.live) {

@@ -5,9 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
+
+#include "support/thread_annotations.hpp"
 
 namespace somrm::obs {
 
@@ -45,11 +46,14 @@ using Slots = std::array<Cell, kMaxMetrics>;
 /// Registry: metric names, live per-thread arenas, and the retained totals
 /// of threads that already exited (pool rebuilds on set_num_threads).
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::string> names;        // index == metric id
-  std::vector<Slots*> live;              // registered thread arenas
-  std::array<std::int64_t, kMaxMetrics> retired_count{};
-  std::array<std::int64_t, kMaxMetrics> retired_ns{};
+  support::Mutex mutex;
+  // index == metric id
+  std::vector<std::string> names SOMRM_GUARDED_BY(mutex);
+  // registered thread arenas (the arenas' cells are per-thread atomics and
+  // stay unguarded; the pointer list itself is mutex-protected)
+  std::vector<Slots*> live SOMRM_GUARDED_BY(mutex);
+  std::array<std::int64_t, kMaxMetrics> retired_count SOMRM_GUARDED_BY(mutex){};
+  std::array<std::int64_t, kMaxMetrics> retired_ns SOMRM_GUARDED_BY(mutex){};
 };
 
 Registry& registry() {
@@ -61,12 +65,12 @@ struct ThreadSlots {
   Slots slots{};
   ThreadSlots() {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    support::MutexLock lock(r.mutex);
     r.live.push_back(&slots);
   }
   ~ThreadSlots() {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    support::MutexLock lock(r.mutex);
     for (std::size_t i = 0; i < kMaxMetrics; ++i) {
       r.retired_count[i] += slots[i].count.load(std::memory_order_relaxed);
       r.retired_ns[i] += slots[i].ns.load(std::memory_order_relaxed);
@@ -90,7 +94,7 @@ void Metric::add(std::int64_t count, std::int64_t ns) {
 
 std::int64_t Metric::count() const {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   std::int64_t total = r.retired_count[id_];
   for (Slots* s : r.live)
     total += (*s)[id_].count.load(std::memory_order_relaxed);
@@ -99,7 +103,7 @@ std::int64_t Metric::count() const {
 
 std::int64_t Metric::total_ns() const {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   std::int64_t total = r.retired_ns[id_];
   for (Slots* s : r.live)
     total += (*s)[id_].ns.load(std::memory_order_relaxed);
@@ -108,7 +112,7 @@ std::int64_t Metric::total_ns() const {
 
 Metric& metric(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   // Handles are stable: store them in a leaked deque-like vector of
   // pointers so references survive registry growth.
   static std::vector<Metric*>* handles = new std::vector<Metric*>();
@@ -128,8 +132,11 @@ constexpr std::size_t kMaxGauges = 32;
 /// Gauge registry: one process-wide atomic cell per gauge (last-writer
 /// wins — gauges model current levels, not accumulations).
 struct GaugeRegistry {
-  std::mutex mutex;
-  std::vector<std::string> names;  // index == gauge id
+  support::Mutex mutex;
+  // index == gauge id
+  std::vector<std::string> names SOMRM_GUARDED_BY(mutex);
+  // last-writer-wins atomics; deliberately NOT guarded (set()/value() are
+  // lock-free by design)
   std::array<std::atomic<std::int64_t>, kMaxGauges> cells{};
 };
 
@@ -150,7 +157,7 @@ std::int64_t Gauge::value() const {
 
 Gauge& gauge(std::string_view name) {
   GaugeRegistry& r = gauge_registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   static std::vector<Gauge*>* handles = new std::vector<Gauge*>();
   for (std::size_t i = 0; i < r.names.size(); ++i)
     if (r.names[i] == name) return *(*handles)[i];
@@ -163,7 +170,7 @@ Gauge& gauge(std::string_view name) {
 
 std::vector<GaugeSample> gauge_snapshot() {
   GaugeRegistry& r = gauge_registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   std::vector<GaugeSample> out(r.names.size());
   for (std::size_t i = 0; i < r.names.size(); ++i) {
     out[i].name = r.names[i];
@@ -186,7 +193,7 @@ std::int64_t now_ns() {
 
 std::vector<MetricSample> snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   std::vector<MetricSample> out(r.names.size());
   for (std::size_t i = 0; i < r.names.size(); ++i) {
     out[i].name = r.names[i];
@@ -206,7 +213,7 @@ std::vector<MetricSample> snapshot() {
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  support::MutexLock lock(r.mutex);
   r.retired_count.fill(0);
   r.retired_ns.fill(0);
   for (Slots* s : r.live) {

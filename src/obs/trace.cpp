@@ -6,8 +6,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace somrm::obs {
 
@@ -26,17 +27,24 @@ struct Event {
   double value1;
 };
 
+struct ThreadBuffer;
+
 /// Global trace state. Leaked so atexit flushing and late thread exits can
 /// still reach it during shutdown.
 struct TraceState {
-  std::mutex mutex;
-  std::string path;                       // "" = disabled
-  std::atomic<bool> enabled{false};
-  std::vector<std::vector<Event>*> live;  // registered thread buffers
-  std::vector<Event> orphaned;            // buffers of exited threads
-  std::vector<Event> flushed;  // drained by earlier write_trace() calls
-  std::uint32_t next_tid = 0;
-  bool atexit_registered = false;
+  support::Mutex mutex;
+  std::string path SOMRM_GUARDED_BY(mutex);  // "" = disabled
+  std::atomic<bool> enabled{false};          // lock-free fast-path flag
+  // registered thread buffers; each buffer's event list has its OWN mutex
+  // (see ThreadBuffer) so recording never contends on — or races with —
+  // this registration lock
+  std::vector<ThreadBuffer*> live SOMRM_GUARDED_BY(mutex);
+  // buffers of exited threads
+  std::vector<Event> orphaned SOMRM_GUARDED_BY(mutex);
+  // drained by earlier write_trace() calls
+  std::vector<Event> flushed SOMRM_GUARDED_BY(mutex);
+  std::uint32_t next_tid SOMRM_GUARDED_BY(mutex) = 0;
+  bool atexit_registered SOMRM_GUARDED_BY(mutex) = false;
 };
 
 TraceState& state() {
@@ -44,6 +52,7 @@ TraceState& state() {
     auto* st = new TraceState();
     if (const char* env = std::getenv("SOMRM_TRACE")) {
       if (*env != '\0') {
+        support::MutexLock lock(st->mutex);
         st->path = env;
         st->enabled.store(true, std::memory_order_relaxed);
         st->atexit_registered = true;
@@ -55,21 +64,32 @@ TraceState& state() {
   return *s;
 }
 
+/// One thread's event buffer. The events vector is guarded by the buffer's
+/// own mutex: the owning thread appends under it, and write_trace drains
+/// under it, so recording concurrent with a flush is safe (it used to be a
+/// documented caller's-responsibility race — annotating this file is what
+/// surfaced it). Lock order is state().mutex before any buffer mutex;
+/// push_event takes only its own buffer mutex, so no cycle exists.
 struct ThreadBuffer {
-  std::vector<Event> events;
-  std::uint32_t tid = 0;
+  support::Mutex mutex;
+  std::vector<Event> events SOMRM_GUARDED_BY(mutex);
+  std::uint32_t tid = 0;  // immutable after construction
   ThreadBuffer() {
     TraceState& s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     tid = s.next_tid++;
-    events.reserve(1024);
-    s.live.push_back(&events);
+    {
+      support::MutexLock buf_lock(mutex);
+      events.reserve(1024);
+    }
+    s.live.push_back(this);
   }
   ~ThreadBuffer() {
     TraceState& s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
+    support::MutexLock buf_lock(mutex);
     s.orphaned.insert(s.orphaned.end(), events.begin(), events.end());
-    s.live.erase(std::find(s.live.begin(), s.live.end(), &events));
+    s.live.erase(std::find(s.live.begin(), s.live.end(), this));
   }
 };
 
@@ -81,10 +101,11 @@ ThreadBuffer& thread_buffer() {
 void push_event(Event e) {
   ThreadBuffer& buf = thread_buffer();
   e.tid = buf.tid;
+  support::MutexLock lock(buf.mutex);
   buf.events.push_back(e);
 }
 
-void register_atexit_locked(TraceState& s) {
+void register_atexit_locked(TraceState& s) SOMRM_REQUIRES(s.mutex) {
   if (!s.atexit_registered) {
     s.atexit_registered = true;
     std::atexit([] { write_trace(); });
@@ -112,7 +133,7 @@ bool trace_enabled() {
 void set_trace_path(const std::string& path) {
   write_trace();  // flush buffered events to the previous path, if any
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  support::MutexLock lock(s.mutex);
   s.path = path;
   s.flushed.clear();  // a new path starts a fresh trace
   s.enabled.store(!path.empty(), std::memory_order_relaxed);
@@ -121,7 +142,7 @@ void set_trace_path(const std::string& path) {
 
 std::string trace_path() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  support::MutexLock lock(s.mutex);
   return s.path;
 }
 
@@ -151,24 +172,26 @@ void write_trace() {
   std::vector<Event> events;
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    support::MutexLock lock(s.mutex);
     path = s.path;
     if (path.empty()) return;
     // Drain every buffer into the cumulative flushed list, then write the
     // whole list: repeated flushes (explicit + the atexit one) each rewrite
-    // the complete trace instead of the most recent increment only.
+    // the complete trace instead of the most recent increment only. Each
+    // live buffer is drained under its own mutex (lock order: s.mutex
+    // first, buffer mutex second), so threads recording events concurrently
+    // with this flush are safe — their events land in either this trace
+    // write or the next one, never torn.
     s.flushed.insert(s.flushed.end(), s.orphaned.begin(), s.orphaned.end());
     s.orphaned.clear();
-    for (std::vector<Event>* buf : s.live) {
-      s.flushed.insert(s.flushed.end(), buf->begin(), buf->end());
-      buf->clear();
+    for (ThreadBuffer* buf : s.live) {
+      support::MutexLock buf_lock(buf->mutex);
+      s.flushed.insert(s.flushed.end(), buf->events.begin(),
+                       buf->events.end());
+      buf->events.clear();
     }
     events = s.flushed;
   }
-  // NOTE: concurrent event recording during a flush is the caller's race to
-  // avoid (flush between solves, or at exit); the buffers themselves are
-  // only touched under the registration mutex here, and recording threads
-  // are inside the solver's parallel regions, which do not overlap flushes.
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) {
                      return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns

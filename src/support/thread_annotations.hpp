@@ -1,0 +1,149 @@
+// somrm/support/thread_annotations.hpp
+//
+// Compiler-enforced thread-safety: clang capability-analysis attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) behind SOMRM_
+// macros that expand to nothing on every other compiler, plus the annotated
+// Mutex / MutexLock / CondVar wrappers the analysis needs to see lock
+// acquisition at all.
+//
+// Why wrappers instead of std::mutex: with libstdc++, std::mutex and
+// std::lock_guard carry no capability attributes, so clang's analysis
+// cannot tell that `std::lock_guard<std::mutex> lock(m_)` acquires `m_` —
+// every SOMRM_GUARDED_BY member would warn on every access. The wrappers
+// are zero-cost shims over the std primitives whose lock/unlock functions
+// ARE annotated, which is the whole trick: the analysis is purely
+// syntactic and flow-based, it just needs the acquire/release points named.
+//
+// House rules for mutex-protected state (see CONTRIBUTING "Annotating
+// shared state"):
+//  * Every field a mutex protects is declared SOMRM_GUARDED_BY(that mutex).
+//  * Private helpers that expect the lock held are SOMRM_REQUIRES(mutex)
+//    (the `_locked` suffix convention stays — the annotation enforces it).
+//  * Public entry points that take the lock themselves are
+//    SOMRM_EXCLUDES(mutex) so re-entry deadlocks are compile errors.
+//  * Data owned by one thread (per-thread arenas, relaxed atomics) is NOT
+//    guarded — the analysis models lock discipline, not ownership; those
+//    invariants stay documented in prose and enforced by TSan.
+//
+// The clang CI leg builds with -Werror=thread-safety, so a guarded field
+// read outside its mutex is a build break, not a review comment.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SOMRM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SOMRM_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a capability (a lockable resource) named @p x in
+/// diagnostics, e.g. class SOMRM_CAPABILITY("mutex") Mutex.
+#define SOMRM_CAPABILITY(x) SOMRM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock below).
+#define SOMRM_SCOPED_CAPABILITY SOMRM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding @p x.
+#define SOMRM_GUARDED_BY(x) SOMRM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-field annotation: dereferences require holding @p x (the pointer
+/// itself is unguarded).
+#define SOMRM_PT_GUARDED_BY(x) SOMRM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotation: caller must hold the named capabilities.
+#define SOMRM_REQUIRES(...) \
+  SOMRM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: caller must hold the named capabilities shared.
+#define SOMRM_REQUIRES_SHARED(...) \
+  SOMRM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the named capabilities (exclusive).
+#define SOMRM_ACQUIRE(...) \
+  SOMRM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the named capabilities.
+#define SOMRM_RELEASE(...) \
+  SOMRM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capabilities iff the return value
+/// equals @p ret (first argument).
+#define SOMRM_TRY_ACQUIRE(...) \
+  SOMRM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the named capabilities —
+/// makes self-deadlock (re-entrant locking) a compile error.
+#define SOMRM_EXCLUDES(...) SOMRM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability.
+#define SOMRM_RETURN_CAPABILITY(x) SOMRM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining the invariant the analysis cannot express.
+#define SOMRM_NO_THREAD_SAFETY_ANALYSIS \
+  SOMRM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace somrm::support {
+
+/// std::mutex with its acquire/release points visible to the capability
+/// analysis. Same size and cost as std::mutex; satisfies BasicLockable, so
+/// CondVar (condition_variable_any) can wait on it directly.
+class SOMRM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SOMRM_ACQUIRE() { mu_.lock(); }
+  void unlock() SOMRM_RELEASE() { mu_.unlock(); }
+  bool try_lock() SOMRM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex (the std::lock_guard shape, annotated). Not
+/// movable, not relockable: one scope, one acquisition — code that needs
+/// to drop and retake a lock should use two scopes, which the analysis
+/// (and a reader) can follow branch by branch.
+class SOMRM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SOMRM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SOMRM_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on an annotated Mutex directly
+/// (condition_variable_any unlocks/relocks whatever BasicLockable it is
+/// given). Waits are expressed as explicit `while (!cond) cv.wait(mu);`
+/// loops in code holding a MutexLock on @p mu — predicate lambdas would be
+/// analyzed as unannotated functions and warn on every guarded read.
+/// During the wait the mutex is momentarily released; the analysis does
+/// not model that (it still considers the caller to hold @p mu), which is
+/// exactly the contract a condition wait re-establishes before returning.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases @p mu, blocks until notified, reacquires @p mu.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void wait(Mutex& mu) SOMRM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace somrm::support

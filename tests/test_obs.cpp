@@ -11,9 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/impulse_randomization.hpp"
@@ -433,6 +435,57 @@ TEST(ObsTraceTest, CounterAndInstantEventsAreWritten) {
   EXPECT_NE(content.find("\"ph\": \"C\""), std::string::npos);
   EXPECT_NE(content.find("\"ph\": \"i\""), std::string::npos);
   EXPECT_NE(content.find("\"ph\": \"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, ConcurrentRecordingDuringFlushLosesNoEvents) {
+  // Regression test: thread event buffers used to be drained by
+  // write_trace() without synchronizing against the owning thread's
+  // push_back — a documented "caller's race". Each buffer now has its own
+  // mutex, so recording concurrent with a flush must neither tear the
+  // vector nor drop events: every instant recorded while enabled appears
+  // in the final trace exactly once.
+  if (!obs::kEnabled) return;
+  const std::string path = temp_trace_path("hammer");
+  obs::set_trace_path(path);
+  ASSERT_TRUE(obs::trace_enabled());
+
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 2000;
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    recorders.emplace_back([&] {
+      while (!start.load(std::memory_order_relaxed)) {
+      }
+      for (int i = 0; i < kEventsPerThread; ++i)
+        obs::trace_instant("test.hammer", "test", "i",
+                           static_cast<double>(i));
+    });
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_relaxed)) obs::write_trace();
+  });
+  start.store(true, std::memory_order_relaxed);
+  for (std::thread& t : recorders) t.join();
+  done.store(true, std::memory_order_relaxed);
+  flusher.join();
+  obs::write_trace();  // final rewrite carries the cumulative event list
+  obs::set_trace_path("");
+
+  const std::string content = read_file(path);
+  ASSERT_FALSE(content.empty()) << "trace file not written: " << path;
+  EXPECT_TRUE(JsonValidator(content).parse())
+      << "trace is not valid JSON:\n"
+      << content.substr(0, 400);
+  std::size_t hammer_events = 0;
+  for (std::size_t at = content.find("\"test.hammer\"");
+       at != std::string::npos;
+       at = content.find("\"test.hammer\"", at + 1))
+    ++hammer_events;
+  EXPECT_EQ(hammer_events,
+            static_cast<std::size_t>(kThreads) * kEventsPerThread);
   std::remove(path.c_str());
 }
 

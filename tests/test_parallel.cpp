@@ -261,6 +261,41 @@ TEST(ParallelForRaceTest, SetNumThreadsConcurrentWithJobsIsSafe) {
   EXPECT_EQ(count.load(), 2048u);
 }
 
+TEST(ParallelForRaceTest, ConcurrentSubmittersGetTheirOwnBodies) {
+  // Regression test: a pool worker finishing the tail of one job used to
+  // re-read the shared body pointer unlocked, racing the next submitter's
+  // publication of a different body (annotation-revealed; the pointer is
+  // now snapshotted under the job mutex). Several threads submit distinct
+  // bodies back to back; each must observe exactly its own body's effect.
+  set_num_threads(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kIters = 200;
+  constexpr std::size_t kTotal = 4096;
+  std::atomic<int> wrong_sums{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      // Submitter t's body adds (t + 1) per index; the job total must be
+      // exactly (t + 1) * kTotal every iteration.
+      for (int iter = 0; iter < kIters; ++iter) {
+        std::atomic<std::uint64_t> sum{0};
+        parallel_for(
+            kTotal,
+            [&sum, t](std::size_t begin, std::size_t end) {
+              sum.fetch_add(static_cast<std::uint64_t>(t + 1) * (end - begin),
+                            std::memory_order_relaxed);
+            },
+            /*grain=*/64);
+        if (sum.load() != static_cast<std::uint64_t>(t + 1) * kTotal)
+          wrong_sums.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& t : submitters) t.join();
+  set_num_threads(0);
+  EXPECT_EQ(wrong_sums.load(), 0);
+}
+
 TEST(NumThreadsTest, OverrideRoundTripsAndZeroRestoresDefault) {
   const std::size_t def = default_num_threads();
   EXPECT_GE(def, 1u);

@@ -28,6 +28,16 @@ time instead of waiting for a flaky numerical diff:
                            captured accumulator is both a data race and
                            an order-dependent FP sum.
 
+Relationship to tools/ast_lint.py: all four rules are re-grounded on the
+clang AST there (canonical types see through aliases, diagnostics follow
+macro expansions, capture analysis resolves the declaration a `+=` LHS
+references), plus bit-identity rules regex cannot express (no-std-fma,
+no-fp-contract, no-fast-math). This regex version is deliberately kept as
+the zero-dependency fallback that runs in environments without libclang;
+`ast_lint.py --cross-validate` asserts the two agree — every finding here
+must be reproduced by an AST finding at the same site or covered by one
+of its refinement records (see DESIGN.md section 8.4).
+
 False positives can be waived per line with a trailing
 `// lint:allow(<rule-name>)` comment, or for a whole file with a
 `// lint:allow-file(<rule-name>)` comment on its own line (conventionally
