@@ -180,13 +180,13 @@ void print_record(std::FILE* f, const BenchRecord& r, bool trailing_comma) {
       "\"cache_hits\": %zu, \"cache_misses\": %zu, "
       "\"cache_evictions\": %zu, \"cache_coalesced\": %zu, "
       "\"latency_p50_ms\": %.9g, \"latency_p99_ms\": %.9g, "
-      "\"qps\": %.9g}%s\n",
+      "\"qps\": %.9g, \"clients\": %zu}%s\n",
       bench.c_str(), r.states, r.threads, r.wall_s, r.moments, sha.c_str(),
       kernel.c_str(), simd.c_str(), storage.c_str(), r.padding_ratio,
       r.observability ? "true" : "false",
       r.truncation_point, r.sweep_s, r.spmv_gflops, r.load_imbalance,
       r.cache_hits, r.cache_misses, r.cache_evictions, r.cache_coalesced,
-      r.latency_p50_ms, r.latency_p99_ms, r.qps,
+      r.latency_p50_ms, r.latency_p99_ms, r.qps, r.clients,
       trailing_comma ? "," : "");
 }
 

@@ -106,6 +106,10 @@ struct BenchRecord {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double qps = 0.0;  ///< queries / wall second for the measured phase
+  /// Client threads driving the serving engine (traffic_replay; 0 for
+  /// benches without a client side). Part of the bench_diff identity key:
+  /// latency/qps at 1 client and at 32 clients are different experiments.
+  std::size_t clients = 0;
 };
 
 /// Copies the solver-telemetry fields of @p stats into @p record (kernel,

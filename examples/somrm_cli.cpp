@@ -26,7 +26,17 @@
 // 0) and w asks for terminal-weighted moments. With --stats each batch
 // query gets a per-query attribution row (query ID, cache hit / miss /
 // coalesced, latency and finalize time from the SessionReport) plus the
-// exact latency quantiles, in addition to the telemetry summary.
+// exact latency quantiles, in addition to the telemetry summary. Parsing
+// is the strict io/query_io.hpp parser: CRLF endings are handled, and
+// duplicate keys, trailing garbage, or duplicate states reject with a
+// line-numbered error.
+//
+// --serve-replay <clients> replays the --batch queries through the
+// concurrent serve::ServeEngine from that many client threads, verifies
+// every result is bit-identical to a synchronous SolveSession::query_batch
+// on a fresh cache, and prints serving latency/throughput. --snapshot
+// <path> makes the engine load the sweep-cache snapshot at startup (warm
+// restart) and save it back after the replay.
 //
 // Run without arguments to see the format and a demo model.
 
@@ -39,7 +49,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "bounds/moment_bounds.hpp"
 #include "core/impulse_randomization.hpp"
@@ -47,8 +60,10 @@
 #include "core/randomization.hpp"
 #include "core/solve_session.hpp"
 #include "io/model_io.hpp"
+#include "io/query_io.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/engine.hpp"
 #include "sim/impulse_simulator.hpp"
 #include "sim/simulator.hpp"
 
@@ -73,6 +88,7 @@ void usage() {
       "usage: somrm_cli <model.somrm> [--time t]... [--moments n]\n"
       "                 [--epsilon e] [--bounds x] [--simulate reps]\n"
       "                 [--batch queries.txt] [--stats]\n"
+      "                 [--serve-replay clients] [--snapshot sweeps.bin]\n"
       "                 [--metrics-out metrics.prom|metrics.json]\n\n"
       "model file format example:\n%s\n"
       "batch query file: one `<time> [n=<order>] [pi=<i>:<p>,...] "
@@ -80,102 +96,44 @@ void usage() {
       kDemoModel);
 }
 
-/// One parsed --batch line: a time point plus the optional order / initial
-/// distribution / terminal-weight overrides.
-struct BatchLine {
-  double time = 0.0;
-  std::size_t order = somrm::core::SessionQuery::kSessionMax;
-  somrm::linalg::Vec initial;           // empty = model's initial
-  somrm::linalg::Vec terminal_weights;  // empty = plain moments
-};
-
-[[noreturn]] void batch_fail(std::size_t line, const std::string& what) {
-  std::fprintf(stderr, "batch query file, line %zu: %s\n", line,
-               what.c_str());
-  std::exit(2);
-}
-
-/// Parses "i:v,i:v,..." into a dense size-num_states vector (unlisted
-/// entries are zero).
-somrm::linalg::Vec parse_sparse_vector(const std::string& spec,
-                                       std::size_t num_states,
-                                       std::size_t line) {
-  somrm::linalg::Vec out(num_states, 0.0);
-  std::stringstream entries(spec);
-  std::string entry;
-  while (std::getline(entries, entry, ',')) {
-    std::size_t state = 0;
-    double value = 0.0;
-    char colon = 0;
-    std::stringstream es(entry);
-    if (!(es >> state >> colon >> value) || colon != ':')
-      batch_fail(line, "bad entry '" + entry + "' (want <state>:<value>)");
-    if (state >= num_states)
-      batch_fail(line, "state " + std::to_string(state) + " out of range (" +
-                           std::to_string(num_states) + " states)");
-    out[state] = value;
-  }
-  return out;
-}
-
-std::vector<BatchLine> parse_batch_file(const std::string& path,
-                                        std::size_t num_states) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open batch query file %s\n", path.c_str());
+/// Loads the --batch query file through the strict io parser, keeping the
+/// CLI's historical error UX: line-numbered message on stderr, exit 2.
+std::vector<somrm::io::BatchQuery> load_batch_queries(
+    const std::string& path, std::size_t num_states) {
+  std::vector<somrm::io::BatchQuery> lines;
+  try {
+    lines = somrm::io::load_query_file(path, num_states);
+  } catch (const somrm::io::ParseError& e) {
+    std::fprintf(stderr, "batch query file %s, %s\n", path.c_str(), e.what());
+    std::exit(2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     std::exit(2);
   }
-  std::vector<BatchLine> out;
-  std::string text;
-  for (std::size_t lineno = 1; std::getline(in, text); ++lineno) {
-    const std::size_t hash = text.find('#');
-    if (hash != std::string::npos) text.erase(hash);
-    std::stringstream line(text);
-    BatchLine q;
-    if (!(line >> q.time)) continue;  // blank/comment line
-    std::string token;
-    while (line >> token) {
-      if (token.rfind("n=", 0) == 0) {
-        q.order = static_cast<std::size_t>(
-            std::strtoull(token.c_str() + 2, nullptr, 10));
-      } else if (token.rfind("pi=", 0) == 0) {
-        q.initial = parse_sparse_vector(token.substr(3), num_states, lineno);
-      } else if (token.rfind("w=", 0) == 0) {
-        q.terminal_weights =
-            parse_sparse_vector(token.substr(2), num_states, lineno);
-      } else {
-        batch_fail(lineno, "unknown token '" + token + "'");
-      }
-    }
-    out.push_back(std::move(q));
-  }
-  if (out.empty()) {
+  if (lines.empty()) {
     std::fprintf(stderr, "batch query file %s has no queries\n",
                  path.c_str());
     std::exit(2);
   }
-  return out;
+  return lines;
 }
 
-/// Answers all --batch queries through one SolveSession (shared sweep per
-/// distinct terminal-weight vector) and prints one row per query.
-int run_batch(const somrm::core::SecondOrderMrm& model,
-              const std::vector<BatchLine>& lines,
-              const somrm::core::MomentSolverOptions& opts,
-              bool print_stats) {
-  using namespace somrm;
-
-  // The session's time grid: sorted unique times over all queries.
-  std::vector<double> grid;
+/// Builds the session grid (sorted unique times) and the SessionQuery list
+/// (time indices into that grid) from the parsed query lines.
+std::vector<somrm::core::SessionQuery> build_session_queries(
+    const std::vector<somrm::io::BatchQuery>& lines,
+    std::vector<double>* grid_out) {
+  std::vector<double>& grid = *grid_out;
+  grid.clear();
   grid.reserve(lines.size());
-  for (const BatchLine& q : lines) grid.push_back(q.time);
+  for (const somrm::io::BatchQuery& q : lines) grid.push_back(q.time);
   std::sort(grid.begin(), grid.end());
   grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
 
-  std::vector<core::SessionQuery> queries;
+  std::vector<somrm::core::SessionQuery> queries;
   queries.reserve(lines.size());
-  for (const BatchLine& q : lines) {
-    core::SessionQuery sq;
+  for (const somrm::io::BatchQuery& q : lines) {
+    somrm::core::SessionQuery sq;
     sq.time_index = static_cast<std::size_t>(
         std::lower_bound(grid.begin(), grid.end(), q.time) - grid.begin());
     sq.max_moment = q.order;
@@ -183,6 +141,20 @@ int run_batch(const somrm::core::SecondOrderMrm& model,
     sq.terminal_weights = q.terminal_weights;
     queries.push_back(std::move(sq));
   }
+  return queries;
+}
+
+/// Answers all --batch queries through one SolveSession (shared sweep per
+/// distinct terminal-weight vector) and prints one row per query.
+int run_batch(const somrm::core::SecondOrderMrm& model,
+              const std::vector<somrm::io::BatchQuery>& lines,
+              const somrm::core::MomentSolverOptions& opts,
+              bool print_stats) {
+  using namespace somrm;
+
+  std::vector<double> grid;
+  const std::vector<core::SessionQuery> queries =
+      build_session_queries(lines, &grid);
 
   const core::SolveSession session(model, grid, opts);
   const auto results = session.query_batch(queries);
@@ -240,6 +212,108 @@ int run_batch(const somrm::core::SecondOrderMrm& model,
   return 0;
 }
 
+/// Replays the --batch queries through the concurrent serving engine from
+/// @p clients client threads and verifies bit-identity against a
+/// synchronous query_batch on an independent session (fresh cache).
+int run_serve_replay(const somrm::core::SecondOrderMrm& model,
+                     const std::vector<somrm::io::BatchQuery>& lines,
+                     const somrm::core::MomentSolverOptions& opts,
+                     std::size_t clients, const std::string& snapshot_path,
+                     bool print_stats) {
+  using namespace somrm;
+
+  std::vector<double> grid;
+  const std::vector<core::SessionQuery> queries =
+      build_session_queries(lines, &grid);
+
+  auto session = std::make_shared<core::SolveSession>(
+      model, grid, opts, std::make_shared<core::SweepCache>());
+  serve::ServeEngineOptions eopts;
+  eopts.num_workers = std::max<std::size_t>(2, clients / 4);
+  eopts.snapshot_path = snapshot_path;
+  serve::ServeEngine engine(session, eopts);
+  const core::SweepCacheStats warm = session->cache_stats();
+  if (warm.entries > 0)
+    std::printf("serve replay: warm start, %zu sweep(s) reloaded from %s\n",
+                warm.entries, snapshot_path.c_str());
+
+  // Each client owns the query indices i % clients == c, so every results
+  // slot has exactly one writer. One outstanding query per client: the
+  // bounded queue cannot overflow here, but rejections are still retried
+  // to keep the loop honest.
+  std::vector<serve::ServeResult> results(queries.size());
+  const auto client = [&](std::size_t c) {
+    for (std::size_t i = c; i < queries.size(); i += clients) {
+      for (;;) {
+        try {
+          results[i] = engine.submit(queries[i]).get();
+          break;
+        } catch (const serve::RejectedError&) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client, c);
+  for (std::thread& t : threads) t.join();
+  engine.stop();
+
+  // Reference: synchronous query_batch on its own session + cache, so the
+  // comparison crosses engine/grouping/snapshot code entirely.
+  const core::SolveSession ref_session(model, grid, opts,
+                                       std::make_shared<core::SweepCache>());
+  const auto ref = ref_session.query_batch(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const core::MomentResult& a = results[i].result;
+    const core::MomentResult& b = ref[i];
+    if (a.weighted != b.weighted || a.truncation_point != b.truncation_point ||
+        std::memcmp(&a.error_bound, &b.error_bound, sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "serve replay: query %zu diverged from the synchronous "
+                   "query_batch result\n",
+                   i);
+      return 1;
+    }
+  }
+
+  std::vector<std::int64_t> lat;
+  lat.reserve(results.size());
+  for (const serve::ServeResult& r : results) lat.push_back(r.total_ns);
+  std::sort(lat.begin(), lat.end());
+  const auto quant = [&](double q) {
+    const std::size_t rank = std::min(
+        lat.size() - 1, static_cast<std::size_t>(q * static_cast<double>(
+                                                         lat.size())));
+    return static_cast<double>(lat[rank]) * 1e-6;
+  };
+  const serve::ServeEngineStats es = engine.stats();
+  std::printf(
+      "serve replay: %zu queries from %zu clients, %llu batches "
+      "(largest %zu), latency p50 %.4f ms / p99 %.4f ms\n",
+      queries.size(), clients, static_cast<unsigned long long>(es.batches),
+      es.largest_batch, quant(0.50), quant(0.99));
+  const core::SweepCacheStats cs = session->cache_stats();
+  std::printf("serve replay: %zu sweep(s) run, %zu cache hit(s), "
+              "bit-identical to synchronous query_batch\n",
+              cs.misses, cs.hits);
+  if (!snapshot_path.empty()) {
+    const std::size_t saved = engine.save_snapshot();
+    std::printf("serve replay: snapshot saved to %s (%zu sweep(s))\n",
+                snapshot_path.c_str(), saved);
+  }
+  if (print_stats) {
+    const core::SessionReport sr = session->report();
+    std::printf("latency (session-side): p50 %.4f ms, p99 %.4f ms over %llu "
+                "queries\n",
+                static_cast<double>(sr.latency_p50_ns) * 1e-6,
+                static_cast<double>(sr.latency_p99_ns) * 1e-6,
+                static_cast<unsigned long long>(sr.queries));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +331,8 @@ int main(int argc, char** argv) {
   std::size_t simulate = 0;
   bool print_stats = false;
   std::string batch_path;
+  std::size_t serve_clients = 0;
+  std::string snapshot_path;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto next = [&]() -> const char* {
@@ -278,6 +354,15 @@ int main(int argc, char** argv) {
       simulate = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (flag == "--batch") {
       batch_path = next();
+    } else if (flag == "--serve-replay") {
+      serve_clients = static_cast<std::size_t>(
+          std::strtoull(next(), nullptr, 10));
+      if (serve_clients == 0) {
+        std::fprintf(stderr, "--serve-replay needs a client count >= 1\n");
+        return 2;
+      }
+    } else if (flag == "--snapshot") {
+      snapshot_path = next();
     } else if (flag == "--stats") {
       print_stats = true;
     } else if (flag == "--metrics-out") {
@@ -313,6 +398,11 @@ int main(int argc, char** argv) {
   opts.max_moment = max_moment;
   opts.epsilon = epsilon;
 
+  if (serve_clients > 0 && batch_path.empty()) {
+    std::fprintf(stderr, "--serve-replay requires --batch queries.txt\n");
+    return 2;
+  }
+
   if (!batch_path.empty()) {
     if (impulsive) {
       std::fprintf(stderr,
@@ -320,16 +410,19 @@ int main(int argc, char** argv) {
                    "sweep has no impulse path)\n");
       return 2;
     }
-    const auto lines = parse_batch_file(batch_path, file.model.num_states());
+    const auto lines = load_batch_queries(batch_path, file.model.num_states());
     // The session solves at the largest order any query asks for; lower
     // orders are served from the same sweep.
     core::MomentSolverOptions session_opts = opts;
-    for (const BatchLine& q : lines)
+    for (const io::BatchQuery& q : lines)
       if (q.order != core::SessionQuery::kSessionMax)
         session_opts.max_moment =
             std::max(session_opts.max_moment, q.order);
     try {
-      return run_batch(file.model, lines, session_opts, print_stats);
+      return serve_clients > 0
+                 ? run_serve_replay(file.model, lines, session_opts,
+                                    serve_clients, snapshot_path, print_stats)
+                 : run_batch(file.model, lines, session_opts, print_stats);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "batch solve failed: %s\n", e.what());
       return 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/invariants.hpp"
@@ -23,7 +24,7 @@ namespace {
 /// log(2 d^n n! (qt)^n) — the Theorem-4 prefactor in log space.
 double log_theorem4_prefactor(double qt, std::size_t n, double d) {
   const double nn = static_cast<double>(n);
-  return std::log(2.0) + nn * std::log(d) + std::lgamma(nn + 1.0) +
+  return std::log(2.0) + nn * std::log(d) + prob::log_factorial(n) +
          nn * std::log(qt);
 }
 
@@ -771,6 +772,39 @@ RetainedSweep RandomizationMomentSolver::sweep_retained(
                               "sweep_retained");
   validate_solver_inputs(times, options, "sweep_retained");
   return run_sweep(model_, times, options, terminal_weights, "sweep_retained");
+}
+
+bool bit_identical(const RetainedSweep& a, const RetainedSweep& b) {
+  const auto doubles_equal = [](std::span<const double> x,
+                                std::span<const double> y) {
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  const auto scalar_equal = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  if (!doubles_equal(a.times, b.times)) return false;
+  if (a.max_moment != b.max_moment) return false;
+  if (!scalar_equal(a.epsilon, b.epsilon) || !scalar_equal(a.center, b.center))
+    return false;
+  if (!scalar_equal(a.q, b.q) || !scalar_equal(a.d, b.d) ||
+      !scalar_equal(a.shift, b.shift) ||
+      !scalar_equal(a.prefactor, b.prefactor))
+    return false;
+  if (a.terminal_weighted != b.terminal_weighted ||
+      a.degenerate != b.degenerate)
+    return false;
+  if (a.truncation_points != b.truncation_points) return false;
+  if (!doubles_equal(a.error_bounds, b.error_bounds)) return false;
+  if (a.acc.size() != b.acc.size()) return false;
+  for (std::size_t t = 0; t < a.acc.size(); ++t) {
+    const linalg::Panel& pa = a.acc[t];
+    const linalg::Panel& pb = b.acc[t];
+    if (pa.rows() != pb.rows() || pa.width() != pb.width()) return false;
+    if (!doubles_equal(pa.span(), pb.span())) return false;
+  }
+  return true;
 }
 
 std::size_t RetainedSweep::byte_size() const {

@@ -206,6 +206,14 @@ struct RetainedSweep {
   std::size_t byte_size() const;
 };
 
+/// True when two retained sweeps carry bit-identical solver payloads: time
+/// grid, scalars, flags, truncation points, error bounds, and every
+/// accumulator panel compare equal BY BIT PATTERN (doubles via memcmp, so
+/// NaN payloads compare too) — the snapshot round-trip contract. The
+/// sweep-phase SolverStats are excluded: wall-clock telemetry, not solver
+/// state, and never consulted by finalize_from_sweep's arithmetic.
+bool bit_identical(const RetainedSweep& a, const RetainedSweep& b);
+
 /// Finalizes one (time point, initial vector, moment order) query from a
 /// retained sweep: extracts the first @p max_moment + 1 accumulator
 /// columns, applies the prefactor * j! d^j factor, undoes the drift shift,

@@ -236,6 +236,7 @@ SweepCache::EntryPtr SweepCache::get_or_compute(
 }
 
 void SweepCache::evict_locked() {
+  bool evicted = false;
   while (bytes_ > byte_budget_ && entries_.size() > 1) {
     const std::string& victim = lru_.back();
     auto it = entries_.find(victim);
@@ -244,6 +245,18 @@ void SweepCache::evict_locked() {
     lru_.pop_back();
     ++counters_.evictions;
     cache_evict_metric().add(1);
+    evicted = true;
+  }
+  // Gauges move the moment memory is released, not at the next cache miss
+  // or report() — a long hit-only serving run otherwise exports frozen
+  // values that overstate the footprint by every sweep evicted since.
+  if constexpr (obs::kEnabled) {
+    if (evicted) {
+      static obs::Gauge& cache_bytes_gauge = obs::gauge("session.cache.bytes");
+      cache_bytes_gauge.set(static_cast<std::int64_t>(bytes_));
+      static obs::Gauge& rss_gauge = obs::gauge("mem.peak_rss_bytes");
+      rss_gauge.set(obs::peak_rss_bytes());
+    }
   }
 }
 
@@ -253,6 +266,7 @@ SweepCacheStats SweepCache::stats() const {
   out.entries = entries_.size();
   out.bytes = bytes_;
   out.byte_budget = byte_budget_;
+  out.over_budget = bytes_ > byte_budget_;
   return out;
 }
 
@@ -274,6 +288,33 @@ void SweepCache::clear() {
   bytes_ = 0;
 }
 
+bool SweepCache::insert(const std::string& key, EntryPtr value) {
+  if (!value) return false;
+  support::MutexLock lock(mutex_);
+  if (entries_.find(key) != entries_.end()) return false;
+  const std::size_t bytes = value->byte_size();
+  lru_.push_front(key);
+  entries_[key] = Slot{std::move(value), bytes, lru_.begin()};
+  bytes_ += bytes;
+  evict_locked();
+  // A restore that immediately evicted its own insertion is possible (the
+  // entry stays iff it is MRU and the budget allows); report whether the
+  // key is actually resident now.
+  return entries_.find(key) != entries_.end();
+}
+
+std::vector<std::pair<std::string, SweepCache::EntryPtr>>
+SweepCache::entries_snapshot() const {
+  support::MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, EntryPtr>> out;
+  out.reserve(entries_.size());
+  for (const std::string& key : lru_) {
+    auto it = entries_.find(key);
+    out.emplace_back(key, it->second.value);
+  }
+  return out;
+}
+
 const std::shared_ptr<SweepCache>& SweepCache::global() {
   static const std::shared_ptr<SweepCache>* cache =
       new std::shared_ptr<SweepCache>(std::make_shared<SweepCache>());
@@ -292,24 +333,13 @@ SolveSession::SolveSession(SecondOrderMrm model, std::vector<double> times,
               solve_key(times_, options_);
 }
 
-SweepCache::EntryPtr SolveSession::retained(
-    std::span<const double> weights, std::string* weights_key,
-    SweepCache::Outcome* outcome) const {
-  std::string key = base_key_;
-  if (weights.empty())
-    key += "|plain";
-  else
-    key += "|w=" + weights_hash(weights);
-  if (weights_key) *weights_key = key;
-  return cache_->get_or_compute(
-      key, [&] { return solver_.sweep_retained(times_, options_, weights); },
-      outcome);
+std::string SolveSession::sweep_key(
+    std::span<const double> terminal_weights) const {
+  if (terminal_weights.empty()) return base_key_ + "|plain";
+  return base_key_ + "|w=" + weights_hash(terminal_weights);
 }
 
-MomentResult SolveSession::query_impl(
-    const SessionQuery& q,
-    std::map<std::string, std::shared_ptr<const MomentResult>>* reuse) const {
-  const std::int64_t total_t0 = obs::now_ns();
+void SolveSession::validate_query(const SessionQuery& q) const {
   const std::size_t num_states = solver_.model().num_states();
   const std::size_t order =
       q.max_moment == SessionQuery::kSessionMax ? options_.max_moment
@@ -327,6 +357,27 @@ MomentResult SolveSession::query_impl(
   if (!q.initial.empty()) validate_query_initial(q.initial, num_states);
   if (!q.terminal_weights.empty())
     validate_query_weights(q.terminal_weights, num_states);
+}
+
+SweepCache::EntryPtr SolveSession::retained(
+    std::span<const double> weights, std::string* weights_key,
+    SweepCache::Outcome* outcome) const {
+  std::string key = sweep_key(weights);
+  if (weights_key) *weights_key = key;
+  return cache_->get_or_compute(
+      key, [&] { return solver_.sweep_retained(times_, options_, weights); },
+      outcome);
+}
+
+MomentResult SolveSession::query_impl(
+    const SessionQuery& q,
+    std::map<std::string, std::shared_ptr<const MomentResult>>* reuse,
+    QueryRecord* record_out) const {
+  const std::int64_t total_t0 = obs::now_ns();
+  validate_query(q);
+  const std::size_t order =
+      q.max_moment == SessionQuery::kSessionMax ? options_.max_moment
+                                                : q.max_moment;
   const std::span<const double> initial =
       q.initial.empty() ? std::span<const double>(solver_.model().initial())
                         : std::span<const double>(q.initial);
@@ -384,6 +435,7 @@ MomentResult SolveSession::query_impl(
   out.stats.cache_misses = cs.misses;
   out.stats.cache_evictions = cs.evictions;
   out.stats.cache_coalesced = cs.coalesced;
+  out.stats.cache_over_budget = cs.over_budget;
 
   // Per-query span: histogram cells, memory gauges + counter tracks, the
   // trace event carrying the query ID, and the SessionReport record. All
@@ -423,6 +475,7 @@ MomentResult SolveSession::query_impl(
     rec.finalize_ns = finalize_ns;
     rec.cache_outcome = outcome;
     rec.sweep_key = weights_key;
+    if (record_out) *record_out = rec;
     support::MutexLock lock(records_mutex_);
     ++queries_;
     records_.push_back(std::move(rec));
@@ -461,15 +514,31 @@ SessionReport SolveSession::report() const {
 }
 
 MomentResult SolveSession::query(const SessionQuery& q) const {
-  return query_impl(q, nullptr);
+  return query_impl(q, nullptr, nullptr);
+}
+
+MomentResult SolveSession::query(const SessionQuery& q,
+                                 QueryRecord* record) const {
+  return query_impl(q, nullptr, record);
 }
 
 std::vector<MomentResult> SolveSession::query_batch(
     std::span<const SessionQuery> queries) const {
+  return query_batch(queries, nullptr);
+}
+
+std::vector<MomentResult> SolveSession::query_batch(
+    std::span<const SessionQuery> queries,
+    std::vector<QueryRecord>* records) const {
   std::vector<MomentResult> out;
   out.reserve(queries.size());
+  if (records) records->reserve(records->size() + queries.size());
   std::map<std::string, std::shared_ptr<const MomentResult>> reuse;
-  for (const SessionQuery& q : queries) out.push_back(query_impl(q, &reuse));
+  for (const SessionQuery& q : queries) {
+    QueryRecord rec;
+    out.push_back(query_impl(q, &reuse, records ? &rec : nullptr));
+    if (records) records->push_back(std::move(rec));
+  }
   return out;
 }
 

@@ -64,6 +64,12 @@ struct SweepCacheStats {
   std::size_t entries = 0;     ///< retained sweeps currently held
   std::size_t bytes = 0;       ///< current footprint (RetainedSweep::byte_size)
   std::size_t byte_budget = 0; ///< eviction threshold
+  /// True while bytes > byte_budget. Eviction never drops the most
+  /// recently used entry, so one sweep larger than the whole budget is
+  /// retained with the cache permanently over budget — this flag is how
+  /// that state is surfaced (obs::report appends "over budget" to the
+  /// session-cache line) instead of bytes silently exceeding byte_budget.
+  bool over_budget = false;
 };
 
 /// Thread-safe keyed store of retained sweeps with LRU eviction under a
@@ -106,6 +112,20 @@ class SweepCache {
   void set_byte_budget(std::size_t bytes) SOMRM_EXCLUDES(mutex_);
   /// Drops every cached entry (does not reset the cumulative counters).
   void clear() SOMRM_EXCLUDES(mutex_);
+
+  /// Seeds @p key with an already-computed sweep (snapshot restore). Counts
+  /// as neither hit nor miss; an existing entry for @p key wins (the
+  /// restore never clobbers fresher state) and the LRU budget applies as
+  /// usual, so inserting in reverse-LRU order reproduces the saved
+  /// recency. Returns false when the key was already present (or @p value
+  /// is null) and nothing was inserted.
+  bool insert(const std::string& key, EntryPtr value) SOMRM_EXCLUDES(mutex_);
+
+  /// Current entries, most recently used first (snapshot save). The
+  /// EntryPtrs share ownership, so the caller may serialize them after the
+  /// cache has moved on.
+  std::vector<std::pair<std::string, EntryPtr>> entries_snapshot() const
+      SOMRM_EXCLUDES(mutex_);
 
   /// Process-wide default cache, shared by sessions that are not given one.
   static const std::shared_ptr<SweepCache>& global();
@@ -212,12 +232,34 @@ class SolveSession {
   /// counters at query time.
   MomentResult query(const SessionQuery& q) const;
 
+  /// query() that also hands back this query's QueryRecord (the same one
+  /// pushed into the session ring) — the serving engine attaches it to the
+  /// streamed result so clients get attribution without racing report().
+  MomentResult query(const SessionQuery& q, QueryRecord* record) const;
+
   /// Answers a batch in input order. Beyond the shared sweeps, queries in
   /// the same batch that differ only in pi also share the unscale/shift
   /// finalize work: per (weights, time, order) the per-state moments are
   /// materialized once and each query pays only its pi contraction.
   std::vector<MomentResult> query_batch(
       std::span<const SessionQuery> queries) const;
+
+  /// query_batch() that appends each query's QueryRecord to @p records
+  /// (same order as the results) when non-null.
+  std::vector<MomentResult> query_batch(std::span<const SessionQuery> queries,
+                                        std::vector<QueryRecord>* records) const;
+
+  /// Validates @p q exactly as query() would — time index, moment order,
+  /// initial vector, terminal weights — throwing std::invalid_argument on
+  /// the first violation. Lets a serving frontier reject bad queries at
+  /// admission instead of on a worker thread.
+  void validate_query(const SessionQuery& q) const;
+
+  /// The full sweep-cache key the query's terminal-weight vector maps to:
+  /// base_key() + "|plain" (empty weights) or + "|w=<content hash>". Two
+  /// queries with equal sweep_key() are served by the same retained sweep,
+  /// which is the grouping invariant the serving engine batches on.
+  std::string sweep_key(std::span<const double> terminal_weights) const;
 
   const std::vector<double>& times() const { return times_; }
   const MomentSolverOptions& options() const { return options_; }
@@ -244,7 +286,8 @@ class SolveSession {
  private:
   MomentResult query_impl(
       const SessionQuery& q,
-      std::map<std::string, std::shared_ptr<const MomentResult>>* reuse) const;
+      std::map<std::string, std::shared_ptr<const MomentResult>>* reuse,
+      QueryRecord* record_out) const;
   SweepCache::EntryPtr retained(std::span<const double> weights,
                                 std::string* weights_key,
                                 SweepCache::Outcome* outcome) const;

@@ -1,0 +1,149 @@
+#include "io/query_io.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+namespace somrm::io {
+
+namespace {
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+/// Strict full-token double: the whole token must parse and be finite, so
+/// "0.5x", "", "nan", and "1e999" all reject with the offending token in
+/// the message.
+double parse_double_token(const std::string& token, std::size_t lineno,
+                          const std::string& what) {
+  if (token.empty())
+    throw ParseError(lineno, what + ": empty value");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size())
+    throw ParseError(lineno, what + ": bad number '" + token +
+                                 "' (trailing garbage after the value)");
+  if (!std::isfinite(v))
+    throw ParseError(lineno, what + ": non-finite value '" + token + "'");
+  return v;
+}
+
+/// Strict digits-only unsigned: rejects sign characters, whitespace, and
+/// any trailing garbage ("2x") that strtoull with a null end pointer used
+/// to swallow.
+std::size_t parse_unsigned_token(const std::string& token, std::size_t lineno,
+                                 const std::string& what) {
+  if (token.empty())
+    throw ParseError(lineno, what + ": empty value");
+  if (!all_digits(token))
+    throw ParseError(lineno, what + ": bad non-negative integer '" + token +
+                                 "'");
+  char* end = nullptr;
+  return static_cast<std::size_t>(std::strtoull(token.c_str(), &end, 10));
+}
+
+/// Parses "state:value,state:value,..." into a dense size-num_states
+/// vector. Each state may appear once; every entry is exactly
+/// <digits>:<double> with both parts strict.
+linalg::Vec parse_sparse_vector(const std::string& spec,
+                                std::size_t num_states, std::size_t lineno,
+                                const std::string& what) {
+  linalg::Vec out(num_states, 0.0);
+  std::vector<bool> seen(num_states, false);
+  std::stringstream entries(spec);
+  std::string entry;
+  bool any = false;
+  // getline drops a trailing empty segment ("0:1," parses as one entry);
+  // catch that explicitly so a stray comma is named, not ignored.
+  if (!spec.empty() && spec.back() == ',')
+    throw ParseError(lineno, what + ": trailing ',' after the last entry");
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty())
+      throw ParseError(lineno, what + ": empty entry (want <state>:<value>)");
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || entry.find(':', colon + 1) !=
+                                          std::string::npos)
+      throw ParseError(lineno, what + ": bad entry '" + entry +
+                                   "' (want <state>:<value>)");
+    const std::size_t state = parse_unsigned_token(
+        entry.substr(0, colon), lineno, what + " state");
+    if (state >= num_states)
+      throw ParseError(lineno, what + ": state " + std::to_string(state) +
+                                   " out of range (" +
+                                   std::to_string(num_states) + " states)");
+    if (seen[state])
+      throw ParseError(lineno, what + ": duplicate state " +
+                                   std::to_string(state) + " in one list");
+    seen[state] = true;
+    out[state] =
+        parse_double_token(entry.substr(colon + 1), lineno, what + " value");
+    any = true;
+  }
+  if (!any) throw ParseError(lineno, what + ": empty list");
+  return out;
+}
+
+}  // namespace
+
+std::vector<BatchQuery> parse_query_file(std::istream& in,
+                                         std::size_t num_states) {
+  std::vector<BatchQuery> out;
+  std::string text;
+  for (std::size_t lineno = 1; std::getline(in, text); ++lineno) {
+    // CRLF input: strip the '\r' the line terminator left behind. (An
+    // embedded '\r' is stream whitespace, so it separates tokens like a
+    // tab would — it can never stick to a token and corrupt it.)
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    const std::size_t hash = text.find('#');
+    if (hash != std::string::npos) text.erase(hash);
+
+    std::stringstream line(text);
+    std::string token;
+    if (!(line >> token)) continue;  // blank / comment-only line
+
+    BatchQuery q;
+    q.time = parse_double_token(token, lineno, "time");
+    bool have_order = false, have_pi = false, have_w = false;
+    while (line >> token) {
+      if (token.rfind("n=", 0) == 0) {
+        if (have_order)
+          throw ParseError(lineno, "duplicate key 'n=' on one line");
+        have_order = true;
+        q.order = parse_unsigned_token(token.substr(2), lineno, "order n=");
+      } else if (token.rfind("pi=", 0) == 0) {
+        if (have_pi)
+          throw ParseError(lineno, "duplicate key 'pi=' on one line");
+        have_pi = true;
+        q.initial =
+            parse_sparse_vector(token.substr(3), num_states, lineno, "pi=");
+      } else if (token.rfind("w=", 0) == 0) {
+        if (have_w)
+          throw ParseError(lineno, "duplicate key 'w=' on one line");
+        have_w = true;
+        q.terminal_weights =
+            parse_sparse_vector(token.substr(2), num_states, lineno, "w=");
+      } else {
+        throw ParseError(lineno, "unknown token '" + token +
+                                     "' (want n=, pi=, or w=)");
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<BatchQuery> load_query_file(const std::string& path,
+                                        std::size_t num_states) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open batch query file: " + path);
+  return parse_query_file(in, num_states);
+}
+
+}  // namespace somrm::io

@@ -1,0 +1,65 @@
+// somrm/io/query_io.hpp
+//
+// Batch query-file parser: the `--batch` input format of somrm_cli, one
+// query per line —
+//
+//   <time> [n=<order>] [pi=<state>:<p>,...] [w=<state>:<v>,...]
+//
+// with '#' comments and blank lines skipped. This replaces the CLI's
+// original ad-hoc stringstream parser, which silently accepted three
+// classes of malformed input: CRLF line endings (the '\r' rode into the
+// last token), duplicate keys on one line (`n=2 n=4` last-wins), and
+// trailing garbage after a field (`n=2x` parsed as 2, `0:0.5x` as 0.5).
+// Like the model parser (io/model_io.hpp), every defect is rejected with
+// a line-naming io::ParseError:
+//
+//  * numbers must consume their whole token (strict strtod/strtoull with
+//    end-pointer checks; orders and states are digits-only, so `-1` and
+//    `+2` are rejected too) and be finite;
+//  * each key (n=, pi=, w=) may appear at most once per line;
+//  * each state may appear at most once per sparse list (the old parser
+//    let `pi=0:0.3,0:0.7` silently keep the last value);
+//  * '\r' is stripped only as a CRLF terminator, never mid-line.
+//
+// The parser validates shape, ranges that the format itself fixes (state
+// indices vs num_states), and nothing more: distribution/weight semantics
+// (sums, signs) stay with SolveSession::validate_query, so the two layers
+// reject with their own vocabulary.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/solve_session.hpp"
+#include "io/model_io.hpp"
+#include "linalg/vec.hpp"
+
+namespace somrm::io {
+
+/// One parsed query line: a time point plus the optional order / initial
+/// distribution / terminal-weight overrides.
+struct BatchQuery {
+  double time = 0.0;
+  std::size_t order = core::SessionQuery::kSessionMax;
+  linalg::Vec initial;           ///< empty = the model's own initial
+  linalg::Vec terminal_weights;  ///< empty = plain (unweighted) moments
+};
+
+/// Parses the query-file format from @p in. Sparse pi=/w= lists are
+/// densified to size @p num_states (unlisted states zero). Throws
+/// io::ParseError naming the 1-based line on any malformed input; an
+/// input with no query lines returns an empty vector (callers decide
+/// whether that is an error).
+std::vector<BatchQuery> parse_query_file(std::istream& in,
+                                         std::size_t num_states);
+
+/// File flavour: throws std::runtime_error when @p path cannot be opened,
+/// io::ParseError on malformed content (same convention as
+/// load_model_file).
+std::vector<BatchQuery> load_query_file(const std::string& path,
+                                        std::size_t num_states);
+
+}  // namespace somrm::io

@@ -273,7 +273,8 @@ std::string report(const SolverStats& stats) {
        << (stats.cache_hits == 1 ? "" : "s") << ", " << stats.cache_misses
        << " miss" << (stats.cache_misses == 1 ? "" : "es") << ", "
        << stats.cache_evictions << " evicted, " << stats.cache_coalesced
-       << " coalesced\n";
+       << " coalesced"
+       << (stats.cache_over_budget ? ", over budget" : "") << "\n";
   }
   return os.str();
 }

@@ -120,6 +120,10 @@ struct SolverStats {
   std::size_t cache_misses = 0;     ///< queries that ran a fresh sweep
   std::size_t cache_evictions = 0;  ///< sweeps dropped by the LRU byte budget
   std::size_t cache_coalesced = 0;  ///< misses that joined an in-flight sweep
+  /// Cache footprint currently exceeds its byte budget (a single retained
+  /// sweep larger than the whole budget — eviction never drops the MRU
+  /// entry, so the overshoot is permanent until the entry ages out).
+  bool cache_over_budget = false;
 };
 
 /// One merged metric as returned by snapshot().

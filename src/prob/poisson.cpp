@@ -5,10 +5,28 @@
 #include <limits>
 #include <stdexcept>
 
+#if defined(__GLIBC__)
+// Re-entrant lgamma: identical value, sign returned through the out param
+// instead of the process-global `signgam` that plain lgamma races on.
+// Declared by math.h only under misc/XOPEN feature macros, which strict
+// -std=c++20 turns off — the symbol itself is unconditionally in libm.
+extern "C" double lgamma_r(double, int*) noexcept;
+#endif
+
 namespace somrm::prob {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double log_factorial(std::size_t k) {
+  const double x = static_cast<double>(k) + 1.0;
+#if defined(__GLIBC__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
 }
 
 double log_poisson_pmf(std::size_t k, double lambda) {
@@ -16,7 +34,7 @@ double log_poisson_pmf(std::size_t k, double lambda) {
     throw std::invalid_argument("log_poisson_pmf: negative lambda");
   if (lambda == 0.0) return k == 0 ? 0.0 : kNegInf;
   return -lambda + static_cast<double>(k) * std::log(lambda) -
-         std::lgamma(static_cast<double>(k) + 1.0);
+         log_factorial(k);
 }
 
 double poisson_pmf(std::size_t k, double lambda) {

@@ -17,6 +17,13 @@
 
 namespace somrm::prob {
 
+/// log(k!), evaluated thread-safely. std::lgamma is off-limits anywhere a
+/// concurrent solve can reach (every pmf/tail path here, the Theorem-4
+/// prefactor): glibc's lgamma writes the process-global `signgam`, a data
+/// race once ServeEngine workers sweep in parallel. Uses lgamma_r where
+/// available; the sign output is irrelevant (k! > 0).
+double log_factorial(std::size_t k);
+
 /// log Pois(k; lambda) = -lambda + k log lambda - log k!. Exact for
 /// lambda == 0 as well (0 for k == 0, -inf otherwise).
 double log_poisson_pmf(std::size_t k, double lambda);

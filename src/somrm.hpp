@@ -11,7 +11,8 @@
 //   somrm::bounds  — moment-based distribution bounds and estimates
 //   somrm::sim     — Monte Carlo baselines and trajectory tools
 //   somrm::models  — ready-made model builders
-//   somrm::io      — text model files
+//   somrm::io      — text model and query files
+//   somrm::serve   — concurrent serving engine + sweep-cache snapshots
 //   somrm::linalg / somrm::prob — numerics underneath
 
 #pragma once
@@ -29,6 +30,7 @@
 #include "core/piecewise.hpp"
 #include "core/randomization.hpp"
 #include "core/scaling.hpp"
+#include "core/solve_session.hpp"
 #include "ctmc/generator.hpp"
 #include "ctmc/occupancy.hpp"
 #include "ctmc/stationary.hpp"
@@ -37,6 +39,7 @@
 #include "density/pde_solver.hpp"
 #include "density/transform_solver.hpp"
 #include "io/model_io.hpp"
+#include "io/query_io.hpp"
 #include "linalg/bicgstab.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/dense.hpp"
@@ -52,6 +55,8 @@
 #include "prob/normal.hpp"
 #include "prob/poisson.hpp"
 #include "prob/rng.hpp"
+#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
 #include "sim/completion_time.hpp"
 #include "sim/fluid_simulator.hpp"
 #include "sim/impulse_simulator.hpp"

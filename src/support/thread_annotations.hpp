@@ -30,6 +30,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -138,6 +139,17 @@ class CondVar {
   /// Atomically releases @p mu, blocks until notified, reacquires @p mu.
   /// Spurious wakeups happen; always wait in a condition loop.
   void wait(Mutex& mu) SOMRM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a relative deadline: returns std::cv_status::timeout when
+  /// @p rel_time elapsed without a notification. The same condition-loop
+  /// rule applies — callers re-check their predicate AND their deadline,
+  /// since a notify and a timeout can race.
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& rel_time)
+      SOMRM_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel_time);
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

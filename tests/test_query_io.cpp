@@ -1,0 +1,207 @@
+// Tests for the strict batch query file parser (io/query_io.hpp) — the
+// replacement for somrm_cli's old ad-hoc --batch parsing, which silently
+// mis-read three classes of malformed input:
+//
+//  * CRLF line endings: the trailing '\r' used to stick to the last token
+//    ("w=0:1\r" -> weight parse failure or, worse, a bare "\r" token read
+//    as an extra field). The parser now strips exactly the terminator's
+//    '\r'; a '\r' anywhere else is still garbage.
+//  * Duplicate keys ("n=2 n=4"): last-one-wins made the file lie about
+//    what ran. Now a named, line-numbered rejection.
+//  * Trailing garbage ("2x" orders, "0.5abc" times, stray entries): strtod
+//    / strtoull with unchecked end pointers used to swallow the prefix.
+//    Every token must now parse completely.
+//
+// Every rejection is a ParseError carrying the 1-based line number, so a
+// bad line in a million-query file is findable.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/query_io.hpp"
+
+namespace somrm {
+namespace {
+
+using io::BatchQuery;
+using io::ParseError;
+
+std::vector<BatchQuery> parse(const std::string& text,
+                              std::size_t num_states = 4) {
+  std::istringstream in(text);
+  return io::parse_query_file(in, num_states);
+}
+
+/// Expects the parse to fail with a ParseError naming @p line whose
+/// message contains @p needle.
+void expect_rejects(const std::string& text, std::size_t line,
+                    const std::string& needle, std::size_t num_states = 4) {
+  try {
+    parse(text, num_states);
+    FAIL() << "accepted: " << text;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Valid input
+// ---------------------------------------------------------------------------
+
+TEST(QueryIoTest, ParsesTimesOrdersAndSparseVectors) {
+  const auto qs = parse(
+      "0.5\n"
+      "1.25 n=2\n"
+      "2.0 pi=0:0.25,2:0.75 w=1:1.5,3:2 n=1\n");
+  ASSERT_EQ(qs.size(), 3u);
+
+  EXPECT_EQ(qs[0].time, 0.5);
+  EXPECT_EQ(qs[0].order, core::SessionQuery::kSessionMax);
+  EXPECT_TRUE(qs[0].initial.empty());
+  EXPECT_TRUE(qs[0].terminal_weights.empty());
+
+  EXPECT_EQ(qs[1].time, 1.25);
+  EXPECT_EQ(qs[1].order, 2u);
+
+  EXPECT_EQ(qs[2].order, 1u);
+  ASSERT_EQ(qs[2].initial.size(), 4u);
+  EXPECT_EQ(qs[2].initial[0], 0.25);
+  EXPECT_EQ(qs[2].initial[1], 0.0);
+  EXPECT_EQ(qs[2].initial[2], 0.75);
+  ASSERT_EQ(qs[2].terminal_weights.size(), 4u);
+  EXPECT_EQ(qs[2].terminal_weights[1], 1.5);
+  EXPECT_EQ(qs[2].terminal_weights[3], 2.0);
+}
+
+TEST(QueryIoTest, SkipsBlankLinesAndComments) {
+  const auto qs = parse(
+      "# a comment line\n"
+      "\n"
+      "0.5 # trailing comment\n"
+      "   \n"
+      "1.0 n=1 # another\n");
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_EQ(qs[0].time, 0.5);
+  EXPECT_EQ(qs[1].order, 1u);
+}
+
+TEST(QueryIoTest, KeysAcceptedInAnyOrder) {
+  const auto qs = parse("0.5 w=0:1 n=2 pi=1:1\n");
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_EQ(qs[0].order, 2u);
+  EXPECT_EQ(qs[0].initial[1], 1.0);
+  EXPECT_EQ(qs[0].terminal_weights[0], 1.0);
+}
+
+TEST(QueryIoTest, EmptyInputParsesToNoQueries) {
+  EXPECT_TRUE(parse("").empty());
+  EXPECT_TRUE(parse("# only comments\n\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bug class 1: CRLF line endings
+// ---------------------------------------------------------------------------
+
+TEST(QueryIoTest, CrlfTerminatorsParseIdenticallyToLf) {
+  const auto lf = parse("0.5 n=2 w=0:1\n1.0 pi=3:1\n");
+  const auto crlf = parse("0.5 n=2 w=0:1\r\n1.0 pi=3:1\r\n");
+  ASSERT_EQ(crlf.size(), lf.size());
+  for (std::size_t i = 0; i < lf.size(); ++i) {
+    EXPECT_EQ(crlf[i].time, lf[i].time) << i;
+    EXPECT_EQ(crlf[i].order, lf[i].order) << i;
+    EXPECT_EQ(crlf[i].initial, lf[i].initial) << i;
+    EXPECT_EQ(crlf[i].terminal_weights, lf[i].terminal_weights) << i;
+  }
+  // Final line without any terminator still parses.
+  EXPECT_EQ(parse("0.5 n=1").size(), 1u);
+  EXPECT_EQ(parse("0.5 n=1\r").size(), 1u);
+}
+
+TEST(QueryIoTest, CarriageReturnInsideALineActsAsWhitespace) {
+  // Only the line-terminator '\r' is stripped explicitly; an embedded one
+  // is stream whitespace like a tab, so it separates tokens — it can never
+  // stick to a token and corrupt it (the original CRLF bug).
+  const auto qs = parse("0.5\rn=2\n");
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_EQ(qs[0].time, 0.5);
+  EXPECT_EQ(qs[0].order, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug class 2: duplicate keys
+// ---------------------------------------------------------------------------
+
+TEST(QueryIoTest, DuplicateKeysOnOneLineAreRejected) {
+  expect_rejects("0.5 n=2 n=4\n", 1, "duplicate key 'n='");
+  expect_rejects("0.5 pi=0:1 pi=1:1\n", 1, "duplicate key 'pi='");
+  expect_rejects("0.5 w=0:1 w=0:2\n", 1, "duplicate key 'w='");
+  // The line number names the offender, not the file start.
+  expect_rejects("0.5\n1.0 n=1 n=1\n", 2, "duplicate key 'n='");
+}
+
+TEST(QueryIoTest, DuplicateStateInOneVectorIsRejected) {
+  expect_rejects("0.5 pi=0:0.3,0:0.7\n", 1, "duplicate state 0");
+  expect_rejects("0.5 w=2:1,1:1,2:3\n", 1, "duplicate state 2");
+}
+
+TEST(QueryIoTest, SameKeyOnDifferentLinesIsFine) {
+  EXPECT_EQ(parse("0.5 n=1\n1.0 n=2\n").size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Bug class 3: trailing garbage / partial tokens
+// ---------------------------------------------------------------------------
+
+TEST(QueryIoTest, PartialNumbersAreRejectedNotTruncated) {
+  expect_rejects("0.5x\n", 1, "bad number '0.5x'");
+  expect_rejects("0.5 n=2x\n", 1, "bad non-negative integer '2x'");
+  expect_rejects("0.5 n=-1\n", 1, "bad non-negative integer '-1'");
+  expect_rejects("0.5 n=+2\n", 1, "bad non-negative integer '+2'");
+  expect_rejects("0.5 w=0:1.5abc\n", 1, "bad number '1.5abc'");
+  expect_rejects("0.5 n=\n", 1, "empty value");
+}
+
+TEST(QueryIoTest, NonFiniteTimesAreRejected) {
+  expect_rejects("nan\n", 1, "non-finite");
+  expect_rejects("inf n=1\n", 1, "non-finite");
+  expect_rejects("1e999\n", 1, "non-finite");
+}
+
+TEST(QueryIoTest, UnknownTokensAreRejected) {
+  expect_rejects("0.5 bogus\n", 1, "unknown token 'bogus'");
+  expect_rejects("0.5 N=2\n", 1, "unknown token 'N=2'");
+  expect_rejects("0.5 n=2 extra=1\n", 1, "unknown token 'extra=1'");
+}
+
+TEST(QueryIoTest, MalformedSparseVectorsAreRejected) {
+  expect_rejects("0.5 pi=\n", 1, "empty list");
+  expect_rejects("0.5 pi=0:1,\n", 1, "trailing ','");
+  expect_rejects("0.5 pi=0:1,,1:2\n", 1, "empty entry");
+  expect_rejects("0.5 pi=0\n", 1, "bad entry '0'");
+  expect_rejects("0.5 pi=0:1:2\n", 1, "bad entry '0:1:2'");
+  expect_rejects("0.5 w=7:1\n", 1, "state 7 out of range");
+  expect_rejects("0.5 pi=x:1\n", 1, "bad non-negative integer 'x'");
+}
+
+// ---------------------------------------------------------------------------
+// File loading
+// ---------------------------------------------------------------------------
+
+TEST(QueryIoTest, LoadQueryFileNamesMissingPath) {
+  try {
+    io::load_query_file(::testing::TempDir() + "somrm_no_such_queries.txt", 4);
+    FAIL() << "missing file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open batch query file"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace somrm

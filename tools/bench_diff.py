@@ -7,14 +7,18 @@ Usage:
 Both files are JSON arrays of BenchRecord objects as written by
 bench_common's JsonWriter (``--json`` / ``--json-append`` on the bench
 harnesses). Records are matched by the identity tuple
-(bench, kernel, simd, storage, states, threads, moments) — never by array
-position, so reordered or partially re-run snapshots compare correctly, and
+(bench, kernel, simd, storage, states, threads, moments, clients) — never
+by array position, so reordered or partially re-run snapshots compare
+correctly, and
 two variants of one bench that differ only in the sweep kernel (panel vs
 fused_vectors), the SIMD dispatch level (scalar vs avx2/avx512 rows of
 one BENCH_PR6.json), or the sparse storage (csr vs sellcs rows of one
 BENCH_PR7.json) are matched separately instead of colliding last-wins.
 Thread counts are part of the key, so a 1→16 scaling curve gates per
-thread count. For each pair the relative wall-clock change is
+thread count; client counts likewise (a traffic_replay run at 8 clients
+and one at 32 are different experiments, and snapshots that predate the
+field carry clients = 0 so they keep matching themselves). For each pair
+the relative wall-clock change is
 printed, and the exit code is non-zero when any matched record regressed by
 more than the threshold (default 10%).
 
@@ -29,9 +33,14 @@ where either side is missing the field (pre-PR8 snapshot) or has it at
 zero (no latency measured, e.g. a single-solve bench) is skipped, never
 failed, so old baselines keep diffing cleanly.
 
+``--qps-tol R`` gates serving throughput (``qps``, written by
+traffic_replay / batched_queries) the same opt-in, history-tolerant way —
+but inverted, because qps is higher-is-better: the pair fails when the
+candidate's qps DROPPED by more than R relative to the baseline.
+
 Exit codes: 0 no regression, 1 regression beyond a threshold (wall-clock
-or, when --latency-tol is given, p99 latency), 2 input error
-(missing/malformed snapshot, or no records matched).
+or, when --latency-tol / --qps-tol are given, p99 latency / qps), 2 input
+error (missing/malformed snapshot, or no records matched).
 """
 
 from __future__ import annotations
@@ -46,12 +55,13 @@ class SnapshotError(Exception):
 
 
 def format_key(key: tuple) -> str:
-    bench, kernel, simd, storage, states, threads, moments = key
+    bench, kernel, simd, storage, states, threads, moments, clients = key
     kernel_part = f"{kernel}," if kernel else ""
     simd_part = f"{simd}," if simd else ""
     storage_part = f"{storage}," if storage else ""
+    clients_part = f",C={clients}" if clients else ""
     return (f"{bench}[{kernel_part}{simd_part}{storage_part}"
-            f"N={states},T={threads},n={moments}]")
+            f"N={states},T={threads},n={moments}{clients_part}]")
 
 
 def load_records(path: str) -> dict[tuple, dict]:
@@ -86,6 +96,9 @@ def load_records(path: str) -> dict[tuple, dict]:
             rec.get("states", 0),
             rec.get("threads", 0),
             rec.get("moments", 0),
+            # Pre-PR10 snapshots predate the client-thread field; 0
+            # matches 0, and benches without a client side always write 0.
+            rec.get("clients", 0),
         )
         # Duplicate identity (e.g. appended re-runs): keep the last record,
         # which is the most recent measurement.
@@ -114,6 +127,15 @@ def main() -> int:
         metavar="R",
         help="opt-in relative latency_p99_ms regression gate (e.g. 0.25 = "
         "25%%); pairs missing the field or with it at zero are skipped",
+    )
+    parser.add_argument(
+        "--qps-tol",
+        type=float,
+        default=None,
+        metavar="R",
+        help="opt-in relative qps DROP gate (e.g. 0.25 fails a >25%% "
+        "throughput loss); qps is higher-is-better, and pairs missing the "
+        "field or with it at zero are skipped",
     )
     args = parser.parse_args()
 
@@ -164,6 +186,25 @@ def main() -> int:
                 marker = "  << LATENCY REGRESSION"
                 regressions.append((f"{name} [p99 latency]", ldelta))
             print(f"{name:50s} {lb:12.6g} {lc:12.6g} {ldelta:+8.1%}{marker}")
+
+    if args.qps_tol is not None:
+        print(f"\n{'bench (qps)':50s} {'base_qps':>12s} "
+              f"{'cand_qps':>12s} {'delta':>8s}")
+        for key in matched:
+            qb = float(base[key].get("qps", 0.0) or 0.0)
+            qc = float(cand[key].get("qps", 0.0) or 0.0)
+            name = format_key(key)
+            if qb <= 0.0 or qc <= 0.0:
+                print(f"{name:50s} {qb:12.6g} {qc:12.6g}    (skipped: "
+                      "qps missing or zero)")
+                continue
+            # Higher is better: the regression is a DROP relative to base.
+            qdelta = (qc - qb) / qb
+            marker = ""
+            if -qdelta > args.qps_tol:
+                marker = "  << QPS REGRESSION"
+                regressions.append((f"{name} [qps]", qdelta))
+            print(f"{name:50s} {qb:12.6g} {qc:12.6g} {qdelta:+8.1%}{marker}")
 
     for key in only_base:
         print(f"only in baseline:  {format_key(key)}")

@@ -251,6 +251,85 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertIn("skipped: latency missing or zero", proc.stdout)
 
+    # -- the clients identity field (traffic_replay) --
+
+    def test_client_counts_matched_separately(self) -> None:
+        # An 8-client and a 32-client run of one bench are different
+        # experiments: only the regressed 32-client row may be flagged.
+        base = self.write("base.json", [
+            record("traffic_replay_cold", 1.0, clients=8),
+            record("traffic_replay_cold", 2.0, clients=32),
+        ])
+        cand = self.write("cand.json", [
+            record("traffic_replay_cold", 1.0, clients=8),
+            record("traffic_replay_cold", 3.0, clients=32),
+        ])
+        proc = run_diff(base, cand, "--threshold", "0.10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("C=32", proc.stdout)
+        self.assertEqual(proc.stdout.count("REGRESSION"), 1)
+
+    def test_missing_clients_field_still_matches(self) -> None:
+        # Pre-PR10 snapshots have no "clients" key; they must keep matching
+        # records that also lack it (both default to 0).
+        base = self.write("base.json", [record("batched", 1.0)])
+        cand = self.write("cand.json", [record("batched", 1.0, clients=0)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("none regressed", proc.stdout)
+
+    # -- the opt-in --qps-tol throughput gate --
+
+    def test_qps_gate_off_by_default(self) -> None:
+        # Without --qps-tol a throughput collapse is invisible as long as
+        # wall_s held (e.g. a fixed-duration run serving fewer queries).
+        base = self.write("base.json",
+                          [record("replay", 1.0, qps=10000.0, clients=8)])
+        cand = self.write("cand.json",
+                          [record("replay", 1.0, qps=1000.0, clients=8)])
+        proc = run_diff(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("QPS", proc.stdout)
+
+    def test_qps_drop_exits_1(self) -> None:
+        base = self.write("base.json",
+                          [record("replay", 1.0, qps=10000.0, clients=8)])
+        cand = self.write("cand.json",
+                          [record("replay", 1.0, qps=7000.0, clients=8)])
+        proc = run_diff(base, cand, "--qps-tol", "0.25")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("QPS REGRESSION", proc.stdout)
+        self.assertIn("qps", proc.stderr)
+
+    def test_qps_gain_is_not_a_regression(self) -> None:
+        # Higher is better: a qps increase must never trip the gate, even a
+        # large one (the latency gate's sign convention would flag it).
+        base = self.write("base.json",
+                          [record("replay", 1.0, qps=1000.0, clients=8)])
+        cand = self.write("cand.json",
+                          [record("replay", 1.0, qps=9000.0, clients=8)])
+        proc = run_diff(base, cand, "--qps-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("QPS REGRESSION", proc.stdout)
+
+    def test_qps_within_tolerance_exits_0(self) -> None:
+        base = self.write("base.json",
+                          [record("replay", 1.0, qps=10000.0, clients=8)])
+        cand = self.write("cand.json",
+                          [record("replay", 1.0, qps=9000.0, clients=8)])
+        proc = run_diff(base, cand, "--qps-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("QPS REGRESSION", proc.stdout)
+
+    def test_qps_missing_or_zero_is_skipped(self) -> None:
+        # Pre-PR10 baselines lack qps; single-solve benches write 0.0 —
+        # neither is gateable and neither may fail the diff.
+        base = self.write("base.json", [record("batched", 1.0)])
+        cand = self.write("cand.json", [record("batched", 1.0, qps=5000.0)])
+        proc = run_diff(base, cand, "--qps-tol", "0.25")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("skipped: qps missing or zero", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()
